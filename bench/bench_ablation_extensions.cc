@@ -1,0 +1,130 @@
+// Ablation: the future-work extensions beyond the paper — multiple GPUs per
+// node, LPT load-balanced scheduling under skew, and the binary matrix
+// store vs MatrixMarket text.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/sim_executor.h"
+#include "matrix/generator.h"
+#include "matrix/io.h"
+#include "matrix/store.h"
+#include "mm/methods.h"
+#include "mm/optimizer.h"
+
+int main() {
+  using namespace distme;
+
+  bench::Banner("Extension 1 — multiple GPUs per node (40K^3 dense, "
+                "paper's future work)");
+  {
+    mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(40000, 40000, 40000,
+                                                       1000);
+    bench::Table table({"GPUs/node", "multiply step", "speedup vs 1",
+                        "PCI-E bytes"});
+    double base = 0;
+    for (const int devices : {1, 2, 4, 8}) {
+      ClusterConfig cluster = ClusterConfig::Paper();
+      cluster.gpu.devices_per_node = devices;
+      engine::SimExecutor executor(cluster);
+      auto opt = mm::OptimizeCuboid(p, cluster);
+      DISTME_CHECK_OK(opt.status());
+      engine::SimOptions gpu;
+      gpu.mode = engine::ComputeMode::kGpuStreaming;
+      auto report = executor.Run(p, mm::CuboidMethod(opt->spec), gpu);
+      DISTME_CHECK_OK(report.status());
+      if (devices == 1) base = report->steps.multiply_seconds;
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    base / report->steps.multiply_seconds);
+      table.AddRow({std::to_string(devices),
+                    FormatSeconds(report->steps.multiply_seconds), speedup,
+                    FormatBytes(report->pcie_bytes)});
+    }
+    table.Print();
+    std::printf("Scaling tapers once PCI-E (shared per node) binds.\n");
+  }
+
+  bench::Banner("Extension 2 — LPT scheduling under task skew "
+                "(uneven cuboid splits, 37K x 41K x 53K)");
+  {
+    mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(37000, 41000, 53000,
+                                                       1000);
+    const ClusterConfig cluster = ClusterConfig::Paper();
+    engine::SimExecutor executor(cluster);
+    bench::Table table({"(P,Q,R)", "plan order", "LPT", "improvement"});
+    for (const mm::CuboidSpec spec :
+         {mm::CuboidSpec{7, 11, 3}, mm::CuboidSpec{4, 9, 7},
+          mm::CuboidSpec{13, 2, 5}}) {
+      mm::CuboidMethod method(spec);
+      engine::SimOptions plain;
+      engine::SimOptions lpt;
+      lpt.lpt_scheduling = true;
+      auto base = executor.Run(p, method, plain);
+      auto balanced = executor.Run(p, method, lpt);
+      DISTME_CHECK_OK(base.status());
+      DISTME_CHECK_OK(balanced.status());
+      char label[32], gain[32];
+      std::snprintf(label, sizeof(label), "(%lld,%lld,%lld)",
+                    static_cast<long long>(spec.P),
+                    static_cast<long long>(spec.Q),
+                    static_cast<long long>(spec.R));
+      std::snprintf(gain, sizeof(gain), "%.1f%%",
+                    100.0 * (1.0 - balanced->steps.multiply_seconds /
+                                       base->steps.multiply_seconds));
+      table.AddRow({label, FormatSeconds(base->steps.multiply_seconds),
+                    FormatSeconds(balanced->steps.multiply_seconds), gain});
+    }
+    table.Print();
+  }
+
+  bench::Banner("Extension 3 — binary matrix store vs MatrixMarket text");
+  {
+    GeneratorOptions g;
+    g.rows = 2000;
+    g.cols = 2000;
+    g.block_size = 200;
+    g.sparsity = 0.2;
+    g.seed = 123;
+    BlockGrid grid = GenerateUniform(g);
+    const std::string bin_path = "/tmp/distme_bench.dmx";
+    const std::string txt_path = "/tmp/distme_bench.mtx";
+
+    Stopwatch w1;
+    DISTME_CHECK_OK(WriteBinaryMatrix(grid, bin_path));
+    const double bin_write = w1.ElapsedMillis();
+    Stopwatch w2;
+    DISTME_CHECK_OK(WriteMatrixMarket(grid, txt_path));
+    const double txt_write = w2.ElapsedMillis();
+    Stopwatch r1;
+    auto bin = ReadBinaryMatrix(bin_path);
+    const double bin_read = r1.ElapsedMillis();
+    Stopwatch r2;
+    auto txt = ReadMatrixMarket(txt_path, 200);
+    const double txt_read = r2.ElapsedMillis();
+    DISTME_CHECK_OK(bin.status());
+    DISTME_CHECK_OK(txt.status());
+
+    auto file_size = [](const std::string& path) {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      std::fseek(f, 0, SEEK_END);
+      const long size = std::ftell(f);
+      std::fclose(f);
+      return static_cast<double>(size);
+    };
+    bench::Table table({"format", "write", "read", "file size"});
+    char bw[32], br_buf[32], tw[32], tr[32];
+    std::snprintf(bw, sizeof(bw), "%.1fms", bin_write);
+    std::snprintf(br_buf, sizeof(br_buf), "%.1fms", bin_read);
+    std::snprintf(tw, sizeof(tw), "%.1fms", txt_write);
+    std::snprintf(tr, sizeof(tr), "%.1fms", txt_read);
+    table.AddRow({"binary (.dmx)", bw, br_buf,
+                  FormatBytes(file_size(bin_path))});
+    table.AddRow({"MatrixMarket", tw, tr, FormatBytes(file_size(txt_path))});
+    table.Print();
+    std::remove(bin_path.c_str());
+    std::remove(txt_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 6(b)/(e): two matrices with a common large dimension,
+// 10K × N × 10K, N ∈ {100K, 500K, 1M, 5M}, sparsity 0.5.
+
+#include "fig6_common.h"
+
+int main() {
+  using distme::bench::Fig6Point;
+  using distme::bench::PaperValue;
+  const auto n = PaperValue::Num;
+  const auto approx = PaperValue::Approx;
+  const auto oom = PaperValue::Oom;
+  std::vector<Fig6Point> points = {
+      {"100K", 10000, 100000, 10000,
+       n(37), n(26), n(28), n(19),
+       n(1232), n(428), approx(401), approx(291)},
+      {"500K", 10000, 500000, 10000,
+       n(153), n(94), approx(63), n(63),
+       n(5982), n(1872), oom(), n(512)},
+      {"1M", 10000, 1000000, 10000,
+       n(382), n(251), oom(), n(75),
+       n(35728), n(27893), oom(), n(1235)},
+      {"5M", 10000, 5000000, 10000,
+       n(2292), n(1281), oom(), n(327),
+       n(440983), n(350973), oom(), n(5812)},
+  };
+  // Table 4's published parameters for this shape skip the parallelism
+  // pruning (R* = 9..176 < M·Tc); match that setting.
+  distme::bench::RunFig6("(b)/(e)",
+                         "common large dimension (10K x N x 10K)", points,
+                         /*prune_parallelism=*/false);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 6(a)/(d): two general matrices, N × N × N, N ∈ {70K..100K},
+// sparsity 0.5 — elapsed time and communication for the four methods.
+
+#include "fig6_common.h"
+
+int main() {
+  using distme::bench::Fig6Point;
+  using distme::bench::PaperValue;
+  const auto n = PaperValue::Num;
+  const auto oom = PaperValue::Oom;
+  std::vector<Fig6Point> points = {
+      {"70K", 70000, 70000, 70000,
+       n(796), n(434), n(390), n(206),
+       n(22253), n(17285), n(39921), n(1730)},
+      {"80K", 80000, 80000, 80000,
+       n(1185), n(594), oom(), n(247),
+       n(59651) /* per-figure ordering is approximate */, n(27379), oom(),
+       n(2751)},
+      {"90K", 90000, 90000, 90000,
+       n(1757), n(797), oom(), n(329),
+       n(84731), n(35637), oom(), n(3602)},
+      {"100K", 100000, 100000, 100000,
+       n(2712), n(1236), oom(), n(444),
+       n(116231), n(48786), oom(), n(5974)},
+  };
+  distme::bench::RunFig6("(a)/(d)", "two general matrices (N x N x N)",
+                         points);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 6(c)/(f): two matrices with two large dimensions, N × 1K × N,
+// N ∈ {100K, 250K, 500K, 750K}, sparsity 0.5. Only CuboidMM completes the
+// largest size (CPMM/BMM O.O.M., RMM times out).
+
+#include "fig6_common.h"
+
+int main() {
+  using distme::bench::Fig6Point;
+  using distme::bench::PaperValue;
+  const auto n = PaperValue::Num;
+  const auto approx = PaperValue::Approx;
+  const auto oom = PaperValue::Oom;
+  const auto to = PaperValue::To;
+  std::vector<Fig6Point> points = {
+      {"100K", 100000, 1000, 100000,
+       n(44), n(138), n(23), n(18),
+       n(1102), approx(21), approx(7), approx(7)},
+      {"250K", 250000, 1000, 250000,
+       n(379), n(883), n(248), n(62),
+       n(6983), approx(402), approx(231), n(231)},
+      {"500K", 500000, 1000, 500000,
+       n(1440), oom(), n(390), n(240),
+       n(21903), oom(), approx(839), n(839)},
+      {"750K", 750000, 1000, 750000,
+       to(), oom(), oom(), n(357),
+       to(), oom(), oom(), n(1814)},
+  };
+  distme::bench::RunFig6("(c)/(f)", "two large dimensions (N x 1K x N)",
+                         points);
+  return 0;
+}

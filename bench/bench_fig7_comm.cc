@@ -1,0 +1,77 @@
+// Figure 7(f): shuffled data volume of MatFast, SystemML and DistME on four
+// representative inputs. Our raw bytes vs the paper's post-serialization
+// report — compare cross-system ratios.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "systems/profiles.h"
+
+int main() {
+  using namespace distme;
+  ClusterConfig cluster = ClusterConfig::Paper();
+  cluster.timeout_seconds = 1e9;
+
+  struct Point {
+    const char* label;
+    mm::MMProblem problem;
+    // Paper GB for MatFast / SystemML / DistME (approximate bar readings).
+    bench::PaperValue paper[3];
+  };
+  auto dense = [](int64_t i, int64_t k, int64_t j) {
+    return mm::MMProblem::DenseSquareBlocks(i, k, j, 1000);
+  };
+  mm::MMProblem sparse = dense(500000, 1000000, 1000);
+  sparse.a.sparsity = 1e-4;
+  sparse.a.stored_dense = false;
+
+  const auto n = bench::PaperValue::Approx;
+  const auto oom = bench::PaperValue::Oom;
+  Point points[] = {
+      {"40Kx40Kx40K", dense(40000, 40000, 40000),
+       {oom(), n(962), n(168)}},
+      {"5Kx5Mx5K", dense(5000, 5000000, 5000), {n(1306), n(576), n(391)}},
+      {"1Mx1Kx1M", dense(1000000, 1000, 1000000),
+       {oom(), n(2170), n(682)}},
+      {"500Kx1Mx1K (1e-4)", sparse, {n(493), n(296), n(102)}},
+  };
+
+  bench::Banner("Figure 7(f) — shuffled data volume");
+  bench::Table table({"input", "MatFast", "SystemML", "DistME",
+                      "SystemML/DistME ratio (paper)"});
+  const systems::SystemProfile profiles[3] = {
+      systems::MatFast(false), systems::SystemML(false),
+      systems::DistME(false)};
+  for (const Point& pt : points) {
+    std::vector<std::string> row = {pt.label};
+    double values[3] = {0, 0, 0};
+    for (int s = 0; s < 3; ++s) {
+      auto report = systems::RunMultiply(profiles[s], pt.problem, cluster);
+      if (!report.ok()) {
+        row.push_back(report.status().ToString());
+        continue;
+      }
+      values[s] = report->total_shuffle_bytes();
+      std::string cell = report->outcome.ok()
+                             ? FormatBytes(values[s])
+                             : report->OutcomeLabel();
+      row.push_back(cell + " [paper " + pt.paper[s].ToString("GB") + "]");
+    }
+    char ratio[64];
+    if (values[1] > 0 && values[2] > 0) {
+      std::snprintf(ratio, sizeof(ratio), "%.2fx", values[1] / values[2]);
+    } else {
+      std::snprintf(ratio, sizeof(ratio), "-");
+    }
+    std::string paper_ratio =
+        pt.paper[1].kind == bench::PaperValue::Kind::kApprox &&
+                pt.paper[2].kind == bench::PaperValue::Kind::kApprox
+            ? std::to_string(pt.paper[1].value / pt.paper[2].value)
+            : std::string("-");
+    row.push_back(std::string(ratio) + " (paper " +
+                  paper_ratio.substr(0, 4) + "x)");
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 7(g): GPU core utilization during the local multiplication step —
+// DistME's cuboid-level streaming vs the block-level execution of the
+// GPU-modified MatFast and SystemML, for dense and sparse inputs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "systems/profiles.h"
+
+int main() {
+  using namespace distme;
+  ClusterConfig cluster = ClusterConfig::Paper();
+  cluster.timeout_seconds = 1e9;
+
+  mm::MMProblem dense =
+      mm::MMProblem::DenseSquareBlocks(40000, 40000, 40000, 1000);
+  mm::MMProblem sparse =
+      mm::MMProblem::DenseSquareBlocks(500000, 1000000, 1000, 1000);
+  sparse.a.sparsity = 1e-3;
+  sparse.a.stored_dense = false;
+
+  struct PaperUtil {
+    double dense_pct;
+    double sparse_pct;
+  };
+  const systems::SystemProfile profiles[3] = {
+      systems::MatFast(true), systems::SystemML(true), systems::DistME(true)};
+  const PaperUtil paper[3] = {{72.8, 40.2}, {69.2, 39.4}, {98.4, 79.7}};
+
+  bench::Banner("Figure 7(g) — GPU core utilization (local multiply step)");
+  bench::Table table({"system", "dense (measured)", "dense (paper)",
+                      "sparse (measured)", "sparse (paper)"});
+  for (int s = 0; s < 3; ++s) {
+    auto dense_report = systems::RunMultiply(profiles[s], dense, cluster);
+    auto sparse_report = systems::RunMultiply(profiles[s], sparse, cluster);
+    auto cell = [](const Result<engine::MMReport>& r) -> std::string {
+      if (!r.ok()) return r.status().ToString();
+      if (!r->outcome.ok()) return r->OutcomeLabel();
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * r->gpu_utilization);
+      return buf;
+    };
+    char dp[32], sp[32];
+    std::snprintf(dp, sizeof(dp), "%.1f%%", paper[s].dense_pct);
+    std::snprintf(sp, sizeof(sp), "%.1f%%", paper[s].sparse_pct);
+    table.AddRow({profiles[s].name, cell(dense_report), dp,
+                  cell(sparse_report), sp});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: MatFast(C/G) O.O.M.s on the dense 40K^3 input in both the\n"
+      "paper's Figure 7(a) and our model; the paper's utilization bars were\n"
+      "measured on the sizes it completed.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 7(e): time ratios of the three distributed multiplication steps
+// (matrix repartition / local multiplication / matrix aggregation) for
+// MatFast, SystemML and DistME — CPU variants on 40K³, GPU variants on
+// 5K × 5M × 5K.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "systems/profiles.h"
+
+namespace distme {
+namespace {
+
+void PrintRatios(const char* label, const systems::SystemProfile& profile,
+                 const mm::MMProblem& problem, const ClusterConfig& cluster,
+                 bench::Table* table, const char* paper) {
+  auto report = systems::RunMultiply(profile, problem, cluster);
+  if (!report.ok() || !report->outcome.ok()) {
+    table->AddRow({label,
+                   report.ok() ? report->OutcomeLabel()
+                               : report.status().ToString(),
+                   "-", "-", paper});
+    return;
+  }
+  const double total = report->steps.total();
+  char rep[32], mul[32], agg[32];
+  std::snprintf(rep, sizeof(rep), "%.1f%%",
+                100.0 * report->steps.repartition_seconds / total);
+  std::snprintf(mul, sizeof(mul), "%.1f%%",
+                100.0 * report->steps.multiply_seconds / total);
+  std::snprintf(agg, sizeof(agg), "%.1f%%",
+                100.0 * report->steps.aggregation_seconds / total);
+  table->AddRow({label, rep, mul, agg, paper});
+}
+
+}  // namespace
+}  // namespace distme
+
+int main() {
+  using namespace distme;
+  ClusterConfig cluster = ClusterConfig::Paper();
+  cluster.timeout_seconds = 1e9;
+
+  bench::Banner("Figure 7(e) — time ratio of the three steps");
+  bench::Table table({"system", "repartition", "local multiply",
+                      "aggregation", "paper (rep/mul/agg)"});
+
+  // CPU panel: 40K x 40K x 40K dense (MatFast O.O.M.s here in both the
+  // paper and our run; its row reports that).
+  const mm::MMProblem cpu_problem =
+      mm::MMProblem::DenseSquareBlocks(40000, 40000, 40000, 1000);
+  PrintRatios("MatFast(C) 40K^3", systems::MatFast(false), cpu_problem,
+              cluster, &table, "2.6 / 77.7 / 19.7");
+  PrintRatios("SystemML(C) 40K^3", systems::SystemML(false), cpu_problem,
+              cluster, &table, "2.3 / 77.9 / 19.8");
+  PrintRatios("DistME(C) 40K^3", systems::DistME(false), cpu_problem,
+              cluster, &table, "5.5 / 90.8 / 3.7");
+
+  // GPU panel: 5K x 5M x 5K dense.
+  const mm::MMProblem gpu_problem =
+      mm::MMProblem::DenseSquareBlocks(5000, 5000000, 5000, 1000);
+  PrintRatios("MatFast(G) 5Kx5Mx5K", systems::MatFast(true), gpu_problem,
+              cluster, &table, "4.6 / 58.3 / 37.1");
+  PrintRatios("SystemML(G) 5Kx5Mx5K", systems::SystemML(true), gpu_problem,
+              cluster, &table, "5.6 / 48.1 / 46.3");
+  PrintRatios("DistME(G) 5Kx5Mx5K", systems::DistME(true), gpu_problem,
+              cluster, &table, "27.2 / 54.3 / 18.5");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 7(a)-(d): DistME vs MatFast vs SystemML, CPU and GPU variants, on
+// the four dataset types of Section 6.3.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "systems/profiles.h"
+
+namespace distme {
+namespace {
+
+using bench::Banner;
+using bench::Compare;
+using bench::PaperValue;
+using bench::Table;
+
+struct SystemPoint {
+  const char* label;
+  mm::MMProblem problem;
+  // Paper values in seconds: MatFast(C), MatFast(G), SystemML(C),
+  // SystemML(G), DistME(C), DistME(G).
+  PaperValue paper[6];
+};
+
+void RunPanel(const char* title, const std::vector<SystemPoint>& points) {
+  ClusterConfig cluster = ClusterConfig::Paper();
+  // Figure 7 runs exceed Figure 6's 4000 s cap (values up to hours).
+  cluster.timeout_seconds = 1e9;
+
+  const systems::SystemProfile profiles[6] = {
+      systems::MatFast(false), systems::MatFast(true),
+      systems::SystemML(false), systems::SystemML(true),
+      systems::DistME(false),  systems::DistME(true)};
+
+  Banner(title);
+  Table table({"input", "MatFast(C)", "MatFast(G)", "SystemML(C)",
+               "SystemML(G)", "DistME(C)", "DistME(G)"});
+  for (const SystemPoint& pt : points) {
+    std::vector<std::string> row = {pt.label};
+    for (int s = 0; s < 6; ++s) {
+      auto report = systems::RunMultiply(profiles[s], pt.problem, cluster);
+      if (!report.ok()) {
+        row.push_back(report.status().ToString());
+        continue;
+      }
+      row.push_back(Compare(*report, pt.paper[s]));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+mm::MMProblem Dense(int64_t i, int64_t k, int64_t j) {
+  return mm::MMProblem::DenseSquareBlocks(i, k, j, 1000);
+}
+
+mm::MMProblem SparseDense(int64_t i, int64_t k, int64_t j, double sparsity) {
+  mm::MMProblem p = Dense(i, k, j);
+  p.a.sparsity = sparsity;
+  p.a.stored_dense = false;
+  return p;
+}
+
+}  // namespace
+}  // namespace distme
+
+int main() {
+  using namespace distme;
+  using bench::PaperValue;
+  const auto n = PaperValue::Num;
+  const auto oom = PaperValue::Oom;
+  const auto edc = PaperValue::Edc;
+  const auto none = PaperValue::None;
+
+  RunPanel("Figure 7(a) — two large matrices (N x N x N, dense)",
+           {{"30K^3", Dense(30000, 30000, 30000),
+             {n(1232), n(324), n(647), n(270), n(397), n(71)}},
+            {"40K^3", Dense(40000, 40000, 40000),
+             {oom(), oom(), n(2193), n(1839) /* approx */, n(863), n(156)}},
+            {"50K^3", Dense(50000, 50000, 50000),
+             {oom(), oom(), edc(), edc(), n(1663), n(326)}}});
+
+  RunPanel(
+      "Figure 7(b) — common large dimension (5K x N x 5K, dense)",
+      {{"5M", Dense(5000, 5000000, 5000),
+        {n(3182), n(1525), n(2048), n(1207), n(1627), n(488)}},
+       {"10M", Dense(5000, 10000000, 5000),
+        {n(6428), n(2430), n(4207), n(3182), n(3639), n(1116)}},
+       {"20M", Dense(5000, 20000000, 5000),
+        {edc(), edc(), edc(), edc(), n(7240), n(2121)}}});
+
+  RunPanel("Figure 7(c) — two large dimensions (N x 1K x 1M, dense; paper "
+           "values in minutes)",
+           {{"1M", Dense(1000000, 1000, 1000000),
+             {oom(), oom(), n(1158 * 60), n(1122 * 60), n(235 * 60),
+              n(169 * 60)}},
+            {"1.5M", Dense(1500000, 1000, 1000000),
+             {oom(), oom(), edc(), edc(), n(346 * 60), n(269 * 60)}},
+            {"2M", Dense(2000000, 1000, 1000000),
+             {oom(), oom(), edc(), edc(), n(439 * 60), n(345 * 60)}}});
+
+  RunPanel(
+      "Figure 7(d) — sparse x dense (500K x 1M x 1K, varying sparsity)",
+      {{"1e-4", SparseDense(500000, 1000000, 1000, 1e-4),
+        {n(1201), n(1080), n(1265), n(1076), n(618), n(196)}},
+       {"1e-3", SparseDense(500000, 1000000, 1000, 1e-3),
+        {n(2756), n(2300), n(3131), n(2522), n(758), n(251)}},
+       {"1e-2", SparseDense(500000, 1000000, 1000, 1e-2),
+        {none(), none(), none(), none(), n(910), n(341)}}});
+  return 0;
+}

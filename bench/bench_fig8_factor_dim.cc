@@ -1,0 +1,62 @@
+// Figure 8(d): GNMF on YahooMusic while varying the factor dimension
+// (200 / 500 / 1000). MatFast O.O.M.s for factor dimensions ≥ 500.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "systems/profiles.h"
+
+int main() {
+  using namespace distme;
+  const RatingDataset dataset = YahooMusic();
+
+  bench::Banner("Figure 8(d) — GNMF on YahooMusic, varying factor dimension");
+  bench::Table table({"system", "fd=200", "fd=500", "fd=1000"});
+
+  struct PaperRow {
+    const char* name;
+    bench::PaperValue v[3];
+  };
+  const auto n = bench::PaperValue::Num;
+  const auto oom = bench::PaperValue::Oom;
+  const PaperRow paper[] = {
+      {"MatFast(C)", {n(1802), oom(), oom()}},
+      {"MatFast(G)", {n(889), oom(), oom()}},
+      {"SystemML(C)", {n(1042), n(2296), n(6619)}},
+      {"SystemML(G)", {n(582), n(976), n(3240)}},
+      {"DistME(C)", {n(741), n(1578), n(3255)}},
+      {"DistME(G)", {n(302), n(526), n(836)}},
+  };
+  const systems::SystemProfile profiles[] = {
+      systems::MatFast(false), systems::MatFast(true),
+      systems::SystemML(false), systems::SystemML(true),
+      systems::DistME(false),  systems::DistME(true)};
+  const int64_t dims[3] = {200, 500, 1000};
+
+  for (int s = 0; s < 6; ++s) {
+    std::vector<std::string> row = {profiles[s].name};
+    for (int d = 0; d < 3; ++d) {
+      core::GnmfSimOptions options;
+      options.v = mm::MatrixDescriptor::Sparse(
+          dataset.users, dataset.items, 1000,
+          static_cast<double>(dataset.ratings) /
+              (static_cast<double>(dataset.users) * dataset.items));
+      options.factor_dim = dims[d];
+      options.iterations = 10;
+      options.cluster = ClusterConfig::Paper();
+      options.cluster.timeout_seconds = 1e9;
+      auto report = systems::RunGnmfSim(profiles[s], options);
+      if (!report.ok()) {
+        row.push_back(report.status().ToString());
+        continue;
+      }
+      engine::MMReport proxy;
+      proxy.outcome = report->outcome;
+      proxy.elapsed_seconds = report->total_seconds;
+      row.push_back(bench::Compare(proxy, paper[s].v[d]));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

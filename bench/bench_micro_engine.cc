@@ -1,0 +1,106 @@
+// google-benchmark microbenchmarks for the engine substrate: block
+// serialization, the (P,Q,R) optimizer, plan enumeration, and the simulated
+// executor itself.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/sim_executor.h"
+#include "matrix/serialize.h"
+#include "mm/methods.h"
+#include "mm/optimizer.h"
+
+namespace distme {
+namespace {
+
+void BM_SerializeDenseBlock(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Block block = Block::Dense(DenseMatrix::Random(n, n, &rng));
+  for (auto _ : state) {
+    auto buffer = SerializeBlock(block);
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * 8);
+}
+BENCHMARK(BM_SerializeDenseBlock)->Arg(256)->Arg(1000);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Block block = Block::Dense(DenseMatrix::Random(n, n, &rng));
+  for (auto _ : state) {
+    auto restored = DeserializeBlock(SerializeBlock(block));
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * 8);
+}
+BENCHMARK(BM_SerializeRoundTrip)->Arg(256)->Arg(1000);
+
+void BM_OptimizeCuboid(benchmark::State& state) {
+  // The paper reports 0.3 s single-threaded for 100K x 100K x 100K inputs
+  // (I = J = K = 100); our closed-form-R search is far below that.
+  const int64_t n = state.range(0);
+  mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(n, n, n, 1000);
+  p.a.sparsity = p.b.sparsity = 0.5;
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  for (auto _ : state) {
+    auto opt = mm::OptimizeCuboid(p, cluster);
+    benchmark::DoNotOptimize(opt);
+  }
+}
+BENCHMARK(BM_OptimizeCuboid)->Arg(100000)->Arg(500000);
+
+void BM_OptimizeCuboidBruteForce(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(n, n, n, 1000);
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  for (auto _ : state) {
+    auto opt = mm::OptimizeCuboidBruteForce(p, cluster);
+    benchmark::DoNotOptimize(opt);
+  }
+}
+BENCHMARK(BM_OptimizeCuboidBruteForce)->Arg(50000)->Arg(100000);
+
+void BM_PlanEnumerationRmm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(n, n, n, 1000);
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  mm::RmmMethod rmm;
+  for (auto _ : state) {
+    int64_t voxels = 0;
+    Status st = rmm.ForEachTask(p, cluster, [&](const mm::LocalTask& t) {
+      voxels += t.voxels.size();
+      return Status::OK();
+    });
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(voxels);
+  }
+}
+BENCHMARK(BM_PlanEnumerationRmm)->Arg(50000)->Arg(100000);
+
+void BM_SimExecutorCuboid(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(n, n, n, 1000);
+  p.a.sparsity = p.b.sparsity = 0.5;
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  engine::SimExecutor executor(cluster);
+  auto opt = mm::OptimizeCuboid(p, cluster);
+  if (!opt.ok()) {
+    state.SkipWithError("optimizer failed");
+    return;
+  }
+  mm::CuboidMethod method(opt->spec);
+  engine::SimOptions gpu;
+  gpu.mode = engine::ComputeMode::kGpuStreaming;
+  for (auto _ : state) {
+    auto report = executor.Run(p, method, gpu);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SimExecutorCuboid)->Arg(70000)->Arg(100000);
+
+}  // namespace
+}  // namespace distme
+
+BENCHMARK_MAIN();

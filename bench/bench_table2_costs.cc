@@ -1,0 +1,71 @@
+// Table 2 reproduction: the analytic communication / memory / parallelism
+// comparison of BMM, CPMM, RMM and CuboidMM, evaluated on representative
+// shapes (and symbolically verified by tests/cost_model_test.cc).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mm/methods.h"
+#include "mm/optimizer.h"
+
+namespace distme {
+namespace {
+
+using bench::Banner;
+using bench::Table;
+
+void PrintForShape(const char* label, const mm::MMProblem& problem) {
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  Banner(std::string("Table 2 — ") + label);
+  std::printf("A: %lldx%lld, B: %lldx%lld, block %lld, I,J,K = %lld,%lld,%lld\n",
+              static_cast<long long>(problem.a.shape.rows),
+              static_cast<long long>(problem.a.shape.cols),
+              static_cast<long long>(problem.b.shape.rows),
+              static_cast<long long>(problem.b.shape.cols),
+              static_cast<long long>(problem.a.shape.block_size),
+              static_cast<long long>(problem.I()),
+              static_cast<long long>(problem.J()),
+              static_cast<long long>(problem.K()));
+
+  auto opt = mm::OptimizeCuboid(problem, cluster);
+  Table table({"method", "repartition (elems)", "aggregation (elems)",
+               "memory/task", "max tasks"});
+
+  auto add = [&](const mm::Method& method) {
+    auto cost = method.Analytic(problem, cluster);
+    if (!cost.ok()) return;
+    table.AddRow({method.name(), FormatCount(cost->repartition_elements),
+                  FormatCount(cost->aggregation_elements),
+                  FormatBytes(cost->memory_per_task_bytes),
+                  FormatCount(cost->max_tasks)});
+  };
+  add(mm::BmmMethod());
+  add(mm::CpmmMethod());
+  add(mm::RmmMethod());
+  if (opt.ok()) {
+    add(mm::CuboidMethod(opt->spec));
+  } else {
+    std::printf("CuboidMM: %s\n", opt.status().ToString().c_str());
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace distme
+
+int main() {
+  using distme::mm::MMProblem;
+  distme::PrintForShape(
+      "two general matrices (70K x 70K x 70K, sparsity 0.5)", [] {
+        MMProblem p = MMProblem::DenseSquareBlocks(70000, 70000, 70000, 1000);
+        p.a.sparsity = p.b.sparsity = 0.5;
+        return p;
+      }());
+  distme::PrintForShape(
+      "common large dimension (10K x 1M x 10K)",
+      MMProblem::DenseSquareBlocks(10000, 1000000, 10000, 1000));
+  distme::PrintForShape(
+      "two large dimensions (250K x 1K x 250K)",
+      MMProblem::DenseSquareBlocks(250000, 1000, 250000, 1000));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table 4 reproduction: the optimal (P*, Q*, R*) CuboidMM parameters chosen
+// for the paper's twelve synthetic input shapes, plus the Cost()/Mem()
+// values our optimizer achieves. Exact triples can differ from the paper's
+// because many candidates tie on Cost() (the paper's own Figure 9(b) shows
+// cost-equal neighbours); EXPERIMENTS.md discusses the deviations.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "mm/optimizer.h"
+
+namespace distme {
+namespace {
+
+struct Row {
+  const char* type;
+  int64_t i, k, j;
+  const char* paper;  // (P*,Q*,R*) reported in Table 4
+  bool prune;         // whether the paper's value satisfies P·Q·R ≥ M·Tc
+};
+
+const Row kRows[] = {
+    {"two general (NxNxN)", 70000, 70000, 70000, "(4,7,4)", true},
+    {"two general (NxNxN)", 80000, 80000, 80000, "(6,7,4)", true},
+    {"two general (NxNxN)", 90000, 90000, 90000, "(10,5,5)", true},
+    {"two general (NxNxN)", 100000, 100000, 100000, "(7,9,5)", true},
+    {"common large dim (10KxNx10K)", 10000, 100000, 10000, "(1,1,9)", false},
+    {"common large dim (10KxNx10K)", 10000, 500000, 10000, "(1,1,18)", false},
+    {"common large dim (10KxNx10K)", 10000, 1000000, 10000, "(1,1,36)", false},
+    {"common large dim (10KxNx10K)", 10000, 5000000, 10000, "(1,1,176)",
+     false},
+    {"two large dims (Nx1KxN)", 100000, 1000, 100000, "(9,10,1)", true},
+    {"two large dims (Nx1KxN)", 250000, 1000, 250000, "(8,13,1)", true},
+    {"two large dims (Nx1KxN)", 500000, 1000, 500000, "(17,24,1)", true},
+    {"two large dims (Nx1KxN)", 750000, 1000, 750000, "(26,35,1)", true},
+};
+
+}  // namespace
+}  // namespace distme
+
+int main() {
+  using namespace distme;
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  bench::Banner(
+      "Table 4 — optimal CuboidMM parameters (M=9, Tc=10, θt=6GB, "
+      "block 1000², sparsity 0.5)");
+  bench::Table table({"input (I x K x J elems)", "paper (P*,Q*,R*)",
+                      "ours (P*,Q*,R*)", "Cost() elems", "Mem() / θt",
+                      "search time"});
+  for (const auto& row : kRows) {
+    mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(row.i, row.k, row.j,
+                                                       1000);
+    p.a.sparsity = p.b.sparsity = 0.5;
+    mm::OptimizerOptions options;
+    // Table 4's common-large-dimension rows violate the parallelism pruning
+    // the paper states; match the published setting per row.
+    options.enforce_parallelism = row.prune;
+    Stopwatch watch;
+    auto opt = mm::OptimizeCuboid(p, cluster, options);
+    const double ms = watch.ElapsedMillis();
+    if (!opt.ok()) {
+      table.AddRow({std::string(FormatCount(row.i)) + " x " +
+                        FormatCount(row.k) + " x " + FormatCount(row.j),
+                    row.paper, opt.status().ToString(), "-", "-", "-"});
+      continue;
+    }
+    char ours[64];
+    std::snprintf(ours, sizeof(ours), "(%lld,%lld,%lld)",
+                  static_cast<long long>(opt->spec.P),
+                  static_cast<long long>(opt->spec.Q),
+                  static_cast<long long>(opt->spec.R));
+    char mem[64];
+    std::snprintf(mem, sizeof(mem), "%.2f",
+                  opt->memory_bytes /
+                      static_cast<double>(cluster.task_memory_bytes));
+    table.AddRow({std::string(FormatCount(row.i)) + " x " +
+                      FormatCount(row.k) + " x " + FormatCount(row.j),
+                  row.paper, ours, FormatCount(opt->cost_elements), mem,
+                  FormatSeconds(ms / 1e3)});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: ties on Cost() are broken differently than the paper's\n"
+      "implementation; the achieved Cost() is the quantity to compare.\n");
+  return 0;
+}

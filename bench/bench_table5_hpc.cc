@@ -1,0 +1,59 @@
+// Table 5 reproduction: DistME(C) vs the HPC systems ScaLAPACK and SciDB on
+// three dense dataset types.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "systems/profiles.h"
+
+int main() {
+  using namespace distme;
+  ClusterConfig cluster = ClusterConfig::Paper();
+  cluster.timeout_seconds = 1e9;  // Table 5 reports runs up to 70 minutes
+
+  struct Row {
+    const char* type;
+    const char* n_label;
+    mm::MMProblem problem;
+    bench::PaperValue scalapack, scidb, distme;
+  };
+  auto dense = [](int64_t i, int64_t k, int64_t j) {
+    return mm::MMProblem::DenseSquareBlocks(i, k, j, 1000);
+  };
+  const auto n = bench::PaperValue::Num;
+  const auto oom = bench::PaperValue::Oom;
+  const Row rows[] = {
+      {"N x N x N", "10K", dense(10000, 10000, 10000), n(31), n(33), n(42)},
+      {"N x N x N", "50K", dense(50000, 50000, 50000), n(1865), n(1998),
+       n(1663)},
+      {"5K x N x 5K", "1M", dense(5000, 1000000, 5000), n(995), n(1069),
+       n(326)},
+      {"5K x N x 5K", "5M", dense(5000, 5000000, 5000), n(70 * 60), oom(),
+       n(27 * 60)},
+      {"N x 1K x N", "100K", dense(100000, 1000, 100000), n(248), n(332),
+       n(122)},
+      {"N x 1K x N", "500K", dense(500000, 1000, 500000), oom(), oom(),
+       n(57 * 60)},
+  };
+
+  bench::Banner("Table 5 — comparison with ScaLAPACK and SciDB (CPU only)");
+  bench::Table table({"type", "N", "ScaLAPACK", "SciDB", "DistME(C)"});
+  const systems::SystemProfile profiles[3] = {
+      systems::ScaLAPACK(), systems::SciDB(), systems::DistME(false)};
+  for (const Row& row : rows) {
+    std::vector<std::string> cells = {row.type, row.n_label};
+    const bench::PaperValue* paper[3] = {&row.scalapack, &row.scidb,
+                                         &row.distme};
+    for (int s = 0; s < 3; ++s) {
+      auto report = systems::RunMultiply(profiles[s], row.problem, cluster);
+      if (!report.ok()) {
+        cells.push_back(report.status().ToString());
+        continue;
+      }
+      cells.push_back(bench::Compare(*report, *paper[s]));
+    }
+    table.AddRow(cells);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Shared helpers for the figure/table reproduction benches: aligned table
+// printing with paper-reported reference values next to measured ones.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "engine/report.h"
+
+namespace distme::bench {
+
+/// \brief Prints a section banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// \brief A paper-reported cell: a number, a failure label, or absent.
+struct PaperValue {
+  enum class Kind { kNumber, kOom, kTimeout, kEdc, kNone, kApprox };
+  Kind kind = Kind::kNone;
+  double value = 0;
+
+  static PaperValue Num(double v) { return {Kind::kNumber, v}; }
+  /// Approximate reading from a log-scale figure.
+  static PaperValue Approx(double v) { return {Kind::kApprox, v}; }
+  static PaperValue Oom() { return {Kind::kOom, 0}; }
+  static PaperValue To() { return {Kind::kTimeout, 0}; }
+  static PaperValue Edc() { return {Kind::kEdc, 0}; }
+  static PaperValue None() { return {Kind::kNone, 0}; }
+
+  std::string ToString(const char* unit = "s") const {
+    char buf[64];
+    switch (kind) {
+      case Kind::kNumber:
+        std::snprintf(buf, sizeof(buf), "%.0f%s", value, unit);
+        return buf;
+      case Kind::kApprox:
+        std::snprintf(buf, sizeof(buf), "~%.0f%s", value, unit);
+        return buf;
+      case Kind::kOom:
+        return "O.O.M.";
+      case Kind::kTimeout:
+        return "T.O.";
+      case Kind::kEdc:
+        return "E.D.C.";
+      case Kind::kNone:
+        return "-";
+    }
+    return "-";
+  }
+
+  /// \brief True when the measured outcome agrees in kind (ran vs failed the
+  /// same way, numbers within a factor `tolerance`).
+  bool Matches(const engine::MMReport& report, double measured,
+               double tolerance = 3.0) const {
+    switch (kind) {
+      case Kind::kNumber:
+      case Kind::kApprox:
+        return report.outcome.ok() && measured > 0 &&
+               measured / value < tolerance && value / measured < tolerance;
+      case Kind::kOom:
+        return report.outcome.IsOutOfMemory();
+      case Kind::kTimeout:
+        return report.outcome.IsTimeout();
+      case Kind::kEdc:
+        return report.outcome.IsExceedsDiskCapacity();
+      case Kind::kNone:
+        return true;
+    }
+    return false;
+  }
+};
+
+/// \brief Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("| ");
+      for (size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        std::printf("%-*s | ", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a measured report cell: elapsed time or failure label.
+inline std::string MeasuredCell(const engine::MMReport& report) {
+  return report.OutcomeLabel();
+}
+
+/// \brief "123.4s (paper ~206s)" composite cell.
+inline std::string Compare(const engine::MMReport& report,
+                           const PaperValue& paper, const char* unit = "s") {
+  return MeasuredCell(report) + " [paper " + paper.ToString(unit) + "]";
+}
+
+}  // namespace distme::bench

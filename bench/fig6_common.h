@@ -1,0 +1,90 @@
+// Shared driver for the Figure 6 reproductions: runs BMM, CPMM, RMM and
+// CuboidMM on the simulated paper cluster (GPU on, as in Section 6.2) and
+// prints elapsed time + communication volume against the paper's values.
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/sim_executor.h"
+#include "mm/methods.h"
+#include "mm/optimizer.h"
+
+namespace distme::bench {
+
+struct Fig6Point {
+  const char* label;  // e.g. "70K"
+  int64_t i, k, j;    // element dimensions
+  // Paper values per method: elapsed seconds and transferred MB.
+  PaperValue rmm_s, cpmm_s, bmm_s, cuboid_s;
+  PaperValue rmm_mb, cpmm_mb, bmm_mb, cuboid_mb;
+};
+
+inline void RunFig6(const char* figure, const char* shape_label,
+                    const std::vector<Fig6Point>& points,
+                    bool prune_parallelism = true) {
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  engine::SimExecutor executor(cluster);
+  engine::SimOptions gpu;
+  gpu.mode = engine::ComputeMode::kGpuStreaming;
+
+  Banner(std::string("Figure 6 ") + figure + " — " + shape_label +
+         " (sparsity 0.5, GPU on)");
+  Table elapsed({"N", "RMM", "CPMM", "BMM", "CuboidMM"});
+  Table comm({"N", "RMM", "CPMM", "BMM", "CuboidMM"});
+
+  for (const Fig6Point& pt : points) {
+    mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(pt.i, pt.k, pt.j, 1000);
+    p.a.sparsity = p.b.sparsity = 0.5;
+
+    auto run = [&](const mm::Method& method) {
+      auto report = executor.Run(p, method, gpu);
+      if (!report.ok()) {
+        engine::MMReport bad;
+        bad.outcome = report.status();
+        return bad;
+      }
+      return *report;
+    };
+
+    const engine::MMReport rmm = run(mm::RmmMethod());
+    const engine::MMReport cpmm = run(mm::CpmmMethod());
+    const engine::MMReport bmm = run(mm::BmmMethod());
+
+    mm::OptimizerOptions opt_options;
+    opt_options.enforce_parallelism = prune_parallelism;
+    auto opt = mm::OptimizeCuboid(p, cluster, opt_options);
+    engine::MMReport cuboid;
+    if (opt.ok()) {
+      cuboid = run(mm::CuboidMethod(opt->spec));
+    } else {
+      cuboid.outcome = opt.status();
+    }
+
+    elapsed.AddRow({pt.label, Compare(rmm, pt.rmm_s),
+                    Compare(cpmm, pt.cpmm_s), Compare(bmm, pt.bmm_s),
+                    Compare(cuboid, pt.cuboid_s)});
+    auto mb = [](const engine::MMReport& r) {
+      if (!r.outcome.ok() && r.total_shuffle_bytes() == 0) {
+        return std::string(r.OutcomeLabel());
+      }
+      return FormatBytes(r.total_shuffle_bytes());
+    };
+    comm.AddRow({pt.label, mb(rmm) + " [paper " + pt.rmm_mb.ToString("MB") + "]",
+                 mb(cpmm) + " [paper " + pt.cpmm_mb.ToString("MB") + "]",
+                 mb(bmm) + " [paper " + pt.bmm_mb.ToString("MB") + "]",
+                 mb(cuboid) + " [paper " + pt.cuboid_mb.ToString("MB") + "]"});
+  }
+  std::printf("\nElapsed time:\n");
+  elapsed.Print();
+  std::printf(
+      "\nCommunication (our raw shuffled bytes vs the paper's reported\n"
+      "post-serialization shuffle volume — compare ratios between methods,\n"
+      "not absolute magnitudes; see EXPERIMENTS.md):\n");
+  comm.Print();
+}
+
+}  // namespace distme::bench

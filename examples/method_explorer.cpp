@@ -1,0 +1,102 @@
+// Method explorer: compare BMM / CPMM / RMM / SUMMA / CRMM / CuboidMM on a
+// matrix-multiplication shape of your choosing, on the paper's simulated
+// cluster.
+//
+// Usage: method_explorer [I K J [sparsity [block_size]]]
+//   C(IxJ) = A(IxK) x B(KxJ), dimensions in elements.
+// Defaults to 50000 50000 50000 at sparsity 1.0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "engine/sim_executor.h"
+#include "mm/methods.h"
+#include "mm/optimizer.h"
+
+using namespace distme;
+
+int main(int argc, char** argv) {
+  int64_t i = 50000, k = 50000, j = 50000, block = 1000;
+  double sparsity = 1.0;
+  if (argc >= 4) {
+    i = std::atoll(argv[1]);
+    k = std::atoll(argv[2]);
+    j = std::atoll(argv[3]);
+  }
+  if (argc >= 5) sparsity = std::atof(argv[4]);
+  if (argc >= 6) block = std::atoll(argv[5]);
+
+  mm::MMProblem problem = mm::MMProblem::DenseSquareBlocks(i, k, j, block);
+  problem.a.sparsity = sparsity;
+  problem.a.stored_dense = sparsity >= 0.4;
+  DISTME_CHECK_OK(problem.Validate());
+
+  ClusterConfig cluster = ClusterConfig::Paper();
+  cluster.timeout_seconds = 1e9;
+  engine::SimExecutor executor(cluster);
+
+  std::printf("C(%lldx%lld) = A(%lldx%lld, sparsity %.3g) x B(%lldx%lld)\n",
+              static_cast<long long>(i), static_cast<long long>(j),
+              static_cast<long long>(i), static_cast<long long>(k), sparsity,
+              static_cast<long long>(k), static_cast<long long>(j));
+  std::printf("block %lld -> voxel grid I,J,K = %lld,%lld,%lld; cluster: "
+              "%d nodes x %d tasks, θt=%s, θg=%s\n\n",
+              static_cast<long long>(block),
+              static_cast<long long>(problem.I()),
+              static_cast<long long>(problem.J()),
+              static_cast<long long>(problem.K()), cluster.num_nodes,
+              cluster.tasks_per_node,
+              FormatBytes(static_cast<double>(cluster.task_memory_bytes))
+                  .c_str(),
+              FormatBytes(static_cast<double>(cluster.gpu_task_memory_bytes))
+                  .c_str());
+
+  std::printf("%-18s %-10s %-10s %-12s %-12s %-10s %-8s\n", "method", "CPU",
+              "GPU", "repartition", "aggregation", "mem/task", "tasks");
+
+  auto show = [&](const mm::Method& method) {
+    auto cpu = executor.Run(problem, method, {});
+    engine::SimOptions gpu;
+    gpu.mode = engine::ComputeMode::kGpuStreaming;
+    auto accel = executor.Run(problem, method, gpu);
+    if (!cpu.ok() || !accel.ok()) {
+      std::printf("%-18s %s\n", method.name().c_str(),
+                  cpu.ok() ? accel.status().ToString().c_str()
+                           : cpu.status().ToString().c_str());
+      return;
+    }
+    auto analytic = method.Analytic(problem, cluster);
+    std::printf("%-18s %-10s %-10s %-12s %-12s %-10s %-8lld\n",
+                method.name().c_str(), cpu->OutcomeLabel().c_str(),
+                accel->OutcomeLabel().c_str(),
+                FormatBytes(cpu->repartition_bytes).c_str(),
+                FormatBytes(cpu->aggregation_bytes).c_str(),
+                analytic.ok()
+                    ? FormatBytes(analytic->memory_per_task_bytes).c_str()
+                    : "-",
+                static_cast<long long>(cpu->num_tasks));
+  };
+
+  show(mm::BmmMethod());
+  show(mm::CpmmMethod());
+  show(mm::RmmMethod());
+  show(mm::SummaMethod());
+  show(mm::CrmmMethod());
+  show(mm::Summa25dMethod());
+
+  auto opt = mm::OptimizeCuboid(problem, cluster);
+  if (opt.ok()) {
+    show(mm::CuboidMethod(opt->spec));
+    std::printf("\noptimizer: (P*,Q*,R*) = (%lld,%lld,%lld), Cost() = %s "
+                "effective elements, Mem() = %s per task\n",
+                static_cast<long long>(opt->spec.P),
+                static_cast<long long>(opt->spec.Q),
+                static_cast<long long>(opt->spec.R),
+                FormatCount(opt->cost_elements).c_str(),
+                FormatBytes(opt->memory_bytes).c_str());
+  } else {
+    std::printf("CuboidMM optimizer: %s\n", opt.status().ToString().c_str());
+  }
+  return 0;
+}

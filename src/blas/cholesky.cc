@@ -1,0 +1,82 @@
+#include "blas/cholesky.h"
+
+#include <cmath>
+
+namespace distme::blas {
+
+Result<DenseMatrix> Cholesky(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::Invalid("Cholesky requires a square matrix");
+  }
+  const int64_t n = a.rows();
+  DenseMatrix l(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    // Diagonal: l_jj = sqrt(a_jj − Σ_k l_jk²).
+    double diag = a.At(j, j);
+    const double* lrow_j = l.row(j);
+    for (int64_t k = 0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::Invalid(
+          "matrix is not positive definite (pivot " + std::to_string(j) +
+          " = " + std::to_string(diag) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l.Set(j, j, ljj);
+    // Column below the diagonal.
+    for (int64_t i = j + 1; i < n; ++i) {
+      double sum = a.At(i, j);
+      const double* lrow_i = l.row(i);
+      for (int64_t k = 0; k < j; ++k) sum -= lrow_i[k] * lrow_j[k];
+      l.Set(i, j, sum / ljj);
+    }
+  }
+  return l;
+}
+
+Result<DenseMatrix> SolveLowerTriangular(const DenseMatrix& l,
+                                         const DenseMatrix& b) {
+  if (l.rows() != l.cols()) return Status::Invalid("L must be square");
+  if (l.rows() != b.rows()) return Status::Invalid("dimension mismatch");
+  const int64_t n = l.rows();
+  const int64_t m = b.cols();
+  DenseMatrix y = b;
+  for (int64_t i = 0; i < n; ++i) {
+    const double lii = l.At(i, i);
+    if (lii == 0.0) return Status::Invalid("singular triangular factor");
+    for (int64_t c = 0; c < m; ++c) {
+      double sum = y.At(i, c);
+      for (int64_t k = 0; k < i; ++k) sum -= l.At(i, k) * y.At(k, c);
+      y.Set(i, c, sum / lii);
+    }
+  }
+  return y;
+}
+
+Result<DenseMatrix> SolveUpperTriangularFromLower(const DenseMatrix& l,
+                                                  const DenseMatrix& y) {
+  if (l.rows() != l.cols()) return Status::Invalid("L must be square");
+  if (l.rows() != y.rows()) return Status::Invalid("dimension mismatch");
+  const int64_t n = l.rows();
+  const int64_t m = y.cols();
+  DenseMatrix x = y;
+  for (int64_t i = n - 1; i >= 0; --i) {
+    const double lii = l.At(i, i);
+    if (lii == 0.0) return Status::Invalid("singular triangular factor");
+    for (int64_t c = 0; c < m; ++c) {
+      double sum = x.At(i, c);
+      // (Lᵀ)_{i,k} = L_{k,i} for k > i.
+      for (int64_t k = i + 1; k < n; ++k) sum -= l.At(k, i) * x.At(k, c);
+      x.Set(i, c, sum / lii);
+    }
+  }
+  return x;
+}
+
+Result<DenseMatrix> CholeskySolve(const DenseMatrix& a,
+                                  const DenseMatrix& b) {
+  DISTME_ASSIGN_OR_RETURN(DenseMatrix l, Cholesky(a));
+  DISTME_ASSIGN_OR_RETURN(DenseMatrix y, SolveLowerTriangular(l, b));
+  return SolveUpperTriangularFromLower(l, y);
+}
+
+}  // namespace distme::blas

@@ -1,0 +1,87 @@
+#include "blas/gemm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace distme::blas {
+
+namespace {
+
+// Tile sizes chosen so one A tile + one B tile fit comfortably in L2.
+constexpr int64_t kTileI = 64;
+constexpr int64_t kTileK = 256;
+constexpr int64_t kTileJ = 256;
+
+}  // namespace
+
+void Dgemm(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+           double beta, DenseMatrix* c) {
+  assert(a.cols() == b.rows());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+
+  if (beta != 1.0) {
+    double* pc = c->mutable_data();
+    if (beta == 0.0) {
+      std::fill(pc, pc + m * n, 0.0);
+    } else {
+      for (int64_t idx = 0; idx < m * n; ++idx) pc[idx] *= beta;
+    }
+  }
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c->mutable_data();
+
+  // i-k-j loop order with tiling: the inner j loop is a contiguous
+  // axpy over a B row, which vectorizes well.
+  for (int64_t i0 = 0; i0 < m; i0 += kTileI) {
+    const int64_t i_end = std::min(i0 + kTileI, m);
+    for (int64_t k0 = 0; k0 < k; k0 += kTileK) {
+      const int64_t k_end = std::min(k0 + kTileK, k);
+      for (int64_t j0 = 0; j0 < n; j0 += kTileJ) {
+        const int64_t j_end = std::min(j0 + kTileJ, n);
+        for (int64_t i = i0; i < i_end; ++i) {
+          double* crow = pc + i * n;
+          const double* arow = pa + i * k;
+          for (int64_t kk = k0; kk < k_end; ++kk) {
+            const double av = alpha * arow[kk];
+            if (av == 0.0) continue;
+            const double* brow = pb + kk * n;
+            for (int64_t j = j0; j < j_end; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols());
+  Dgemm(1.0, a, b, 0.0, &c);
+  return c;
+}
+
+void DgemmReference(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+                    double beta, DenseMatrix* c) {
+  assert(a.cols() == b.rows());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        sum += a.At(i, kk) * b.At(kk, j);
+      }
+      c->Set(i, j, alpha * sum + beta * c->At(i, j));
+    }
+  }
+}
+
+}  // namespace distme::blas

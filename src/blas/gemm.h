@@ -1,0 +1,23 @@
+// CPU dense matrix-multiplication kernels (the LAPACK/MKL stand-in the paper
+// cites for CPU-based local multiplication).
+
+#pragma once
+
+#include "matrix/dense_matrix.h"
+
+namespace distme::blas {
+
+/// \brief C = alpha * A * B + beta * C (row-major, cache-tiled).
+///
+/// Requires A.cols() == B.rows(), C is A.rows() × B.cols().
+void Dgemm(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+           double beta, DenseMatrix* c);
+
+/// \brief Convenience: returns A * B.
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b);
+
+/// \brief Naive triple-loop reference used to validate the tiled kernel.
+void DgemmReference(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+                    double beta, DenseMatrix* c);
+
+}  // namespace distme::blas

@@ -1,0 +1,20 @@
+// Single-node blocked matrix multiply — the correctness reference for every
+// distributed method.
+
+#pragma once
+
+#include "common/result.h"
+#include "matrix/block_grid.h"
+
+namespace distme::blas {
+
+/// \brief Computes C = A × B on blocked matrices locally (no distribution).
+///
+/// Requires equal block sizes and A.cols == B.rows. Output blocks that end
+/// up all-zero are omitted from the grid.
+Result<BlockGrid> LocalMultiply(const BlockGrid& a, const BlockGrid& b);
+
+/// \brief Blocked transpose.
+BlockGrid LocalTranspose(const BlockGrid& m);
+
+}  // namespace distme::blas

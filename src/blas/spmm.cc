@@ -1,0 +1,53 @@
+#include "blas/spmm.h"
+
+#include <cassert>
+
+namespace distme::blas {
+
+void DcsrMm(const CsrMatrix& a, const DenseMatrix& b, DenseMatrix* c) {
+  assert(a.cols() == b.rows());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  const int64_t n = b.cols();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double* crow = c->mutable_row(i);
+    for (int64_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
+      const double av = a.values()[k];
+      const double* brow = b.row(a.col_idx()[k]);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void DgeCsrMm(const DenseMatrix& a, const CsrMatrix& b, DenseMatrix* c) {
+  assert(a.cols() == b.rows());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  const int64_t m = a.rows();
+  // For each non-zero B(r, j): C(:, j) += A(:, r) * value. Iterating rows of
+  // B keeps A column access strided but B access sequential.
+  for (int64_t r = 0; r < b.rows(); ++r) {
+    for (int64_t k = b.row_ptr()[r]; k < b.row_ptr()[r + 1]; ++k) {
+      const int64_t j = b.col_idx()[k];
+      const double bv = b.values()[k];
+      for (int64_t i = 0; i < m; ++i) {
+        c->Add(i, j, a.At(i, r) * bv);
+      }
+    }
+  }
+}
+
+void DcsrCsrMm(const CsrMatrix& a, const CsrMatrix& b, DenseMatrix* c) {
+  assert(a.cols() == b.rows());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double* crow = c->mutable_row(i);
+    for (int64_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+      const int64_t r = a.col_idx()[ka];
+      const double av = a.values()[ka];
+      for (int64_t kb = b.row_ptr()[r]; kb < b.row_ptr()[r + 1]; ++kb) {
+        crow[b.col_idx()[kb]] += av * b.values()[kb];
+      }
+    }
+  }
+}
+
+}  // namespace distme::blas

@@ -1,0 +1,19 @@
+// Sparse × dense kernels (the cuSPARSE csrmm stand-in on CPU).
+
+#pragma once
+
+#include "matrix/dense_matrix.h"
+#include "matrix/sparse_matrix.h"
+
+namespace distme::blas {
+
+/// \brief C += A * B where A is CSR and B, C dense.
+void DcsrMm(const CsrMatrix& a, const DenseMatrix& b, DenseMatrix* c);
+
+/// \brief C += A * B where A is dense and B is CSR.
+void DgeCsrMm(const DenseMatrix& a, const CsrMatrix& b, DenseMatrix* c);
+
+/// \brief C += A * B where both A and B are CSR; C accumulates densely.
+void DcsrCsrMm(const CsrMatrix& a, const CsrMatrix& b, DenseMatrix* c);
+
+}  // namespace distme::blas

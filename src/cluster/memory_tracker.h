@@ -1,0 +1,50 @@
+// Per-task memory accounting used by the real executor to enforce θt / θg.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace distme {
+
+/// \brief Tracks allocations against a fixed budget; reports OutOfMemory
+/// when the budget would be exceeded.
+///
+/// One tracker per task (θt) and one per task's GPU working set (θg).
+class MemoryTracker {
+ public:
+  MemoryTracker(std::string label, int64_t budget_bytes)
+      : label_(std::move(label)), budget_(budget_bytes) {}
+
+  /// \brief Reserves `bytes`; fails with OutOfMemory if over budget.
+  Status Allocate(int64_t bytes) {
+    if (used_ + bytes > budget_) {
+      return Status::OutOfMemory(label_ + ": requested " +
+                                 std::to_string(bytes) + " B with " +
+                                 std::to_string(budget_ - used_) +
+                                 " B remaining of " + std::to_string(budget_));
+    }
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+    return Status::OK();
+  }
+
+  /// \brief Releases `bytes` previously allocated.
+  void Free(int64_t bytes) { used_ = std::max<int64_t>(0, used_ - bytes); }
+
+  int64_t used() const { return used_; }
+  int64_t peak() const { return peak_; }
+  int64_t budget() const { return budget_; }
+  int64_t remaining() const { return budget_ - used_; }
+
+ private:
+  std::string label_;
+  int64_t budget_;
+  int64_t used_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace distme

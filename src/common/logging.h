@@ -1,0 +1,41 @@
+// Minimal leveled logging, off by default for library code.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace distme {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Stream-style log sink; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace distme
+
+#define DISTME_LOG(level)                                              \
+  ::distme::internal::LogMessage(::distme::LogLevel::k##level, __FILE__, \
+                                 __LINE__)

@@ -1,0 +1,33 @@
+// Deterministic PRNG utilities for synthetic matrix generation.
+
+#pragma once
+
+#include <cstdint>
+
+namespace distme {
+
+/// \brief xoshiro256** — fast, high-quality, reproducible PRNG.
+///
+/// Used instead of std::mt19937 so that generated datasets are identical
+/// across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next();
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Uniform integer in [0, bound).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// \brief Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace distme

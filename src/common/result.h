@@ -1,0 +1,78 @@
+// Result<T>: value-or-Status, the companion of Status for fallible factories.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace distme {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. A default-constructed Result is an Internal error;
+/// construct from a T or from a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+
+  /// \brief Implicit construction from a value.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// \brief Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Access the value; undefined if !ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Moves the value into `out` or returns the error.
+  Status Value(T* out) && {
+    if (!ok()) return status_;
+    *out = std::move(*value_);
+    return Status::OK();
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace distme
+
+/// \brief Assigns the value of a Result expression to `lhs` or propagates the
+/// error Status.
+#define DISTME_ASSIGN_OR_RETURN_IMPL(name, lhs, rexpr) \
+  auto name = (rexpr);                                 \
+  if (!name.ok()) return name.status();                \
+  lhs = std::move(name).ValueOrDie()
+
+#define DISTME_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define DISTME_ASSIGN_OR_RETURN_NAME(x, y) DISTME_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define DISTME_ASSIGN_OR_RETURN(lhs, rexpr)                                      \
+  DISTME_ASSIGN_OR_RETURN_IMPL(                                                  \
+      DISTME_ASSIGN_OR_RETURN_NAME(_result_, __COUNTER__), lhs, rexpr)

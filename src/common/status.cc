@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace distme {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kExceedsDiskCapacity:
+      return "ExceedsDiskCapacity";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kKeyError:
+      return "KeyError";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(code == StatusCode::kOk ? nullptr
+                                     : new State{code, std::move(msg)}) {}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return state_ ? state_->msg : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void DieOnBadStatus(const Status& st, const char* file, int line) {
+  std::fprintf(stderr, "[%s:%d] DISTME_CHECK_OK failed: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace distme

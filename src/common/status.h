@@ -1,0 +1,133 @@
+// Status: error-handling primitive used across DistME API boundaries.
+//
+// Follows the Arrow/RocksDB idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h) instead of throwing. Statuses carry a code
+// plus a human-readable message.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+namespace distme {
+
+/// \brief Error categories used throughout the engine.
+///
+/// The three resource-exhaustion codes mirror the failure annotations in the
+/// paper's evaluation: OutOfMemory (O.O.M.), Timeout (T.O.), and
+/// ExceedsDiskCapacity (E.D.C.).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfMemory = 2,          // O.O.M. — per-task memory budget exceeded
+  kTimeout = 3,              // T.O.  — job exceeded the wall-clock limit
+  kExceedsDiskCapacity = 4,  // E.D.C. — shuffle spill exceeded cluster disks
+  kNotImplemented = 5,
+  kIOError = 6,
+  kInternal = 7,
+  kKeyError = 8,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus message.
+///
+/// `Status::OK()` is cheap (no allocation). Error statuses allocate a small
+/// state block. Copyable and movable.
+class Status {
+ public:
+  Status() noexcept : state_(nullptr) {}
+  ~Status() { delete state_; }
+
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) { other.state_ = nullptr; }
+  Status& operator=(Status&& other) noexcept {
+    std::swap(state_, other.state_);
+    return *this;
+  }
+
+  /// \brief A successful status.
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ExceedsDiskCapacity(std::string msg) {
+    return Status(StatusCode::kExceedsDiskCapacity, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsExceedsDiskCapacity() const {
+    return code() == StatusCode::kExceedsDiskCapacity;
+  }
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  State* state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace distme
+
+/// \brief Propagates an error Status from the enclosing function.
+#define DISTME_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::distme::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// \brief Aborts the process if `expr` is not OK (for tests/examples/benches).
+#define DISTME_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::distme::Status _st = (expr);                                  \
+    if (!_st.ok()) {                                                \
+      ::distme::internal::DieOnBadStatus(_st, __FILE__, __LINE__);  \
+    }                                                               \
+  } while (0)
+
+namespace distme::internal {
+[[noreturn]] void DieOnBadStatus(const Status& st, const char* file, int line);
+}  // namespace distme::internal

@@ -1,0 +1,57 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace distme {
+
+namespace {
+
+std::string FormatWithSuffix(double value, const char* const* suffixes,
+                             int num_suffixes, double base) {
+  int idx = 0;
+  while (value >= base && idx < num_suffixes - 1) {
+    value /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(double bytes) {
+  static const char* kSuffixes[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  return FormatWithSuffix(bytes, kSuffixes, 6, 1024.0);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string FormatCount(double count) {
+  static const char* kSuffixes[] = {"", "K", "M", "B", "T"};
+  int idx = 0;
+  while (count >= 1000.0 && idx < 4) {
+    count /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  if (count == static_cast<int64_t>(count)) {
+    std::snprintf(buf, sizeof(buf), "%lld%s",
+                  static_cast<long long>(count), kSuffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", count, kSuffixes[idx]);
+  }
+  return buf;
+}
+
+}  // namespace distme

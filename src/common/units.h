@@ -1,0 +1,28 @@
+// Byte-size and FLOP helpers plus pretty-printing for bench output.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace distme {
+
+inline constexpr int64_t kKiB = int64_t{1} << 10;
+inline constexpr int64_t kMiB = int64_t{1} << 20;
+inline constexpr int64_t kGiB = int64_t{1} << 30;
+inline constexpr int64_t kTiB = int64_t{1} << 40;
+
+/// \brief Bytes per matrix element (double precision, as in the paper's
+/// cuBLAS Dgemm / cusparseDcsrmm kernels).
+inline constexpr int64_t kElementBytes = 8;
+
+/// \brief Formats a byte count as a short human string, e.g. "1.50 GB".
+std::string FormatBytes(double bytes);
+
+/// \brief Formats seconds as "123.4s" / "12.3m" / "1.2h".
+std::string FormatSeconds(double seconds);
+
+/// \brief Formats an element count as "70K", "1.5M", "2B".
+std::string FormatCount(double count);
+
+}  // namespace distme

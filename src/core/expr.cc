@@ -1,0 +1,297 @@
+#include "core/expr.h"
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace distme::core {
+
+std::pair<int64_t, int64_t> Expr::Shape() const {
+  switch (kind_) {
+    case ExprKind::kLeaf:
+      return {leaf_.rows(), leaf_.cols()};
+    case ExprKind::kMultiply: {
+      const auto l = left()->Shape();
+      const auto r = right()->Shape();
+      return {l.first, r.second};
+    }
+    case ExprKind::kTranspose: {
+      const auto l = left()->Shape();
+      return {l.second, l.first};
+    }
+    case ExprKind::kElementWise:
+    case ExprKind::kScale:
+      return left()->Shape();
+  }
+  return {0, 0};
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLeaf:
+      return name_;
+    case ExprKind::kMultiply:
+      return "(" + left()->ToString() + " x " + right()->ToString() + ")";
+    case ExprKind::kTranspose:
+      return left()->ToString() + "'";
+    case ExprKind::kElementWise: {
+      const char* symbol = "?";
+      switch (op_) {
+        case blas::ElementWiseOp::kAdd:
+          symbol = "+";
+          break;
+        case blas::ElementWiseOp::kSub:
+          symbol = "-";
+          break;
+        case blas::ElementWiseOp::kMul:
+          symbol = ".*";
+          break;
+        case blas::ElementWiseOp::kDiv:
+          symbol = "./";
+          break;
+      }
+      return "(" + left()->ToString() + " " + symbol + " " +
+             right()->ToString() + ")";
+    }
+    case ExprKind::kScale:
+      return "(" + std::to_string(scalar_) + " * " + left()->ToString() + ")";
+  }
+  return "?";
+}
+
+Expr::Ptr Expr::Leaf(Matrix matrix, std::string name) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kLeaf;
+  node->leaf_ = std::move(matrix);
+  node->name_ = std::move(name);
+  return node;
+}
+
+Expr::Ptr Expr::Multiply(Ptr left, Ptr right) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kMultiply;
+  node->operands_[0] = std::move(left);
+  node->operands_[1] = std::move(right);
+  return node;
+}
+
+Expr::Ptr Expr::Transpose(Ptr e) {
+  // Transpose folding: (eᵀ)ᵀ = e, done at build time so the physical plan
+  // never materializes a double transpose.
+  if (e->kind() == ExprKind::kTranspose) return e->left();
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kTranspose;
+  node->operands_[0] = std::move(e);
+  return node;
+}
+
+Expr::Ptr Expr::ElementWise(blas::ElementWiseOp op, Ptr left, Ptr right,
+                            double epsilon) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kElementWise;
+  node->op_ = op;
+  node->operands_[0] = std::move(left);
+  node->operands_[1] = std::move(right);
+  node->epsilon_ = epsilon;
+  return node;
+}
+
+Expr::Ptr Expr::Scale(Ptr e, double factor) {
+  // Fold nested scales: a·(b·e) = (a·b)·e.
+  if (e->kind() == ExprKind::kScale) {
+    return Scale(e->left(), factor * e->scalar());
+  }
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kScale;
+  node->operands_[0] = std::move(e);
+  node->scalar_ = factor;
+  return node;
+}
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(Session* session, EvalStats* stats)
+      : session_(session), stats_(stats) {}
+
+  Result<Matrix> Eval(const Expr::Ptr& expr) {
+    auto it = cache_.find(expr.get());
+    if (it != cache_.end()) {
+      if (stats_ != nullptr) ++stats_->nodes_reused;
+      return it->second;
+    }
+    DISTME_ASSIGN_OR_RETURN(Matrix value, Compute(expr));
+    cache_.emplace(expr.get(), value);
+    if (stats_ != nullptr) ++stats_->nodes_evaluated;
+    return value;
+  }
+
+ private:
+  Result<Matrix> Compute(const Expr::Ptr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::kLeaf:
+        return expr->leaf();
+      case ExprKind::kMultiply: {
+        DISTME_ASSIGN_OR_RETURN(Matrix left, Eval(expr->left()));
+        DISTME_ASSIGN_OR_RETURN(Matrix right, Eval(expr->right()));
+        if (stats_ != nullptr) ++stats_->multiplications;
+        return session_->Multiply(left, right);
+      }
+      case ExprKind::kTranspose: {
+        DISTME_ASSIGN_OR_RETURN(Matrix value, Eval(expr->left()));
+        return session_->Transpose(value);
+      }
+      case ExprKind::kElementWise: {
+        DISTME_ASSIGN_OR_RETURN(Matrix left, Eval(expr->left()));
+        DISTME_ASSIGN_OR_RETURN(Matrix right, Eval(expr->right()));
+        return session_->ElementWise(expr->op(), left, right,
+                                     expr->epsilon());
+      }
+      case ExprKind::kScale: {
+        DISTME_ASSIGN_OR_RETURN(Matrix value, Eval(expr->left()));
+        return session_->Scale(value, expr->scalar());
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  Session* session_;
+  EvalStats* stats_;
+  std::unordered_map<const Expr*, Matrix> cache_;
+};
+
+}  // namespace
+
+Result<Matrix> Evaluate(Session* session, const Expr::Ptr& expr,
+                        EvalStats* stats) {
+  if (session == nullptr || !expr) {
+    return Status::Invalid("Evaluate requires a session and an expression");
+  }
+  Evaluator evaluator(session, stats);
+  return evaluator.Eval(expr);
+}
+
+namespace {
+
+// Flattens a maximal left/right multiply chain into its factor list.
+void CollectChain(const Expr::Ptr& expr, std::vector<Expr::Ptr>* factors) {
+  if (expr->kind() == ExprKind::kMultiply) {
+    CollectChain(expr->left(), factors);
+    CollectChain(expr->right(), factors);
+    return;
+  }
+  factors->push_back(expr);
+}
+
+// Classic O(n³) matrix-chain DP over the factors' logical dimensions.
+Expr::Ptr RebuildOptimalChain(const std::vector<Expr::Ptr>& factors) {
+  const size_t n = factors.size();
+  if (n == 1) return factors[0];
+  // dims[i], dims[i+1] are factor i's (rows, cols).
+  std::vector<double> dims(n + 1);
+  dims[0] = static_cast<double>(factors[0]->Shape().first);
+  for (size_t i = 0; i < n; ++i) {
+    dims[i + 1] = static_cast<double>(factors[i]->Shape().second);
+  }
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<size_t>> split(n, std::vector<size_t>(n, 0));
+  for (size_t len = 2; len <= n; ++len) {
+    for (size_t i = 0; i + len <= n; ++i) {
+      const size_t j = i + len - 1;
+      cost[i][j] = std::numeric_limits<double>::infinity();
+      for (size_t k = i; k < j; ++k) {
+        const double c = cost[i][k] + cost[k + 1][j] +
+                         dims[i] * dims[k + 1] * dims[j + 1];
+        if (c < cost[i][j]) {
+          cost[i][j] = c;
+          split[i][j] = k;
+        }
+      }
+    }
+  }
+  // Rebuild recursively from the split table.
+  std::function<Expr::Ptr(size_t, size_t)> build = [&](size_t i,
+                                                       size_t j) -> Expr::Ptr {
+    if (i == j) return factors[i];
+    const size_t k = split[i][j];
+    return Expr::Multiply(build(i, k), build(k + 1, j));
+  };
+  return build(0, n - 1);
+}
+
+Expr::Ptr Rewrite(const Expr::Ptr& expr,
+                  std::unordered_map<const Expr*, Expr::Ptr>* memo) {
+  auto it = memo->find(expr.get());
+  if (it != memo->end()) return it->second;
+
+  Expr::Ptr result;
+  switch (expr->kind()) {
+    case ExprKind::kLeaf:
+      result = expr;
+      break;
+    case ExprKind::kMultiply: {
+      std::vector<Expr::Ptr> factors;
+      CollectChain(expr, &factors);
+      for (auto& factor : factors) factor = Rewrite(factor, memo);
+      result = RebuildOptimalChain(factors);
+      break;
+    }
+    case ExprKind::kTranspose:
+      result = Expr::Transpose(Rewrite(expr->left(), memo));
+      break;
+    case ExprKind::kElementWise:
+      result = Expr::ElementWise(expr->op(), Rewrite(expr->left(), memo),
+                                 Rewrite(expr->right(), memo),
+                                 expr->epsilon());
+      break;
+    case ExprKind::kScale:
+      result = Expr::Scale(Rewrite(expr->left(), memo), expr->scalar());
+      break;
+  }
+  memo->emplace(expr.get(), result);
+  return result;
+}
+
+double FlopsOf(const Expr::Ptr& expr,
+               std::unordered_map<const Expr*, double>* memo) {
+  auto it = memo->find(expr.get());
+  if (it != memo->end()) return 0.0;  // shared subtree counted once
+  double flops = 0.0;
+  switch (expr->kind()) {
+    case ExprKind::kLeaf:
+      break;
+    case ExprKind::kMultiply: {
+      flops = FlopsOf(expr->left(), memo) + FlopsOf(expr->right(), memo);
+      const auto l = expr->left()->Shape();
+      const auto r = expr->right()->Shape();
+      flops += 2.0 * static_cast<double>(l.first) *
+               static_cast<double>(l.second) * static_cast<double>(r.second);
+      break;
+    }
+    default:
+      flops = FlopsOf(expr->left(), memo);
+      if (expr->kind() == ExprKind::kElementWise) {
+        flops += FlopsOf(expr->right(), memo);
+      }
+      break;
+  }
+  memo->emplace(expr.get(), flops);
+  return flops;
+}
+
+}  // namespace
+
+Expr::Ptr OptimizeMultiplicationOrder(const Expr::Ptr& expr) {
+  if (!expr) return expr;
+  std::unordered_map<const Expr*, Expr::Ptr> memo;
+  return Rewrite(expr, &memo);
+}
+
+double MultiplicationFlops(const Expr::Ptr& expr) {
+  if (!expr) return 0.0;
+  std::unordered_map<const Expr*, double> memo;
+  return FlopsOf(expr, &memo);
+}
+
+}  // namespace distme::core

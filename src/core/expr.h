@@ -1,0 +1,95 @@
+// Lazy matrix expressions and the physical-plan generator — the analogue of
+// DistME's SparkSQL-based plan generation (Section 5). Users compose
+// expressions; Evaluate() optimizes the DAG (transpose folding, common
+// subexpression reuse) and executes it through a Session.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.h"
+
+namespace distme::core {
+
+/// \brief Node kinds of the expression DAG.
+enum class ExprKind { kLeaf, kMultiply, kTranspose, kElementWise, kScale };
+
+/// \brief An immutable expression node. Build with the factory functions
+/// below; shared subtrees are evaluated once.
+class Expr {
+ public:
+  using Ptr = std::shared_ptr<const Expr>;
+
+  ExprKind kind() const { return kind_; }
+  const Matrix& leaf() const { return leaf_; }
+  const Ptr& left() const { return operands_[0]; }
+  const Ptr& right() const { return operands_[1]; }
+  blas::ElementWiseOp op() const { return op_; }
+  double scalar() const { return scalar_; }
+  double epsilon() const { return epsilon_; }
+
+  /// \brief Logical (rows, cols) of the expression's value.
+  std::pair<int64_t, int64_t> Shape() const;
+
+  /// \brief Human-readable plan, e.g. "((Wt x V) .* H)".
+  std::string ToString() const;
+
+  // ---- Factories ----
+
+  /// \brief Wraps a materialized matrix.
+  static Ptr Leaf(Matrix matrix, std::string name = "M");
+
+  /// \brief left × right.
+  static Ptr Multiply(Ptr left, Ptr right);
+
+  /// \brief eᵀ. Folds immediately: Transpose(Transpose(e)) == e.
+  static Ptr Transpose(Ptr e);
+
+  /// \brief Element-wise combine.
+  static Ptr ElementWise(blas::ElementWiseOp op, Ptr left, Ptr right,
+                         double epsilon = 0.0);
+
+  /// \brief e scaled by a constant.
+  static Ptr Scale(Ptr e, double factor);
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLeaf;
+  Matrix leaf_;
+  std::string name_;
+  Ptr operands_[2];
+  blas::ElementWiseOp op_ = blas::ElementWiseOp::kAdd;
+  double scalar_ = 1.0;
+  double epsilon_ = 0.0;
+};
+
+/// \brief Statistics of one evaluation.
+struct EvalStats {
+  int64_t nodes_evaluated = 0;   ///< physical operators executed
+  int64_t nodes_reused = 0;      ///< cache hits from shared subtrees
+  int64_t multiplications = 0;   ///< distributed multiplications run
+};
+
+/// \brief Evaluates an expression DAG through `session`.
+///
+/// Shared subexpressions (by node identity) are computed once — e.g. in the
+/// GNMF update, Wᵀ feeds both WᵀV and WᵀW but is transposed a single time,
+/// the dependency exploitation DMac/MatFast perform (Section 7).
+Result<Matrix> Evaluate(Session* session, const Expr::Ptr& expr,
+                        EvalStats* stats = nullptr);
+
+/// \brief Rewrites maximal multiplication chains in `expr` into the
+/// FLOP-optimal association (the classic matrix-chain dynamic program).
+/// E.g. A(1M×1K) × B(1K×1K) × x(1K×1) becomes A × (B × x). Non-multiply
+/// nodes are preserved; shared subtrees stay shared.
+Expr::Ptr OptimizeMultiplicationOrder(const Expr::Ptr& expr);
+
+/// \brief FLOPs of the multiplications in `expr` assuming dense operands
+/// (the quantity OptimizeMultiplicationOrder minimizes per chain).
+double MultiplicationFlops(const Expr::Ptr& expr);
+
+}  // namespace distme::core

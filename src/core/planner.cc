@@ -1,0 +1,42 @@
+#include "core/planner.h"
+
+namespace distme::core {
+
+Result<std::unique_ptr<mm::Method>> DistmePlanner::Choose(
+    const mm::MMProblem& problem, const ClusterConfig& cluster) const {
+  DISTME_ASSIGN_OR_RETURN(mm::OptimizedCuboid opt,
+                          mm::OptimizeCuboid(problem, cluster, options_));
+  return std::unique_ptr<mm::Method>(new mm::CuboidMethod(opt.spec));
+}
+
+Result<std::unique_ptr<mm::Method>> MakeMethod(mm::MethodKind kind,
+                                               const mm::MMProblem& problem,
+                                               const ClusterConfig& cluster) {
+  switch (kind) {
+    case mm::MethodKind::kBmm:
+      return std::unique_ptr<mm::Method>(new mm::BmmMethod());
+    case mm::MethodKind::kCpmm:
+      return std::unique_ptr<mm::Method>(new mm::CpmmMethod());
+    case mm::MethodKind::kRmm:
+      return std::unique_ptr<mm::Method>(new mm::RmmMethod());
+    case mm::MethodKind::kCuboid: {
+      DISTME_ASSIGN_OR_RETURN(mm::OptimizedCuboid opt,
+                              mm::OptimizeCuboid(problem, cluster));
+      return std::unique_ptr<mm::Method>(new mm::CuboidMethod(opt.spec));
+    }
+    case mm::MethodKind::kSumma:
+      return std::unique_ptr<mm::Method>(new mm::SummaMethod());
+    case mm::MethodKind::kSumma25d:
+      return std::unique_ptr<mm::Method>(new mm::Summa25dMethod());
+    case mm::MethodKind::kCrmm:
+      return std::unique_ptr<mm::Method>(new mm::CrmmMethod());
+  }
+  return Status::Invalid("unknown method kind");
+}
+
+Result<std::unique_ptr<mm::Method>> FixedMethodPlanner::Choose(
+    const mm::MMProblem& problem, const ClusterConfig& cluster) const {
+  return MakeMethod(kind_, problem, cluster);
+}
+
+}  // namespace distme::core

@@ -1,0 +1,65 @@
+// Planner: picks a distributed multiplication method for a problem — the
+// per-system policy layer. DistME's planner runs the CuboidMM optimizer;
+// comparator systems (Section 6.3-6.5) plug in their own policies.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/config.h"
+#include "common/result.h"
+#include "mm/methods.h"
+#include "mm/optimizer.h"
+
+namespace distme::core {
+
+/// \brief Strategy interface: choose the method for one multiplication.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+  virtual std::string name() const = 0;
+
+  /// \brief Returns the method to execute `problem` with on `cluster`.
+  virtual Result<std::unique_ptr<mm::Method>> Choose(
+      const mm::MMProblem& problem, const ClusterConfig& cluster) const = 0;
+};
+
+/// \brief DistME's planner: (P*,Q*,R*) CuboidMM via the Section 3.2
+/// optimizer.
+class DistmePlanner : public Planner {
+ public:
+  explicit DistmePlanner(mm::OptimizerOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "DistME"; }
+  Result<std::unique_ptr<mm::Method>> Choose(
+      const mm::MMProblem& problem,
+      const ClusterConfig& cluster) const override;
+
+ private:
+  mm::OptimizerOptions options_;
+};
+
+/// \brief Always uses one fixed method kind (for the Figure 6 comparisons).
+class FixedMethodPlanner : public Planner {
+ public:
+  explicit FixedMethodPlanner(mm::MethodKind kind) : kind_(kind) {}
+
+  std::string name() const override { return mm::MethodKindName(kind_); }
+  Result<std::unique_ptr<mm::Method>> Choose(
+      const mm::MMProblem& problem,
+      const ClusterConfig& cluster) const override;
+
+ private:
+  mm::MethodKind kind_;
+};
+
+/// \brief Instantiates a method of `kind` with its paper-default parameters
+/// (BMM: T = I; CPMM: T = K; RMM: T = I·J; CuboidMM: optimized; SUMMA:
+/// square grid; CRMM: auto merge factor).
+Result<std::unique_ptr<mm::Method>> MakeMethod(mm::MethodKind kind,
+                                               const mm::MMProblem& problem,
+                                               const ClusterConfig& cluster);
+
+}  // namespace distme::core

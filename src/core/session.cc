@@ -1,0 +1,246 @@
+#include "core/session.h"
+
+#include "blas/local_mm.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "matrix/store.h"
+
+namespace distme::core {
+
+Session::Session(Options options) : options_(std::move(options)) {
+  if (!options_.planner) {
+    options_.planner = std::make_shared<DistmePlanner>();
+  }
+  executor_ = std::make_unique<engine::RealExecutor>(options_.cluster);
+}
+
+Result<Matrix> Session::FromGrid(const BlockGrid& grid) {
+  auto dist = std::make_shared<engine::DistributedMatrix>(
+      engine::DistributedMatrix::FromGridHashed(grid,
+                                                options_.cluster.num_nodes));
+  return Matrix(std::move(dist));
+}
+
+Result<Matrix> Session::Generate(const GeneratorOptions& generator) {
+  // Each block is generated independently at its home node — no central
+  // materialization, as the real system would do with parallelize().
+  auto dist = std::make_shared<engine::DistributedMatrix>(
+      BlockedShape{generator.rows, generator.cols, generator.block_size},
+      options_.cluster.num_nodes,
+      engine::Partitioner::Hash(options_.cluster.num_nodes));
+  const int64_t block_rows = dist->shape().block_rows();
+  const int64_t block_cols = dist->shape().block_cols();
+  for (int64_t i = 0; i < block_rows; ++i) {
+    for (int64_t j = 0; j < block_cols; ++j) {
+      Block b = GenerateUniformBlock(generator, i, j);
+      if (b.nnz() > 0) {
+        DISTME_RETURN_NOT_OK(dist->Put({i, j}, std::move(b)));
+      }
+    }
+  }
+  return Matrix(std::move(dist));
+}
+
+Result<Matrix> Session::Multiply(const Matrix& a, const Matrix& b) {
+  mm::MMProblem problem{a.Descriptor(), b.Descriptor()};
+  DISTME_ASSIGN_OR_RETURN(std::unique_ptr<mm::Method> method,
+                          options_.planner->Choose(problem,
+                                                   options_.cluster));
+  return MultiplyWith(a, b, *method);
+}
+
+Result<Matrix> Session::MultiplyWith(const Matrix& a, const Matrix& b,
+                                     const mm::Method& method) {
+  engine::RealOptions real = options_.real;
+  real.mode = options_.mode;
+  DISTME_ASSIGN_OR_RETURN(
+      engine::RealRunResult run,
+      executor_->Run(a.distributed(), b.distributed(), method, real));
+  history_.push_back(run.report);
+  DISTME_RETURN_NOT_OK(run.report.outcome);
+  return Matrix(std::move(run.output));
+}
+
+Result<Matrix> Session::Transpose(const Matrix& a) {
+  // Blocks are transposed where they live (a map-side operation); only the
+  // index swap may re-home a block under the output partitioner.
+  auto out = std::make_shared<engine::DistributedMatrix>(
+      BlockedShape{a.shape().cols, a.shape().rows, a.shape().block_size},
+      options_.cluster.num_nodes,
+      engine::Partitioner::Hash(options_.cluster.num_nodes));
+  Status status = Status::OK();
+  a.distributed().ForEachBlock(
+      [&](int /*node*/, BlockIndex idx, const Block& block) {
+        if (!status.ok()) return;
+        Status st = out->Put({idx.j, idx.i}, blas::TransposeBlock(block));
+        if (!st.ok()) status = std::move(st);
+      });
+  DISTME_RETURN_NOT_OK(status);
+  return Matrix(std::move(out));
+}
+
+Result<Matrix> Session::ElementWise(blas::ElementWiseOp op, const Matrix& a,
+                                    const Matrix& b, double epsilon) {
+  if (!(a.shape() == b.shape())) {
+    return Status::Invalid("element-wise operands must have the same shape");
+  }
+  auto out = std::make_shared<engine::DistributedMatrix>(
+      a.shape(), options_.cluster.num_nodes,
+      engine::Partitioner::Hash(options_.cluster.num_nodes));
+  const bool zero_preserving = op == blas::ElementWiseOp::kMul;
+
+  // Cogroup-style: visit A's blocks in place, fetch the matching B block
+  // (same index — co-partitioned matrices fetch locally), then cover the
+  // blocks present only in B when the op is not zero-preserving on A.
+  // Same-operand case (e.g. A ∘ A): the per-node lock is not reentrant, so
+  // combine each visited block with itself directly.
+  const bool same_operand = &a.distributed() == &b.distributed();
+
+  Status status = Status::OK();
+  a.distributed().ForEachBlock([&](int node, BlockIndex idx,
+                                   const Block& ba) {
+    if (!status.ok()) return;
+    Result<Block> bb = same_operand
+                           ? Result<Block>(ba)
+                           : b.distributed().Get(idx, node, nullptr);
+    if (!bb.ok()) {
+      status = bb.status();
+      return;
+    }
+    auto combined = blas::ElementWise(op, ba, *bb, epsilon);
+    if (!combined.ok()) {
+      status = combined.status();
+      return;
+    }
+    if (combined->nnz() > 0) {
+      Status st = out->Put(idx, std::move(*combined));
+      if (!st.ok()) status = std::move(st);
+    }
+  });
+  DISTME_RETURN_NOT_OK(status);
+  if (!zero_preserving && !same_operand) {
+    b.distributed().ForEachBlock([&](int node, BlockIndex idx,
+                                     const Block& bb) {
+      if (!status.ok() || a.distributed().Has(idx)) return;
+      const Block za = Block::Zero(bb.rows(), bb.cols());
+      auto combined = blas::ElementWise(op, za, bb, epsilon);
+      if (!combined.ok()) {
+        status = combined.status();
+        return;
+      }
+      (void)node;
+      if (combined->nnz() > 0) {
+        Status st = out->Put(idx, std::move(*combined));
+        if (!st.ok()) status = std::move(st);
+      }
+    });
+    DISTME_RETURN_NOT_OK(status);
+  }
+  return Matrix(std::move(out));
+}
+
+Result<Matrix> Session::Scale(const Matrix& a, double factor) {
+  auto out = std::make_shared<engine::DistributedMatrix>(
+      a.shape(), options_.cluster.num_nodes,
+      engine::Partitioner::Hash(options_.cluster.num_nodes));
+  Status status = Status::OK();
+  a.distributed().ForEachBlock(
+      [&](int /*node*/, BlockIndex idx, const Block& block) {
+        if (!status.ok()) return;
+        Status st = out->Put(idx, blas::ScaleBlock(block, factor));
+        if (!st.ok()) status = std::move(st);
+      });
+  DISTME_RETURN_NOT_OK(status);
+  return Matrix(std::move(out));
+}
+
+namespace {
+
+// Applies fn(row, col, value) to every stored element of a block.
+template <typename Fn>
+void ForEachElement(const Block& block, Fn&& fn) {
+  if (block.IsDense()) {
+    const DenseMatrix& d = block.dense();
+    for (int64_t r = 0; r < d.rows(); ++r) {
+      const double* row = d.row(r);
+      for (int64_t c = 0; c < d.cols(); ++c) {
+        if (row[c] != 0.0) fn(r, c, row[c]);
+      }
+    }
+    return;
+  }
+  const CsrMatrix& s = block.sparse();
+  for (int64_t r = 0; r < s.rows(); ++r) {
+    for (int64_t k = s.row_ptr()[r]; k < s.row_ptr()[r + 1]; ++k) {
+      fn(r, s.col_idx()[k], s.values()[k]);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Matrix> Session::RowSums(const Matrix& a) {
+  // Map: per-block partial row sums; reduce: add along block columns.
+  std::vector<double> sums(static_cast<size_t>(a.rows()), 0.0);
+  const int64_t bs = a.shape().block_size;
+  a.distributed().ForEachBlock(
+      [&](int /*node*/, BlockIndex idx, const Block& block) {
+        const int64_t row0 = idx.i * bs;
+        ForEachElement(block, [&](int64_t r, int64_t /*c*/, double v) {
+          sums[static_cast<size_t>(row0 + r)] += v;
+        });
+      });
+  auto out = std::make_shared<engine::DistributedMatrix>(
+      BlockedShape{a.rows(), 1, bs}, options_.cluster.num_nodes,
+      engine::Partitioner::Hash(options_.cluster.num_nodes));
+  for (int64_t bi = 0; bi < out->shape().block_rows(); ++bi) {
+    const int64_t rows = out->shape().BlockRowsAt(bi);
+    DenseMatrix column(rows, 1);
+    for (int64_t r = 0; r < rows; ++r) {
+      column.Set(r, 0, sums[static_cast<size_t>(bi * bs + r)]);
+    }
+    DISTME_RETURN_NOT_OK(out->Put({bi, 0}, Block::Dense(std::move(column))));
+  }
+  return Matrix(std::move(out));
+}
+
+Result<Matrix> Session::ColSums(const Matrix& a) {
+  DISTME_ASSIGN_OR_RETURN(Matrix at, Transpose(a));
+  DISTME_ASSIGN_OR_RETURN(Matrix sums, RowSums(at));
+  return Transpose(sums);
+}
+
+Result<double> Session::Sum(const Matrix& a) {
+  std::atomic<int64_t> dummy{0};
+  (void)dummy;
+  double total = 0.0;
+  a.distributed().ForEachBlock(
+      [&](int /*node*/, BlockIndex /*idx*/, const Block& block) {
+        ForEachElement(block,
+                       [&](int64_t, int64_t, double v) { total += v; });
+      });
+  return total;
+}
+
+Status Session::Save(const Matrix& a, const std::string& path) {
+  return WriteBinaryMatrix(a.Collect(), path);
+}
+
+Result<Matrix> Session::Load(const std::string& path) {
+  DISTME_ASSIGN_OR_RETURN(BlockGrid grid, ReadBinaryMatrix(path));
+  return FromGrid(grid);
+}
+
+Result<double> Session::FrobeniusNorm(const Matrix& a) {
+  double sum_sq = 0.0;
+  a.distributed().ForEachBlock(
+      [&](int /*node*/, BlockIndex /*idx*/, const Block& block) {
+        ForEachElement(block,
+                       [&](int64_t, int64_t, double v) { sum_sq += v * v; });
+      });
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace distme::core

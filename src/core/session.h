@@ -1,0 +1,118 @@
+// Session: the DistME public API. Create distributed matrices, multiply
+// them (the planner picks the method — CuboidMM for DistME), transpose,
+// combine element-wise, and collect results. Mirrors the Scala API the
+// paper describes in Section 5, in eager form.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blas/block_ops.h"
+#include "cluster/config.h"
+#include "common/result.h"
+#include "core/planner.h"
+#include "engine/distributed_matrix.h"
+#include "engine/real_executor.h"
+#include "engine/report.h"
+#include "engine/sim_executor.h"
+#include "matrix/generator.h"
+
+namespace distme::core {
+
+/// \brief A handle to a distributed matrix owned by a Session.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  const BlockedShape& shape() const { return data_->shape(); }
+  int64_t rows() const { return data_->shape().rows; }
+  int64_t cols() const { return data_->shape().cols; }
+
+  /// \brief Gathers all blocks to a local grid (test scale only).
+  BlockGrid Collect() const { return data_->Collect(); }
+
+  /// \brief Planning descriptor (shape + measured sparsity).
+  mm::MatrixDescriptor Descriptor() const { return data_->Descriptor(); }
+
+  const engine::DistributedMatrix& distributed() const { return *data_; }
+
+ private:
+  friend class Session;
+  explicit Matrix(std::shared_ptr<engine::DistributedMatrix> data)
+      : data_(std::move(data)) {}
+  std::shared_ptr<engine::DistributedMatrix> data_;
+};
+
+/// \brief An eager distributed matrix-computation session.
+class Session {
+ public:
+  struct Options {
+    ClusterConfig cluster = ClusterConfig::Local();
+    /// Compute mode for local multiplication (Section 4's GPU streaming by
+    /// default when the cluster has a GPU).
+    engine::ComputeMode mode = engine::ComputeMode::kCpu;
+    /// Method-selection policy; defaults to DistME's CuboidMM optimizer.
+    std::shared_ptr<Planner> planner;
+    engine::RealOptions real;
+  };
+
+  explicit Session(Options options);
+
+  const ClusterConfig& cluster() const { return options_.cluster; }
+
+  /// \brief Distributes a local blocked matrix.
+  Result<Matrix> FromGrid(const BlockGrid& grid);
+
+  /// \brief Generates a synthetic matrix directly in distributed form.
+  Result<Matrix> Generate(const GeneratorOptions& generator);
+
+  /// \brief C = A × B using the session planner. The execution report is
+  /// appended to history().
+  Result<Matrix> Multiply(const Matrix& a, const Matrix& b);
+
+  /// \brief C = A × B with an explicit method.
+  Result<Matrix> MultiplyWith(const Matrix& a, const Matrix& b,
+                              const mm::Method& method);
+
+  /// \brief Aᵀ (distributed transpose: block transpose + index swap).
+  Result<Matrix> Transpose(const Matrix& a);
+
+  /// \brief Element-wise combine; shapes must match.
+  Result<Matrix> ElementWise(blas::ElementWiseOp op, const Matrix& a,
+                             const Matrix& b, double epsilon = 0.0);
+
+  /// \brief Multiplies every element by a scalar.
+  Result<Matrix> Scale(const Matrix& a, double factor);
+
+  /// \brief Row sums as a rows×1 column vector (same block size).
+  Result<Matrix> RowSums(const Matrix& a);
+
+  /// \brief Column sums as a 1×cols row vector.
+  Result<Matrix> ColSums(const Matrix& a);
+
+  /// \brief Sum of all elements.
+  Result<double> Sum(const Matrix& a);
+
+  /// \brief Frobenius norm, computed block-locally then reduced.
+  Result<double> FrobeniusNorm(const Matrix& a);
+
+  /// \brief Checkpoints a matrix to `path` in the binary store format.
+  Status Save(const Matrix& a, const std::string& path);
+
+  /// \brief Loads a matrix checkpointed with Save (or any binary store
+  /// file) and distributes it across the session's nodes.
+  Result<Matrix> Load(const std::string& path);
+
+  /// \brief Reports of every multiplication run in this session.
+  const std::vector<engine::MMReport>& history() const { return history_; }
+  void ClearHistory() { history_.clear(); }
+
+ private:
+  Options options_;
+  std::unique_ptr<engine::RealExecutor> executor_;
+  std::vector<engine::MMReport> history_;
+};
+
+}  // namespace distme::core

@@ -1,0 +1,210 @@
+#include "core/sim_query.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/timeline.h"
+
+namespace distme::core {
+
+mm::MatrixDescriptor SimExpr::ResultDescriptor() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return leaf_;
+    case Kind::kMultiply: {
+      const mm::MatrixDescriptor l = left()->ResultDescriptor();
+      const mm::MatrixDescriptor r = right()->ResultDescriptor();
+      mm::MatrixDescriptor out;
+      out.shape = BlockedShape{l.shape.rows, r.shape.cols,
+                               l.shape.block_size};
+      out.sparsity = engine::EstimateProductDensity(
+          l.sparsity, r.sparsity, static_cast<double>(l.shape.cols));
+      out.stored_dense = out.sparsity >= 0.4;
+      return out;
+    }
+    case Kind::kTranspose: {
+      mm::MatrixDescriptor d = left()->ResultDescriptor();
+      std::swap(d.shape.rows, d.shape.cols);
+      return d;
+    }
+    case Kind::kElementWise: {
+      // Conservative: the union/intersection of patterns; keep the denser.
+      mm::MatrixDescriptor l = left()->ResultDescriptor();
+      const mm::MatrixDescriptor r = right()->ResultDescriptor();
+      l.sparsity = std::max(l.sparsity, r.sparsity);
+      l.stored_dense = l.sparsity >= 0.4;
+      return l;
+    }
+    case Kind::kScale:
+      return left()->ResultDescriptor();
+  }
+  return {};
+}
+
+SimExpr::Ptr SimExpr::Leaf(mm::MatrixDescriptor descriptor,
+                           std::string name) {
+  auto node = std::shared_ptr<SimExpr>(new SimExpr());
+  node->kind_ = Kind::kLeaf;
+  node->leaf_ = descriptor;
+  node->name_ = std::move(name);
+  return node;
+}
+
+SimExpr::Ptr SimExpr::Multiply(Ptr left, Ptr right) {
+  auto node = std::shared_ptr<SimExpr>(new SimExpr());
+  node->kind_ = Kind::kMultiply;
+  node->operands_[0] = std::move(left);
+  node->operands_[1] = std::move(right);
+  return node;
+}
+
+SimExpr::Ptr SimExpr::Transpose(Ptr e) {
+  if (e->kind() == Kind::kTranspose) return e->left();
+  auto node = std::shared_ptr<SimExpr>(new SimExpr());
+  node->kind_ = Kind::kTranspose;
+  node->operands_[0] = std::move(e);
+  return node;
+}
+
+SimExpr::Ptr SimExpr::ElementWise(blas::ElementWiseOp /*op*/, Ptr left,
+                                  Ptr right) {
+  auto node = std::shared_ptr<SimExpr>(new SimExpr());
+  node->kind_ = Kind::kElementWise;
+  node->operands_[0] = std::move(left);
+  node->operands_[1] = std::move(right);
+  return node;
+}
+
+SimExpr::Ptr SimExpr::Scale(Ptr e, double /*factor*/) {
+  auto node = std::shared_ptr<SimExpr>(new SimExpr());
+  node->kind_ = Kind::kScale;
+  node->operands_[0] = std::move(e);
+  return node;
+}
+
+namespace {
+
+std::string DescribeShape(const mm::MatrixDescriptor& d) {
+  return FormatCount(static_cast<double>(d.shape.rows)) + "x" +
+         FormatCount(static_cast<double>(d.shape.cols));
+}
+
+class QuerySimulator {
+ public:
+  QuerySimulator(const Planner& planner, const SimQueryOptions& options)
+      : planner_(planner), options_(options), executor_(options.cluster) {}
+
+  Status Visit(const SimExpr::Ptr& expr, SimQueryReport* report) {
+    if (visited_.count(expr.get()) > 0) {
+      ++report->reused_nodes;
+      return Status::OK();
+    }
+    visited_.insert(expr.get());
+
+    switch (expr->kind()) {
+      case SimExpr::Kind::kLeaf:
+        return Status::OK();
+      case SimExpr::Kind::kMultiply: {
+        DISTME_RETURN_NOT_OK(Visit(expr->left(), report));
+        DISTME_RETURN_NOT_OK(Visit(expr->right(), report));
+        mm::MMProblem problem{expr->left()->ResultDescriptor(),
+                              expr->right()->ResultDescriptor()};
+        auto method = planner_.Choose(problem, options_.cluster);
+        if (!method.ok()) return method.status();
+        engine::SimOptions sim = options_.sim;
+        if (options_.dependency_aware) sim.repartition_factor *= 0.5;
+        DISTME_ASSIGN_OR_RETURN(engine::MMReport mm_report,
+                                executor_.Run(problem, **method, sim));
+        DISTME_RETURN_NOT_OK(mm_report.outcome);
+        ++report->multiplications;
+        report->total_seconds += mm_report.elapsed_seconds;
+        report->total_shuffle_bytes += mm_report.total_shuffle_bytes();
+        report->operators.push_back(
+            {mm_report.method_name + ": " +
+                 DescribeShape(problem.a) + " x " + DescribeShape(problem.b),
+             mm_report.elapsed_seconds, mm_report.total_shuffle_bytes()});
+        return Status::OK();
+      }
+      case SimExpr::Kind::kTranspose: {
+        DISTME_RETURN_NOT_OK(Visit(expr->left(), report));
+        const mm::MatrixDescriptor d = expr->left()->ResultDescriptor();
+        double seconds = 0;
+        double bytes = 0;
+        if (!options_.dependency_aware) {
+          // Re-keying shuffles the matrix once.
+          bytes = d.StoredBytes();
+          seconds = sim::ShuffleSeconds(
+              bytes, options_.cluster.num_nodes,
+              options_.cluster.hw.nic_bandwidth,
+              options_.cluster.hw.serialization_bandwidth,
+              options_.cluster.hw.serialization_overhead);
+        }
+        report->total_seconds += seconds;
+        report->total_shuffle_bytes += bytes;
+        report->operators.push_back(
+            {"transpose: " + DescribeShape(d), seconds, bytes});
+        return Status::OK();
+      }
+      case SimExpr::Kind::kElementWise: {
+        DISTME_RETURN_NOT_OK(Visit(expr->left(), report));
+        DISTME_RETURN_NOT_OK(Visit(expr->right(), report));
+        const mm::MatrixDescriptor l = expr->left()->ResultDescriptor();
+        const mm::MatrixDescriptor r = expr->right()->ResultDescriptor();
+        double bytes = 0;
+        double seconds = (l.StoredBytes() + r.StoredBytes()) /
+                         (static_cast<double>(options_.cluster.num_nodes) *
+                          2.0 * kGiB);
+        if (!options_.dependency_aware) {
+          // One operand is shuffled to co-partition with the other.
+          bytes = std::min(l.StoredBytes(), r.StoredBytes());
+          seconds += sim::ShuffleSeconds(
+              bytes, options_.cluster.num_nodes,
+              options_.cluster.hw.nic_bandwidth,
+              options_.cluster.hw.serialization_bandwidth,
+              options_.cluster.hw.serialization_overhead);
+        }
+        report->total_seconds += seconds;
+        report->total_shuffle_bytes += bytes;
+        report->operators.push_back(
+            {"element-wise: " + DescribeShape(l), seconds, bytes});
+        return Status::OK();
+      }
+      case SimExpr::Kind::kScale: {
+        DISTME_RETURN_NOT_OK(Visit(expr->left(), report));
+        const mm::MatrixDescriptor d = expr->left()->ResultDescriptor();
+        const double seconds =
+            d.StoredBytes() /
+            (static_cast<double>(options_.cluster.num_nodes) * 4.0 * kGiB);
+        report->total_seconds += seconds;
+        report->operators.push_back(
+            {"scale: " + DescribeShape(d), seconds, 0});
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown SimExpr kind");
+  }
+
+ private:
+  const Planner& planner_;
+  const SimQueryOptions& options_;
+  engine::SimExecutor executor_;
+  std::unordered_set<const SimExpr*> visited_;
+};
+
+}  // namespace
+
+Result<SimQueryReport> SimulateQuery(const Planner& planner,
+                                     const SimExpr::Ptr& expr,
+                                     const SimQueryOptions& options) {
+  if (!expr) return Status::Invalid("null query expression");
+  SimQueryReport report;
+  report.outcome = Status::OK();
+  QuerySimulator simulator(planner, options);
+  Status st = simulator.Visit(expr, &report);
+  if (!st.ok()) {
+    report.outcome = std::move(st);
+  }
+  return report;
+}
+
+}  // namespace distme::core

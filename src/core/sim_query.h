@@ -1,0 +1,85 @@
+// Paper-scale simulation of complex matrix queries: a descriptor-level
+// expression DAG evaluated against the simulated cluster. This is the
+// planning-time counterpart of core/expr.h — no data, only shapes and
+// sparsities — and generalizes the GNMF simulator to arbitrary queries
+// (the "complex query like matrix factorization" capability of Section 1).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blas/block_ops.h"
+#include "core/planner.h"
+#include "engine/sim_executor.h"
+#include "mm/descriptor.h"
+
+namespace distme::core {
+
+/// \brief A descriptor-level expression node.
+class SimExpr {
+ public:
+  using Ptr = std::shared_ptr<const SimExpr>;
+
+  enum class Kind { kLeaf, kMultiply, kTranspose, kElementWise, kScale };
+
+  Kind kind() const { return kind_; }
+  const mm::MatrixDescriptor& leaf() const { return leaf_; }
+  const Ptr& left() const { return operands_[0]; }
+  const Ptr& right() const { return operands_[1]; }
+  const std::string& name() const { return name_; }
+
+  /// \brief The descriptor of this expression's value, with sparsity
+  /// propagated through multiplications (1 − (1 − sa·sb)^k estimate).
+  mm::MatrixDescriptor ResultDescriptor() const;
+
+  static Ptr Leaf(mm::MatrixDescriptor descriptor, std::string name = "M");
+  static Ptr Multiply(Ptr left, Ptr right);
+  static Ptr Transpose(Ptr e);
+  static Ptr ElementWise(blas::ElementWiseOp op, Ptr left, Ptr right);
+  static Ptr Scale(Ptr e, double factor);
+
+ private:
+  SimExpr() = default;
+
+  Kind kind_ = Kind::kLeaf;
+  mm::MatrixDescriptor leaf_;
+  std::string name_;
+  Ptr operands_[2];
+};
+
+/// \brief Cost of one physical operator in the simulated plan.
+struct SimOpCost {
+  std::string description;   ///< e.g. "CuboidMM(4,7,4): Wt x V"
+  double seconds = 0;
+  double shuffle_bytes = 0;
+};
+
+/// \brief Result of simulating a query.
+struct SimQueryReport {
+  Status outcome;
+  double total_seconds = 0;
+  double total_shuffle_bytes = 0;
+  int64_t multiplications = 0;
+  int64_t reused_nodes = 0;  ///< shared subtrees charged once
+  std::vector<SimOpCost> operators;
+};
+
+/// \brief Options for query simulation.
+struct SimQueryOptions {
+  ClusterConfig cluster = ClusterConfig::Paper();
+  engine::SimOptions sim;
+  /// Dependency-aware systems co-partition operator outputs: transposes and
+  /// element-wise ops become shuffle-free, multiplications repartition half
+  /// as much.
+  bool dependency_aware = true;
+};
+
+/// \brief Simulates `expr` with `planner` choosing each multiplication's
+/// method. Shared subtrees (node identity) are charged once.
+Result<SimQueryReport> SimulateQuery(const Planner& planner,
+                                     const SimExpr::Ptr& expr,
+                                     const SimQueryOptions& options = {});
+
+}  // namespace distme::core

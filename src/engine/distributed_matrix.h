@@ -1,0 +1,89 @@
+// DistributedMatrix: a blocked matrix spread across cluster nodes — the
+// engine's RDD-of-blocks equivalent. Blocks live in per-node stores; the
+// partitioner records which node owns which block.
+
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/config.h"
+#include "common/result.h"
+#include "engine/partitioner.h"
+#include "matrix/block_grid.h"
+#include "mm/descriptor.h"
+
+namespace distme::engine {
+
+/// \brief A blocked matrix whose blocks are distributed over nodes.
+///
+/// Thread-safe for concurrent reads and writes from task threads (per-node
+/// store locking).
+class DistributedMatrix {
+ public:
+  DistributedMatrix(BlockedShape shape, int num_nodes, Partitioner partitioner)
+      : shape_(shape),
+        partitioner_(partitioner),
+        stores_(static_cast<size_t>(num_nodes)),
+        mutexes_(static_cast<size_t>(num_nodes)) {}
+
+  DistributedMatrix(DistributedMatrix&&) = default;
+
+  const BlockedShape& shape() const { return shape_; }
+  int num_nodes() const { return static_cast<int>(stores_.size()); }
+  const Partitioner& partitioner() const { return partitioner_; }
+
+  /// \brief Node owning the block at `idx` under the current partitioning.
+  int NodeOf(BlockIndex idx) const {
+    return static_cast<int>(partitioner_.PartitionOf(idx) %
+                            static_cast<int64_t>(stores_.size()));
+  }
+
+  /// \brief Inserts or replaces a block at its home node.
+  Status Put(BlockIndex idx, Block block);
+
+  /// \brief Fetches the block at `idx` (implicit zero if absent).
+  /// `requesting_node` is used by callers to account network movement;
+  /// `crossed_network` reports whether the block lives on a different node.
+  Result<Block> Get(BlockIndex idx, int requesting_node,
+                    bool* crossed_network) const;
+
+  /// \brief True if a block is materialized at `idx`.
+  bool Has(BlockIndex idx) const;
+
+  /// \brief Number of materialized blocks across all nodes.
+  int64_t num_blocks() const;
+
+  /// \brief Total stored bytes across all nodes.
+  int64_t SizeBytes() const;
+
+  /// \brief Gathers all blocks into a local grid (test scale only).
+  BlockGrid Collect() const;
+
+  /// \brief Visits every materialized block, node by node, without moving
+  /// data: fn(node, index, block). Blocks are visited under the node lock;
+  /// fn must not call back into this matrix.
+  void ForEachBlock(
+      const std::function<void(int, BlockIndex, const Block&)>& fn) const;
+
+  /// \brief Planning descriptor for this matrix.
+  mm::MatrixDescriptor Descriptor() const;
+
+  /// \brief Distributes a local grid across `num_nodes` nodes.
+  static DistributedMatrix FromGrid(const BlockGrid& grid, int num_nodes,
+                                    Partitioner partitioner);
+
+  /// \brief Convenience: hash-partitioned distribution.
+  static DistributedMatrix FromGridHashed(const BlockGrid& grid,
+                                          int num_nodes);
+
+ private:
+  BlockedShape shape_;
+  Partitioner partitioner_;
+  std::vector<std::unordered_map<BlockIndex, Block, BlockIndexHash>> stores_;
+  mutable std::vector<std::mutex> mutexes_;
+};
+
+}  // namespace distme::engine

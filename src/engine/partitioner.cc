@@ -1,0 +1,66 @@
+#include "engine/partitioner.h"
+
+namespace distme::engine {
+
+const char* PartitionSchemeName(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kRow:
+      return "Row";
+    case PartitionScheme::kColumn:
+      return "Column";
+    case PartitionScheme::kHash:
+      return "Hash";
+    case PartitionScheme::kGrid:
+      return "Grid";
+  }
+  return "?";
+}
+
+Partitioner Partitioner::Row(int64_t num_partitions) {
+  return Partitioner(PartitionScheme::kRow, num_partitions, 0, 0);
+}
+
+Partitioner Partitioner::Column(int64_t num_partitions) {
+  return Partitioner(PartitionScheme::kColumn, num_partitions, 0, 0);
+}
+
+Partitioner Partitioner::Hash(int64_t num_partitions) {
+  return Partitioner(PartitionScheme::kHash, num_partitions, 0, 0);
+}
+
+Partitioner Partitioner::Grid(int64_t num_partitions, int64_t alpha,
+                              int64_t beta) {
+  return Partitioner(PartitionScheme::kGrid, num_partitions,
+                     alpha < 1 ? 1 : alpha, beta < 1 ? 1 : beta);
+}
+
+int64_t Partitioner::PartitionOf(BlockIndex idx) const {
+  switch (scheme_) {
+    case PartitionScheme::kRow:
+      return idx.i % num_partitions_;
+    case PartitionScheme::kColumn:
+      return idx.j % num_partitions_;
+    case PartitionScheme::kHash:
+      return static_cast<int64_t>(BlockIndexHash()(idx) %
+                                  static_cast<uint64_t>(num_partitions_));
+    case PartitionScheme::kGrid: {
+      const int64_t tile_i = idx.i / alpha_;
+      const int64_t tile_j = idx.j / beta_;
+      // Row-major tile order folded onto the partition count.
+      return (tile_i * 1315423911 + tile_j) % num_partitions_;
+    }
+  }
+  return 0;
+}
+
+std::string Partitioner::ToString() const {
+  std::string s = PartitionSchemeName(scheme_);
+  s += "(" + std::to_string(num_partitions_);
+  if (scheme_ == PartitionScheme::kGrid) {
+    s += "," + std::to_string(alpha_) + "x" + std::to_string(beta_);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace distme::engine

@@ -1,0 +1,54 @@
+// Matrix partitioning schemes (Section 2.1): Row, Column, Hash, and Grid.
+// A partitioner maps a block index to a partition; partitions are assigned
+// round-robin to cluster nodes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "matrix/block.h"
+
+namespace distme::engine {
+
+enum class PartitionScheme { kRow, kColumn, kHash, kGrid };
+
+const char* PartitionSchemeName(PartitionScheme scheme);
+
+/// \brief Maps block indices to partitions.
+class Partitioner {
+ public:
+  /// \brief Row scheme: blocks of block-row i → partition i mod n.
+  static Partitioner Row(int64_t num_partitions);
+  /// \brief Column scheme: blocks of block-col j → partition j mod n.
+  static Partitioner Column(int64_t num_partitions);
+  /// \brief Hash scheme: uniform spread via a 64-bit mix of (i, j).
+  static Partitioner Hash(int64_t num_partitions);
+  /// \brief Grid scheme: α×β block tiles → partitions in row-major order.
+  static Partitioner Grid(int64_t num_partitions, int64_t alpha,
+                          int64_t beta);
+
+  PartitionScheme scheme() const { return scheme_; }
+  int64_t num_partitions() const { return num_partitions_; }
+
+  /// \brief Partition owning the block at `idx`.
+  int64_t PartitionOf(BlockIndex idx) const;
+
+  bool operator==(const Partitioner& o) const {
+    return scheme_ == o.scheme_ && num_partitions_ == o.num_partitions_ &&
+           alpha_ == o.alpha_ && beta_ == o.beta_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Partitioner(PartitionScheme scheme, int64_t n, int64_t alpha, int64_t beta)
+      : scheme_(scheme), num_partitions_(n), alpha_(alpha), beta_(beta) {}
+
+  PartitionScheme scheme_;
+  int64_t num_partitions_;
+  int64_t alpha_;  // grid tile height in blocks
+  int64_t beta_;   // grid tile width in blocks
+};
+
+}  // namespace distme::engine

@@ -1,0 +1,442 @@
+#include "engine/real_executor.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "blas/block_ops.h"
+#include "cluster/memory_tracker.h"
+#include "common/stopwatch.h"
+#include "gpu/device.h"
+#include "gpumm/streaming.h"
+#include "matrix/serialize.h"
+
+namespace distme::engine {
+
+namespace {
+
+// A fetched input block plus whether it crossed the network.
+struct FetchedBlock {
+  Block block;
+  bool remote = false;
+};
+
+// Local cache of a task's inputs, also a gpumm::BlockSource.
+class TaskInputs : public gpumm::BlockSource {
+ public:
+  Result<Block> GetA(int64_t i, int64_t k) override {
+    auto it = a_.find({i, k});
+    if (it == a_.end()) return Status::KeyError("A block not prefetched");
+    return it->second;
+  }
+  Result<Block> GetB(int64_t k, int64_t j) override {
+    auto it = b_.find({k, j});
+    if (it == b_.end()) return Status::KeyError("B block not prefetched");
+    return it->second;
+  }
+
+  std::unordered_map<BlockIndex, Block, BlockIndexHash> a_;
+  std::unordered_map<BlockIndex, Block, BlockIndexHash> b_;
+};
+
+}  // namespace
+
+class RealExecutor::Impl {
+ public:
+  explicit Impl(ClusterConfig config) : config_(std::move(config)) {
+    if (config_.has_gpu) {
+      const int per_node = std::max(1, config_.gpu.devices_per_node);
+      devices_.resize(static_cast<size_t>(config_.num_nodes));
+      for (int n = 0; n < config_.num_nodes; ++n) {
+        for (int d = 0; d < per_node; ++d) {
+          devices_[static_cast<size_t>(n)].push_back(
+              std::make_unique<gpu::Device>(config_.gpu, config_.hw));
+        }
+      }
+    }
+  }
+
+  // Round-robin device assignment for a task on `node`.
+  gpu::Device* DeviceFor(int node, int64_t task_id) {
+    auto& node_devices = devices_[static_cast<size_t>(node)];
+    return node_devices[static_cast<size_t>(
+                            task_id % static_cast<int64_t>(
+                                          node_devices.size()))]
+        .get();
+  }
+
+  Result<RealRunResult> Run(const DistributedMatrix& a,
+                            const DistributedMatrix& b,
+                            const mm::Method& method,
+                            const RealOptions& options) {
+    mm::MMProblem problem{a.Descriptor(), b.Descriptor()};
+    DISTME_RETURN_NOT_OK(problem.Validate());
+    if (options.mode != ComputeMode::kCpu && !config_.has_gpu) {
+      return Status::Invalid("GPU mode requested on a GPU-less cluster");
+    }
+
+    ComputeMode mode = options.mode;
+    if (mode == ComputeMode::kGpuStreaming && !method.SupportsGpuStreaming()) {
+      mode = ComputeMode::kGpuBlock;
+    }
+
+    // Materialize the plan.
+    std::vector<mm::LocalTask> tasks;
+    DISTME_RETURN_NOT_OK(method.ForEachTask(
+        problem, config_, [&tasks](const mm::LocalTask& t) {
+          tasks.push_back(t);
+          return Status::OK();
+        }));
+    if (options.lpt_scheduling) {
+      std::stable_sort(tasks.begin(), tasks.end(),
+                       [](const mm::LocalTask& l, const mm::LocalTask& r) {
+                         return l.voxels.size() > r.voxels.size();
+                       });
+    }
+
+    const bool needs_agg = method.NeedsAggregation(problem);
+    auto output = std::make_shared<DistributedMatrix>(
+        BlockedShape{a.shape().rows, b.shape().cols, a.shape().block_size},
+        config_.num_nodes, Partitioner::Hash(config_.num_nodes));
+
+    // Aggregation state: partial C blocks keyed by (i, j), reduced
+    // incrementally under a sharded lock.
+    constexpr size_t kShards = 64;
+    std::array<std::mutex, kShards> agg_mutexes;
+    std::array<std::unordered_map<BlockIndex, Block, BlockIndexHash>, kShards>
+        agg_partials;
+
+    std::atomic<int64_t> next_task{0};
+    std::atomic<int64_t> task_retries{0};
+    std::atomic<int64_t> repartition_bytes{0};
+    std::atomic<int64_t> aggregation_bytes{0};
+    std::atomic<int64_t> peak_memory{0};
+    std::mutex failure_mutex;
+    Status failure = Status::OK();
+
+    Stopwatch total_clock;
+    std::atomic<int64_t> fetch_nanos{0};
+    std::atomic<int64_t> compute_nanos{0};
+    std::atomic<int64_t> agg_nanos{0};
+
+    auto record_failure = [&](Status st) {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (failure.ok()) failure = std::move(st);
+    };
+
+    auto fetch = [&](const DistributedMatrix& m, BlockIndex idx, int node,
+                     MemoryTracker* tracker) -> Result<Block> {
+      bool crossed = false;
+      DISTME_ASSIGN_OR_RETURN(Block blk, m.Get(idx, node, &crossed));
+      if (crossed) {
+        const int64_t wire = SerializedBlockBytes(blk);
+        repartition_bytes.fetch_add(wire, std::memory_order_relaxed);
+        if (options.serialize_transfers) {
+          // Round-trip through the wire format, as a real shuffle would.
+          DISTME_ASSIGN_OR_RETURN(blk, DeserializeBlock(SerializeBlock(blk)));
+        }
+      }
+      if (tracker != nullptr) {
+        DISTME_RETURN_NOT_OK(tracker->Allocate(blk.SizeBytes()));
+      }
+      return blk;
+    };
+
+    auto emit = [&](BlockIndex idx, Block block, int producer_node) -> Status {
+      if (!needs_agg) {
+        // Final block — write in place (output writes are not part of the
+        // shuffle cost, matching Table 2's zero aggregation for BMM).
+        if (block.nnz() == 0) return Status::OK();
+        return output->Put(idx, std::move(block));
+      }
+      const int reducer_node = output->NodeOf(idx);
+      if (reducer_node != producer_node) {
+        aggregation_bytes.fetch_add(SerializedBlockBytes(block),
+                                    std::memory_order_relaxed);
+        if (options.serialize_transfers) {
+          DISTME_ASSIGN_OR_RETURN(block,
+                                  DeserializeBlock(SerializeBlock(block)));
+        }
+      }
+      const size_t shard = BlockIndexHash()(idx) % kShards;
+      std::lock_guard<std::mutex> lock(agg_mutexes[shard]);
+      auto it = agg_partials[shard].find(idx);
+      if (it == agg_partials[shard].end()) {
+        agg_partials[shard].emplace(idx, std::move(block));
+        return Status::OK();
+      }
+      DISTME_ASSIGN_OR_RETURN(Block summed,
+                              blas::AddBlocks(it->second, block));
+      it->second = std::move(summed);
+      return Status::OK();
+    };
+
+    auto run_task = [&](const mm::LocalTask& task,
+                        bool crash_before_commit) -> Status {
+      const int node = static_cast<int>(task.id % config_.num_nodes);
+      MemoryTracker tracker("task " + std::to_string(task.id),
+                            config_.task_memory_bytes);
+      MemoryTracker* tracker_ptr =
+          options.enforce_task_memory ? &tracker : nullptr;
+
+      Stopwatch fetch_clock;
+      TaskInputs inputs;
+      // Prefetch the task's input blocks. Box tasks fetch each distinct
+      // block once (communication sharing); strided tasks fetch per voxel.
+      Status fetch_status = Status::OK();
+      auto need_a = [&](int64_t i, int64_t k) -> Status {
+        BlockIndex idx{i, k};
+        if (task.inputs_shared && inputs.a_.count(idx)) return Status::OK();
+        DISTME_ASSIGN_OR_RETURN(Block blk, fetch(a, idx, node, tracker_ptr));
+        inputs.a_[idx] = std::move(blk);
+        return Status::OK();
+      };
+      auto need_b = [&](int64_t k, int64_t j) -> Status {
+        BlockIndex idx{k, j};
+        if (task.inputs_shared && inputs.b_.count(idx)) return Status::OK();
+        DISTME_ASSIGN_OR_RETURN(Block blk, fetch(b, idx, node, tracker_ptr));
+        inputs.b_[idx] = std::move(blk);
+        return Status::OK();
+      };
+      task.voxels.ForEach([&](mm::Voxel v) {
+        if (!fetch_status.ok()) return;
+        Status st = need_a(v.i, v.k);
+        if (st.ok()) st = need_b(v.k, v.j);
+        if (!st.ok()) fetch_status = std::move(st);
+      });
+      DISTME_RETURN_NOT_OK(fetch_status);
+      fetch_nanos.fetch_add(
+          static_cast<int64_t>(fetch_clock.ElapsedSeconds() * 1e9),
+          std::memory_order_relaxed);
+
+      // Outputs are buffered and committed atomically after the task
+      // finishes, so a crashed attempt (fault injection) leaves no trace
+      // and the retry is safe — the lineage-recovery property of RDDs.
+      std::vector<std::pair<BlockIndex, Block>> buffered;
+      auto buffer_output = [&buffered](BlockIndex idx, Block block) {
+        buffered.emplace_back(idx, std::move(block));
+        return Status::OK();
+      };
+
+      Stopwatch compute_clock;
+      if (mode == ComputeMode::kGpuStreaming && task.voxels.is_box()) {
+        gpu::Device* device = DeviceFor(node, task.id);
+        DISTME_ASSIGN_OR_RETURN(
+            gpumm::GpuCuboidResult gpu_result,
+            gpumm::RunCuboidOnGpu(task.voxels, a.shape(), b.shape(), &inputs,
+                                  device, config_.gpu_task_memory_bytes));
+        for (auto& [key, dense] : gpu_result.c_blocks) {
+          DISTME_RETURN_NOT_OK(buffer_output({key.first, key.second},
+                                             Block::Dense(std::move(dense))));
+        }
+      } else if (task.aggregate_local && task.voxels.is_box()) {
+        // Accumulate over the task's k range; emit one block per (i, j).
+        const auto& box = task.voxels;
+        for (int64_t i = box.i0(); i < box.i1(); ++i) {
+          for (int64_t j = box.j0(); j < box.j1(); ++j) {
+            DenseMatrix acc(a.shape().BlockRowsAt(i),
+                            b.shape().BlockColsAt(j));
+            if (tracker_ptr != nullptr) {
+              DISTME_RETURN_NOT_OK(tracker_ptr->Allocate(acc.SizeBytes()));
+            }
+            for (int64_t k = box.k0(); k < box.k1(); ++k) {
+              const Block& ab = inputs.a_.at({i, k});
+              const Block& bb = inputs.b_.at({k, j});
+              if (ab.nnz() == 0 || bb.nnz() == 0) continue;
+              if (mode == ComputeMode::kGpuBlock) {
+                DISTME_RETURN_NOT_OK(RunBlockKernel(node, task.id, ab, bb, &acc));
+              } else {
+                DISTME_RETURN_NOT_OK(blas::MultiplyAccumulate(ab, bb, &acc));
+              }
+            }
+            if (acc.CountNonZeros() > 0) {
+              DISTME_RETURN_NOT_OK(
+                  buffer_output({i, j}, Block::Dense(std::move(acc))));
+            }
+            if (tracker_ptr != nullptr) {
+              tracker_ptr->Free(0);  // acc ownership moved to the shuffle
+            }
+          }
+        }
+      } else {
+        // Per-voxel products (RMM): one intermediate block per voxel.
+        Status voxel_status = Status::OK();
+        task.voxels.ForEach([&](mm::Voxel v) {
+          if (!voxel_status.ok()) return;
+          const Block& ab = inputs.a_.at({v.i, v.k});
+          const Block& bb = inputs.b_.at({v.k, v.j});
+          if (ab.nnz() == 0 || bb.nnz() == 0) return;
+          DenseMatrix acc(a.shape().BlockRowsAt(v.i),
+                          b.shape().BlockColsAt(v.j));
+          Status st = mode == ComputeMode::kGpuBlock
+                          ? RunBlockKernel(node, task.id, ab, bb, &acc)
+                          : blas::MultiplyAccumulate(ab, bb, &acc);
+          if (st.ok() && acc.CountNonZeros() > 0) {
+            st = buffer_output({v.i, v.j}, Block::Dense(std::move(acc)));
+          }
+          if (!st.ok()) voxel_status = std::move(st);
+        });
+        DISTME_RETURN_NOT_OK(voxel_status);
+      }
+      compute_nanos.fetch_add(
+          static_cast<int64_t>(compute_clock.ElapsedSeconds() * 1e9),
+          std::memory_order_relaxed);
+      peak_memory.store(
+          std::max(peak_memory.load(std::memory_order_relaxed),
+                   tracker.peak()),
+          std::memory_order_relaxed);
+
+      // Commit point: everything before this line is side-effect free.
+      if (crash_before_commit) {
+        // Injected fault: the attempt dies holding its uncommitted outputs.
+        return Status::Internal("injected task crash");
+      }
+      for (auto& [idx, block] : buffered) {
+        DISTME_RETURN_NOT_OK(emit(idx, std::move(block), node));
+      }
+      return Status::OK();
+    };
+
+    // Worker pool: one thread per task slot.
+    const int num_workers = static_cast<int>(
+        std::min<int64_t>(config_.total_slots(),
+                          static_cast<int64_t>(tasks.size())));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(std::max(num_workers, 1)));
+    for (int w = 0; w < std::max(num_workers, 1); ++w) {
+      workers.emplace_back([&]() {
+        while (true) {
+          const int64_t t = next_task.fetch_add(1);
+          if (t >= static_cast<int64_t>(tasks.size())) break;
+          {
+            std::lock_guard<std::mutex> lock(failure_mutex);
+            if (!failure.ok()) break;
+          }
+          const mm::LocalTask& task = tasks[static_cast<size_t>(t)];
+          // Attempt loop with deterministic fault injection: whether an
+          // attempt crashes depends only on (task id, attempt number).
+          Status st = Status::OK();
+          for (int attempt = 0; attempt < options.max_task_attempts;
+               ++attempt) {
+            bool crash = false;
+            if (options.task_failure_rate > 0.0) {
+              uint64_t h = static_cast<uint64_t>(task.id) * 0x9e3779b97f4a7c15ULL +
+                           static_cast<uint64_t>(attempt) * 0xff51afd7ed558ccdULL;
+              h ^= h >> 33;
+              h *= 0xc4ceb9fe1a85ec53ULL;
+              h ^= h >> 29;
+              crash = static_cast<double>(h >> 11) * 0x1.0p-53 <
+                      options.task_failure_rate;
+            }
+            st = run_task(task, crash);
+            if (st.ok()) break;
+            task_retries.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!st.ok()) record_failure(std::move(st));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    RealRunResult result;
+    result.report.method_name = method.name();
+    result.report.mode = mode;
+    result.report.num_tasks = static_cast<int64_t>(tasks.size());
+    result.report.task_retries = task_retries.load();
+
+    if (!failure.ok()) {
+      result.report.outcome = failure;
+      result.output = std::move(output);
+      return result;
+    }
+
+    // Aggregation finalize: move reduced partials into the output matrix.
+    Stopwatch agg_clock;
+    if (needs_agg) {
+      for (size_t shard = 0; shard < kShards; ++shard) {
+        for (auto& [idx, block] : agg_partials[shard]) {
+          if (block.nnz() == 0) continue;
+          DISTME_RETURN_NOT_OK(output->Put(idx, std::move(block)));
+        }
+        agg_partials[shard].clear();
+      }
+    }
+    agg_nanos.fetch_add(static_cast<int64_t>(agg_clock.ElapsedSeconds() * 1e9),
+                        std::memory_order_relaxed);
+
+    result.report.outcome = Status::OK();
+    result.report.elapsed_seconds = total_clock.ElapsedSeconds();
+    result.report.steps.repartition_seconds = fetch_nanos.load() * 1e-9;
+    result.report.steps.multiply_seconds = compute_nanos.load() * 1e-9;
+    result.report.steps.aggregation_seconds = agg_nanos.load() * 1e-9;
+    result.report.repartition_bytes =
+        static_cast<double>(repartition_bytes.load());
+    result.report.aggregation_bytes =
+        static_cast<double>(aggregation_bytes.load());
+    result.report.peak_task_memory_bytes =
+        static_cast<double>(peak_memory.load());
+    if (config_.has_gpu && mode != ComputeMode::kCpu) {
+      double pcie = 0;
+      double kernel_busy = 0;
+      double device_elapsed = 0;
+      int num_devices = 0;
+      for (auto& node_devices : devices_) {
+        for (auto& device : node_devices) {
+          pcie += static_cast<double>(device->stats().h2d_bytes +
+                                      device->stats().d2h_bytes);
+          kernel_busy += device->stats().kernel_seconds;
+          device_elapsed = std::max(device_elapsed, device->Synchronize());
+          ++num_devices;
+        }
+      }
+      result.report.pcie_bytes = pcie;
+      if (device_elapsed > 0 && num_devices > 0) {
+        result.report.gpu_utilization = std::min(
+            1.0,
+            kernel_busy / (device_elapsed * static_cast<double>(num_devices)));
+      }
+    }
+    result.output = std::move(output);
+    return result;
+  }
+
+ private:
+  // Block-level GPU multiply: per-voxel H2D copies, one kernel, no reuse.
+  Status RunBlockKernel(int node, int64_t task_id, const Block& a_blk,
+                        const Block& b_blk, DenseMatrix* acc) {
+    gpu::Device* device = DeviceFor(node, task_id);
+    const gpu::StreamId stream = device->CreateStream();
+    DISTME_RETURN_NOT_OK(device->EnqueueH2D(stream, a_blk.SizeBytes()));
+    DISTME_RETURN_NOT_OK(device->EnqueueH2D(stream, b_blk.SizeBytes()));
+    const bool sparse = a_blk.IsSparse() || b_blk.IsSparse();
+    const int64_t flops =
+        blas::MultiplyFlops(a_blk.rows(), a_blk.cols(), b_blk.cols());
+    Status kernel_status = Status::OK();
+    DISTME_RETURN_NOT_OK(device->EnqueueKernel(
+        stream, flops,
+        [&]() { kernel_status = blas::MultiplyAccumulate(a_blk, b_blk, acc); },
+        sparse));
+    DISTME_RETURN_NOT_OK(kernel_status);
+    return device->EnqueueD2H(stream, acc->SizeBytes());
+  }
+
+  ClusterConfig config_;
+  // devices_[node][device_on_node]
+  std::vector<std::vector<std::unique_ptr<gpu::Device>>> devices_;
+};
+
+RealExecutor::RealExecutor(ClusterConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+RealExecutor::~RealExecutor() = default;
+
+Result<RealRunResult> RealExecutor::Run(const DistributedMatrix& a,
+                                        const DistributedMatrix& b,
+                                        const mm::Method& method,
+                                        const RealOptions& options) {
+  return impl_->Run(a, b, method, options);
+}
+
+}  // namespace distme::engine

@@ -1,0 +1,65 @@
+// RealExecutor: runs a distributed matrix-multiplication plan for real on an
+// in-process cluster — one thread per task slot, per-node block stores,
+// serialized transfers across "nodes", per-task memory tracking, and
+// (optionally) the software GPU. Used to validate that every method computes
+// the same product and that the analytic communication model matches
+// measured bytes.
+
+#pragma once
+
+#include <memory>
+
+#include "cluster/config.h"
+#include "common/result.h"
+#include "engine/distributed_matrix.h"
+#include "engine/report.h"
+#include "mm/method.h"
+
+namespace distme::engine {
+
+/// \brief Options for real execution.
+struct RealOptions {
+  ComputeMode mode = ComputeMode::kCpu;
+  /// Enforce the per-task memory budget θt with MemoryTracker (turn off for
+  /// plain correctness tests on tiny clusters).
+  bool enforce_task_memory = false;
+  /// Verify that blocks crossing nodes survive a serialize/deserialize
+  /// round trip (exercises matrix/serialize.cc; slightly slower).
+  bool serialize_transfers = true;
+  /// Dispatch the heaviest tasks (most voxels) first — the load-balancing
+  /// extension from the paper's future work. Changes only scheduling order,
+  /// never results.
+  bool lpt_scheduling = false;
+  /// Fault injection: probability that any given task *attempt* crashes
+  /// just before committing its outputs (deterministic per (task, attempt)).
+  /// Tasks buffer their outputs and commit atomically, so retries are safe
+  /// — the engine's stand-in for Spark's lineage-based task recovery.
+  double task_failure_rate = 0.0;
+  /// Attempts per task before the job fails (Spark's spark.task.maxFailures
+  /// defaults to 4).
+  int max_task_attempts = 4;
+};
+
+/// \brief Result of a real run: the product matrix plus the report.
+struct RealRunResult {
+  MMReport report;
+  std::shared_ptr<DistributedMatrix> output;
+};
+
+class RealExecutor {
+ public:
+  explicit RealExecutor(ClusterConfig config);
+  ~RealExecutor();
+
+  /// \brief Computes C = A × B with `method`. A and B must share block size.
+  Result<RealRunResult> Run(const DistributedMatrix& a,
+                            const DistributedMatrix& b,
+                            const mm::Method& method,
+                            const RealOptions& options = {});
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace distme::engine

@@ -1,0 +1,33 @@
+#include "engine/report.h"
+
+#include "common/units.h"
+
+namespace distme::engine {
+
+const char* ComputeModeName(ComputeMode mode) {
+  switch (mode) {
+    case ComputeMode::kCpu:
+      return "CPU";
+    case ComputeMode::kGpuStreaming:
+      return "GPU-streaming";
+    case ComputeMode::kGpuBlock:
+      return "GPU-block";
+  }
+  return "?";
+}
+
+std::string MMReport::OutcomeLabel() const {
+  if (outcome.ok()) return FormatSeconds(elapsed_seconds);
+  switch (outcome.code()) {
+    case StatusCode::kOutOfMemory:
+      return "O.O.M.";
+    case StatusCode::kTimeout:
+      return "T.O.";
+    case StatusCode::kExceedsDiskCapacity:
+      return "E.D.C.";
+    default:
+      return outcome.ToString();
+  }
+}
+
+}  // namespace distme::engine

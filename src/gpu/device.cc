@@ -1,0 +1,111 @@
+#include "gpu/device.h"
+
+#include <algorithm>
+
+namespace distme::gpu {
+
+Result<BufferId> Device::Allocate(int64_t bytes, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes < 0) return Status::Invalid("negative allocation");
+  if (memory_used_ + bytes > spec_.memory_bytes) {
+    return Status::OutOfMemory("GPU " + label + ": requested " +
+                               std::to_string(bytes) + " B, " +
+                               std::to_string(spec_.memory_bytes -
+                                              memory_used_) +
+                               " B free");
+  }
+  memory_used_ += bytes;
+  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, memory_used_);
+  const BufferId id = next_buffer_++;
+  buffers_.emplace_back(id, bytes);
+  return id;
+}
+
+Status Device::Free(BufferId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
+    if (it->first == id) {
+      memory_used_ -= it->second;
+      buffers_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::KeyError("unknown GPU buffer " + std::to_string(id));
+}
+
+StreamId Device::CreateStream() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  streams_.emplace_back();
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+Status Device::ValidateStream(StreamId stream) const {
+  if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
+    return Status::KeyError("unknown GPU stream " + std::to_string(stream));
+  }
+  return Status::OK();
+}
+
+Status Device::EnqueueH2D(StreamId stream, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DISTME_RETURN_NOT_OK(ValidateStream(stream));
+  auto& s = streams_[static_cast<size_t>(stream)];
+  const double duration = static_cast<double>(bytes) / hw_.pcie_bandwidth;
+  // The copy engine serializes H2D copies across streams.
+  const double start = h2d_engine_.Schedule(s.available(), duration);
+  s.Schedule(start + duration, 0.0);
+  stats_.h2d_bytes += bytes;
+  stats_.h2d_seconds += duration;
+  ++stats_.h2d_copies;
+  last_completion_ = std::max(last_completion_, start + duration);
+  return Status::OK();
+}
+
+Status Device::EnqueueD2H(StreamId stream, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DISTME_RETURN_NOT_OK(ValidateStream(stream));
+  auto& s = streams_[static_cast<size_t>(stream)];
+  const double duration = static_cast<double>(bytes) / hw_.pcie_bandwidth;
+  const double start = d2h_engine_.Schedule(s.available(), duration);
+  s.Schedule(start + duration, 0.0);
+  stats_.d2h_bytes += bytes;
+  stats_.d2h_seconds += duration;
+  ++stats_.d2h_copies;
+  last_completion_ = std::max(last_completion_, start + duration);
+  return Status::OK();
+}
+
+Status Device::EnqueueKernel(StreamId stream, int64_t flops,
+                             const std::function<void()>& body, bool sparse) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  DISTME_RETURN_NOT_OK(ValidateStream(stream));
+  auto& s = streams_[static_cast<size_t>(stream)];
+  const double throughput =
+      sparse ? hw_.gpu_sparse_flops : hw_.gpu_gemm_flops;
+  const double duration =
+      hw_.kernel_launch_overhead + static_cast<double>(flops) / throughput;
+  const double start = kernel_engine_.Schedule(s.available(), duration);
+  s.Schedule(start + duration, 0.0);
+  stats_.kernel_seconds += duration;
+  ++stats_.kernel_calls;
+  last_completion_ = std::max(last_completion_, start + duration);
+  if (body) body();
+  return Status::OK();
+}
+
+double Device::Synchronize() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_completion_;
+}
+
+void Device::ResetTimeline() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  streams_.clear();
+  h2d_engine_.Reset();
+  d2h_engine_.Reset();
+  kernel_engine_.Reset();
+  stats_ = DeviceStats{};
+  last_completion_ = 0;
+}
+
+}  // namespace distme::gpu

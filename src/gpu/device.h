@@ -1,0 +1,106 @@
+// A software GPU device: the substitution for the paper's GTX 1080 Ti.
+//
+// The device executes kernel bodies on the CPU (so results are real) while
+// keeping a *virtual* timeline calibrated to GPU hardware: per-stream FIFO
+// ordering, one H2D and one D2H copy engine (H2D copies of different streams
+// cannot overlap each other — Section 4.3), and a serial kernel engine.
+// Synchronize() returns the virtual completion time, which is what the
+// discrete-event executor charges for the local multiplication step.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "common/result.h"
+#include "sim/timeline.h"
+
+namespace distme::gpu {
+
+using StreamId = int32_t;
+using BufferId = int64_t;
+
+/// \brief Counters accumulated by a device.
+struct DeviceStats {
+  int64_t h2d_bytes = 0;
+  int64_t d2h_bytes = 0;
+  int64_t kernel_calls = 0;
+  int64_t h2d_copies = 0;
+  int64_t d2h_copies = 0;
+  double h2d_seconds = 0;     ///< virtual copy-engine busy time, host→device
+  double d2h_seconds = 0;     ///< virtual copy-engine busy time, device→host
+  double kernel_seconds = 0;  ///< virtual kernel-engine busy time
+  int64_t peak_memory_bytes = 0;
+
+  /// \brief GPU core utilization over a window of `elapsed` seconds.
+  double UtilizationOver(double elapsed) const {
+    return elapsed <= 0.0 ? 0.0 : kernel_seconds / elapsed;
+  }
+};
+
+/// \brief The simulated GPU.
+///
+/// Thread-safe: multiple tasks on a node may enqueue concurrently, which is
+/// the behaviour CUDA MPS provides (Section 4.1). Kernel bodies run inline
+/// under the device lock — faithfully serializing device work.
+class Device {
+ public:
+  Device(const GpuSpec& spec, const HardwareModel& hw)
+      : spec_(spec), hw_(hw) {}
+
+  /// \brief Reserves device memory; OutOfMemory if the device is full.
+  Result<BufferId> Allocate(int64_t bytes, const std::string& label);
+
+  /// \brief Releases a buffer.
+  Status Free(BufferId id);
+
+  /// \brief Creates a new stream; ops on the same stream are FIFO.
+  StreamId CreateStream();
+
+  /// \brief Enqueues a host→device copy of `bytes` on `stream`.
+  Status EnqueueH2D(StreamId stream, int64_t bytes);
+
+  /// \brief Enqueues a device→host copy of `bytes` on `stream`.
+  Status EnqueueD2H(StreamId stream, int64_t bytes);
+
+  /// \brief Enqueues a kernel of `flops` work; `body` (may be empty) runs
+  /// immediately (the "device computation"), timing is virtual.
+  /// `sparse` selects the sparse-throughput model (cusparseDcsrmm vs
+  /// cublasDgemm).
+  Status EnqueueKernel(StreamId stream, int64_t flops,
+                       const std::function<void()>& body = nullptr,
+                       bool sparse = false);
+
+  /// \brief Waits for all streams; returns the virtual time at which the
+  /// last enqueued operation completes.
+  double Synchronize();
+
+  const DeviceStats& stats() const { return stats_; }
+  const GpuSpec& spec() const { return spec_; }
+  int64_t memory_used() const { return memory_used_; }
+
+  /// \brief Resets timelines and counters (memory stays allocated).
+  void ResetTimeline();
+
+ private:
+  Status ValidateStream(StreamId stream) const;
+
+  GpuSpec spec_;
+  HardwareModel hw_;
+  mutable std::mutex mutex_;
+  std::vector<sim::ResourceTimeline> streams_;
+  sim::ResourceTimeline h2d_engine_;
+  sim::ResourceTimeline d2h_engine_;
+  sim::ResourceTimeline kernel_engine_;
+  DeviceStats stats_;
+  int64_t memory_used_ = 0;
+  int64_t next_buffer_ = 1;
+  std::vector<std::pair<BufferId, int64_t>> buffers_;
+  double last_completion_ = 0;
+};
+
+}  // namespace distme::gpu

@@ -1,0 +1,72 @@
+// The Algorithm-1 streaming executor: processes one cuboid on the (software)
+// GPU, subcuboid by subcuboid, with per-j-column streams, chunked A copies,
+// block-wise asynchronous B copies, and C kept resident across the k-axis.
+
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "common/result.h"
+#include "gpu/device.h"
+#include "gpumm/subcuboid.h"
+#include "matrix/block.h"
+#include "matrix/block_grid.h"
+#include "mm/plan.h"
+
+namespace distme::gpumm {
+
+/// \brief Provides the input blocks of a cuboid to the streaming executor.
+///
+/// Implementations back this with the distributed store (real executor) or a
+/// local grid (tests).
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+  /// \brief A block of the left operand at block index (i, k).
+  virtual Result<Block> GetA(int64_t i, int64_t k) = 0;
+  /// \brief A block of the right operand at block index (k, j).
+  virtual Result<Block> GetB(int64_t k, int64_t j) = 0;
+};
+
+/// \brief BlockSource over two local BlockGrids.
+class GridBlockSource : public BlockSource {
+ public:
+  GridBlockSource(const BlockGrid* a, const BlockGrid* b) : a_(a), b_(b) {}
+  Result<Block> GetA(int64_t i, int64_t k) override {
+    return a_->Get({i, k});
+  }
+  Result<Block> GetB(int64_t k, int64_t j) override {
+    return b_->Get({k, j});
+  }
+
+ private:
+  const BlockGrid* a_;
+  const BlockGrid* b_;
+};
+
+/// \brief Output of processing one cuboid on the GPU.
+struct GpuCuboidResult {
+  /// Accumulated C blocks keyed by global (block-row, block-col). Partial
+  /// results if the cuboid does not span the full k-axis.
+  std::map<std::pair<int64_t, int64_t>, DenseMatrix> c_blocks;
+  /// The (P2*, Q2*, R2*) used.
+  OptimizedSubcuboid subcuboid;
+  /// Device counters attributable to this cuboid (deltas).
+  gpu::DeviceStats stats;
+  /// Virtual completion time of the task's device work.
+  double device_seconds = 0;
+};
+
+/// \brief Runs Algorithm 1 for the cuboid `box` (a kBox VoxelSet in the
+/// global voxel space of A × B).
+///
+/// `theta_g` is the per-task GPU memory budget θg used by the subcuboid
+/// optimizer and enforced when allocating the A/B/C buffers.
+Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
+                                       const BlockedShape& a_shape,
+                                       const BlockedShape& b_shape,
+                                       BlockSource* source,
+                                       gpu::Device* device, int64_t theta_g);
+
+}  // namespace distme::gpumm

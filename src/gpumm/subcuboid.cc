@@ -1,0 +1,132 @@
+#include "gpumm/subcuboid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace distme::gpumm {
+
+double SubcuboidCostBytes(const SubcuboidProblem& p, const mm::CuboidSpec& s) {
+  return static_cast<double>(s.Q) * p.a_bytes +
+         static_cast<double>(s.P) * p.b_bytes + p.c_bytes;
+}
+
+double SubcuboidMemBytes(const SubcuboidProblem& p, const mm::CuboidSpec& s) {
+  return p.a_bytes / (static_cast<double>(s.P) * s.R) +
+         p.b_bytes / (static_cast<double>(s.R) * s.Q) +
+         p.c_bytes / (static_cast<double>(s.P) * s.Q);
+}
+
+Result<OptimizedSubcuboid> OptimizeSubcuboid(const SubcuboidProblem& problem,
+                                             int64_t gpu_task_memory_bytes) {
+  const double theta = static_cast<double>(gpu_task_memory_bytes);
+  if (theta <= 0) return Status::Invalid("θg must be positive");
+
+  bool found = false;
+  OptimizedSubcuboid best;
+  double best_cost = 0;
+  for (int64_t p2 = 1; p2 <= problem.i_blocks; ++p2) {
+    for (int64_t q2 = 1; q2 <= problem.j_blocks; ++q2) {
+      // Smallest feasible R2 (cost does not depend on R2):
+      // a/(P2·R2) + b/(R2·Q2) ≤ θ − c/(P2·Q2).
+      const double c_term =
+          problem.c_bytes / (static_cast<double>(p2) * q2);
+      if (c_term > theta) continue;
+      int64_t r2 = 1;
+      const double numerator = problem.a_bytes / p2 + problem.b_bytes / q2;
+      if (numerator > 0 && theta - c_term > 0) {
+        r2 = std::max<int64_t>(
+            1, static_cast<int64_t>(
+                   std::ceil(numerator / (theta - c_term) - 1e-12)));
+      }
+      if (r2 > problem.k_blocks) continue;
+      mm::CuboidSpec spec{p2, q2, r2};
+      double mem = SubcuboidMemBytes(problem, spec);
+      if (mem > theta) {
+        if (r2 + 1 > problem.k_blocks) continue;
+        spec.R = r2 + 1;
+        mem = SubcuboidMemBytes(problem, spec);
+        if (mem > theta) continue;
+      }
+      const double cost = SubcuboidCostBytes(problem, spec);
+      // Tie-break: fewer iterations (smaller P2·Q2·R2), then smaller memory.
+      const bool better =
+          !found || cost < best_cost ||
+          (cost == best_cost &&
+           spec.num_cuboids() < best.spec.num_cuboids());
+      if (better) {
+        best.spec = spec;
+        best.memory_bytes = mem;
+        best.pcie_bytes = cost;
+        best_cost = cost;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    return Status::OutOfMemory(
+        "no (P2,Q2,R2) fits the GPU task memory budget of " +
+        std::to_string(gpu_task_memory_bytes) + " bytes");
+  }
+  return best;
+}
+
+GpuTaskTime EstimateStreamingTime(const SubcuboidProblem& problem,
+                                  const OptimizedSubcuboid& sub,
+                                  const HardwareModel& hw, bool sparse,
+                                  double sharing_factor,
+                                  double pcie_sharing_factor) {
+  GpuTaskTime t;
+  if (pcie_sharing_factor < 0) pcie_sharing_factor = sharing_factor;
+  const double pcie = hw.pcie_bandwidth / pcie_sharing_factor;
+  const double flops_rate =
+      (sparse ? hw.gpu_sparse_flops : hw.gpu_gemm_flops) / sharing_factor;
+  const double h2d_bytes = sub.pcie_bytes - problem.c_bytes;
+  t.h2d_seconds = h2d_bytes / pcie;
+  t.d2h_seconds = problem.c_bytes / pcie;
+  t.iterations = sub.spec.num_cuboids();
+  const int64_t kernels =
+      problem.i_blocks * problem.j_blocks * problem.k_blocks;
+  t.kernel_seconds = problem.flops / flops_rate +
+                     static_cast<double>(kernels) * hw.kernel_launch_overhead;
+  // Streams overlap H2D with kernels; the pipeline is limited by the slower
+  // side, plus a fill bubble of one subcuboid's copy and the final D2H.
+  const double fill =
+      t.iterations > 0 ? t.h2d_seconds / static_cast<double>(t.iterations)
+                       : 0.0;
+  t.elapsed_seconds =
+      std::max(t.h2d_seconds, t.kernel_seconds) + fill + t.d2h_seconds;
+  return t;
+}
+
+GpuTaskTime EstimateBlockLevelTime(int64_t num_voxels, double a_block_bytes,
+                                   double b_block_bytes, double c_block_bytes,
+                                   double flops, const HardwareModel& hw,
+                                   bool sparse, double sharing_factor,
+                                   double pcie_sharing_factor) {
+  GpuTaskTime t;
+  if (pcie_sharing_factor < 0) pcie_sharing_factor = sharing_factor;
+  const double pcie = hw.pcie_bandwidth / pcie_sharing_factor;
+  const double flops_rate =
+      (sparse ? hw.gpu_sparse_flops : hw.gpu_gemm_flops) / sharing_factor;
+  const double voxels = static_cast<double>(num_voxels);
+  // Each voxel ships its A and B block in and its intermediate C block out.
+  t.h2d_seconds = voxels * (a_block_bytes + b_block_bytes) / pcie;
+  t.d2h_seconds = voxels * c_block_bytes / pcie;
+  t.kernel_seconds =
+      flops / flops_rate + voxels * hw.kernel_launch_overhead;
+  // Block-level execution stages every operand block through host-side
+  // (de)serialization into transfer buffers per call — the JCuda path the
+  // paper's modified SystemML(G)/MatFast(G) take. Streaming avoids this by
+  // staging whole chunks once (Section 4.3). Staging runs on the task's own
+  // core, so it is not divided by the GPU sharing factor.
+  const double staging_seconds =
+      voxels * (a_block_bytes + b_block_bytes + c_block_bytes) /
+      hw.serialization_bandwidth;
+  // No overlap: staging, copies and kernels strictly alternate.
+  t.elapsed_seconds =
+      staging_seconds + t.h2d_seconds + t.kernel_seconds + t.d2h_seconds;
+  t.iterations = num_voxels;
+  return t;
+}
+
+}  // namespace distme::gpumm

@@ -1,0 +1,80 @@
+// Subcuboid partitioning for GPU acceleration (Section 4.1-4.2): a cuboid
+// assigned to a task is further split into (P2, Q2, R2) subcuboids so each
+// fits the per-task GPU memory budget θg, minimizing PCI-E traffic (Eq. 6).
+
+#pragma once
+
+#include "cluster/config.h"
+#include "common/result.h"
+#include "mm/cost_model.h"
+
+namespace distme::gpumm {
+
+/// \brief The per-task view of a cuboid to be processed on the GPU.
+struct SubcuboidProblem {
+  int64_t i_blocks = 1;  ///< cuboid extent on the i-axis, in blocks
+  int64_t j_blocks = 1;
+  int64_t k_blocks = 1;
+  double a_bytes = 0;  ///< |A^m|: bytes of the cuboid's A-side
+  double b_bytes = 0;  ///< |B^m|
+  double c_bytes = 0;  ///< |C^m| (dense estimate)
+  double flops = 0;    ///< total multiply-add work in the cuboid
+};
+
+/// \brief Result of the Eq. (5) optimization.
+struct OptimizedSubcuboid {
+  mm::CuboidSpec spec;     ///< (P2*, Q2*, R2*)
+  double memory_bytes = 0; ///< Mem^m per Eq. (3) over the cuboid
+  double pcie_bytes = 0;   ///< Cost^m per Eq. (6): Q2·|Am| + P2·|Bm| + |Cm|
+};
+
+/// \brief Eq. (6): PCI-E communication, Q2·|Am| + P2·|Bm| + |Cm| bytes.
+/// The C term has no R2 factor: intermediate C blocks stay resident in GPU
+/// memory across the k-axis iterations and cross PCI-E once.
+double SubcuboidCostBytes(const SubcuboidProblem& p, const mm::CuboidSpec& s);
+
+/// \brief Memory of one subcuboid in GPU memory, bytes.
+double SubcuboidMemBytes(const SubcuboidProblem& p, const mm::CuboidSpec& s);
+
+/// \brief Exhaustive search for (P2*, Q2*, R2*) per Eq. (5).
+///
+/// Cost is independent of R2, so for each (P2, Q2) the smallest feasible R2
+/// wins (fewest iterations). The optimization "tends to produce
+/// (1, 1, R2)-subcuboid partitioning" (Section 4.2) — P2/Q2 grow only when
+/// C itself cannot fit θg.
+Result<OptimizedSubcuboid> OptimizeSubcuboid(const SubcuboidProblem& problem,
+                                             int64_t gpu_task_memory_bytes);
+
+/// \brief Virtual-time estimate for processing one cuboid on the GPU.
+struct GpuTaskTime {
+  double h2d_seconds = 0;
+  double d2h_seconds = 0;
+  double kernel_seconds = 0;
+  double elapsed_seconds = 0;  ///< with copy/compute overlap applied
+  int64_t iterations = 0;      ///< number of subcuboids
+};
+
+/// \brief Analytic model of the streaming executor (Section 4.3): H2D copies
+/// overlap kernel execution via CUDA-like streams, so the slower of the two
+/// pipelines dominates; the final D2H of C cannot overlap.
+///
+/// `sharing_factor` divides the kernel throughput (tasks sharing one device
+/// via MPS); `pcie_sharing_factor` divides the PCI-E bandwidth (tasks
+/// sharing the node's bus — with multiple GPUs per node these differ;
+/// < 0 means "same as sharing_factor").
+GpuTaskTime EstimateStreamingTime(const SubcuboidProblem& problem,
+                                  const OptimizedSubcuboid& sub,
+                                  const HardwareModel& hw, bool sparse,
+                                  double sharing_factor = 1.0,
+                                  double pcie_sharing_factor = -1.0);
+
+/// \brief Analytic model of naive block-level GPU execution (what RMM and
+/// the GPU-modified SystemML/MatFast do): every voxel ships its operand
+/// blocks over PCI-E with no reuse and no copy/compute overlap.
+GpuTaskTime EstimateBlockLevelTime(int64_t num_voxels, double a_block_bytes,
+                                   double b_block_bytes, double c_block_bytes,
+                                   double flops, const HardwareModel& hw,
+                                   bool sparse, double sharing_factor = 1.0,
+                                   double pcie_sharing_factor = -1.0);
+
+}  // namespace distme::gpumm

@@ -1,0 +1,105 @@
+#include "matrix/block_grid.h"
+
+namespace distme {
+
+Status BlockGrid::Put(BlockIndex idx, Block block) {
+  if (idx.i < 0 || idx.i >= block_rows() || idx.j < 0 ||
+      idx.j >= block_cols()) {
+    return Status::Invalid("block index out of range");
+  }
+  if (block.rows() != shape_.BlockRowsAt(idx.i) ||
+      block.cols() != shape_.BlockColsAt(idx.j)) {
+    return Status::Invalid("block dimensions do not match grid position");
+  }
+  blocks_[idx] = std::move(block);
+  return Status::OK();
+}
+
+Block BlockGrid::Get(BlockIndex idx) const {
+  auto it = blocks_.find(idx);
+  if (it != blocks_.end()) return it->second;
+  return Block::Zero(shape_.BlockRowsAt(idx.i), shape_.BlockColsAt(idx.j));
+}
+
+int64_t BlockGrid::SizeBytes() const {
+  int64_t total = 0;
+  for (const auto& [idx, block] : blocks_) total += block.SizeBytes();
+  return total;
+}
+
+int64_t BlockGrid::TotalNnz() const {
+  int64_t total = 0;
+  for (const auto& [idx, block] : blocks_) total += block.nnz();
+  return total;
+}
+
+DenseMatrix BlockGrid::ToDense() const {
+  DenseMatrix out(shape_.rows, shape_.cols);
+  for (const auto& [idx, block] : blocks_) {
+    const int64_t row0 = idx.i * shape_.block_size;
+    const int64_t col0 = idx.j * shape_.block_size;
+    if (block.IsDense()) {
+      const DenseMatrix& d = block.dense();
+      for (int64_t r = 0; r < d.rows(); ++r) {
+        for (int64_t c = 0; c < d.cols(); ++c) {
+          out.Set(row0 + r, col0 + c, d.At(r, c));
+        }
+      }
+    } else {
+      const CsrMatrix& s = block.sparse();
+      for (int64_t r = 0; r < s.rows(); ++r) {
+        for (int64_t k = s.row_ptr()[r]; k < s.row_ptr()[r + 1]; ++k) {
+          out.Set(row0 + r, col0 + s.col_idx()[k], s.values()[k]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BlockGrid BlockGrid::FromDense(const DenseMatrix& m, int64_t block_size) {
+  BlockGrid grid(BlockedShape{m.rows(), m.cols(), block_size});
+  for (int64_t bi = 0; bi < grid.block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < grid.block_cols(); ++bj) {
+      const int64_t rows = grid.shape().BlockRowsAt(bi);
+      const int64_t cols = grid.shape().BlockColsAt(bj);
+      DenseMatrix tile(rows, cols);
+      bool all_zero = true;
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+          const double v = m.At(bi * block_size + r, bj * block_size + c);
+          tile.Set(r, c, v);
+          all_zero &= (v == 0.0);
+        }
+      }
+      if (!all_zero) {
+        DISTME_CHECK_OK(grid.Put({bi, bj}, Block::Dense(std::move(tile))));
+      }
+    }
+  }
+  return grid;
+}
+
+BlockGrid BlockGrid::FromCsr(const CsrMatrix& m, int64_t block_size) {
+  BlockGrid grid(BlockedShape{m.rows(), m.cols(), block_size});
+  // Bucket triplets per block, then assemble each block.
+  std::unordered_map<BlockIndex, std::vector<Triplet>, BlockIndexHash> buckets;
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k) {
+      const int64_t c = m.col_idx()[k];
+      const BlockIndex idx{r / block_size, c / block_size};
+      buckets[idx].push_back(
+          {r - idx.i * block_size, c - idx.j * block_size, m.values()[k]});
+    }
+  }
+  for (auto& [idx, triplets] : buckets) {
+    auto block = CsrMatrix::FromTriplets(grid.shape().BlockRowsAt(idx.i),
+                                         grid.shape().BlockColsAt(idx.j),
+                                         std::move(triplets));
+    DISTME_CHECK_OK(block.status());
+    DISTME_CHECK_OK(grid.Put(idx, Block::Sparse(std::move(*block))));
+  }
+  return grid;
+}
+
+}  // namespace distme

@@ -1,0 +1,93 @@
+// BlockGrid: a local (single-process) blocked matrix — the logical matrix as
+// an I × J grid of fixed-size blocks. Used as ground truth in tests and as
+// the staging representation before distribution.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "matrix/block.h"
+
+namespace distme {
+
+/// \brief Logical shape of a blocked matrix.
+struct BlockedShape {
+  int64_t rows = 0;        ///< total element rows
+  int64_t cols = 0;        ///< total element cols
+  int64_t block_size = 0;  ///< block side length (blocks are square except edges)
+
+  /// \brief Number of block-rows (I in the paper).
+  int64_t block_rows() const { return CeilDiv(rows, block_size); }
+  /// \brief Number of block-cols (J or K in the paper).
+  int64_t block_cols() const { return CeilDiv(cols, block_size); }
+
+  /// \brief Element rows in block-row i (edge blocks may be smaller).
+  int64_t BlockRowsAt(int64_t i) const {
+    return std::min(block_size, rows - i * block_size);
+  }
+  /// \brief Element cols in block-col j.
+  int64_t BlockColsAt(int64_t j) const {
+    return std::min(block_size, cols - j * block_size);
+  }
+
+  int64_t num_elements() const { return rows * cols; }
+
+  static int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+  bool operator==(const BlockedShape& o) const {
+    return rows == o.rows && cols == o.cols && block_size == o.block_size;
+  }
+};
+
+/// \brief A local blocked matrix: shape plus a sparse map of blocks.
+///
+/// Missing blocks are implicit zeros, so sparse matrices with empty tiles
+/// cost nothing to store or ship.
+class BlockGrid {
+ public:
+  BlockGrid() = default;
+  explicit BlockGrid(BlockedShape shape) : shape_(shape) {}
+
+  const BlockedShape& shape() const { return shape_; }
+  int64_t block_rows() const { return shape_.block_rows(); }
+  int64_t block_cols() const { return shape_.block_cols(); }
+
+  /// \brief Number of materialized (non-implicit-zero) blocks.
+  int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+
+  /// \brief Inserts or replaces a block; validates dimensions.
+  Status Put(BlockIndex idx, Block block);
+
+  /// \brief True if a block is materialized at idx.
+  bool Has(BlockIndex idx) const { return blocks_.count(idx) > 0; }
+
+  /// \brief Block at idx; implicit zero block if missing.
+  Block Get(BlockIndex idx) const;
+
+  const std::unordered_map<BlockIndex, Block, BlockIndexHash>& blocks() const {
+    return blocks_;
+  }
+
+  /// \brief Total bytes of all materialized blocks.
+  int64_t SizeBytes() const;
+
+  /// \brief Total non-zeros across blocks.
+  int64_t TotalNnz() const;
+
+  /// \brief Assembles the full matrix densely (test-scale only).
+  DenseMatrix ToDense() const;
+
+  /// \brief Splits a dense matrix into blocks.
+  static BlockGrid FromDense(const DenseMatrix& m, int64_t block_size);
+
+  /// \brief Splits a CSR matrix into (sparse) blocks.
+  static BlockGrid FromCsr(const CsrMatrix& m, int64_t block_size);
+
+ private:
+  BlockedShape shape_;
+  std::unordered_map<BlockIndex, Block, BlockIndexHash> blocks_;
+};
+
+}  // namespace distme

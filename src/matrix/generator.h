@@ -1,0 +1,65 @@
+// Synthetic matrix generators reproducing the paper's dataset types
+// (Section 6.1): uniformly distributed non-zeros at a target sparsity, plus
+// rating-matrix shapes matching Table 3 (MovieLens / Netflix / YahooMusic).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "matrix/block_grid.h"
+
+namespace distme {
+
+/// \brief Parameters for a synthetic blocked matrix.
+struct GeneratorOptions {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t block_size = 1000;
+  /// Fraction of non-zero elements in [0,1]; 1.0 means fully dense.
+  double sparsity = 1.0;
+  uint64_t seed = 42;
+  /// Blocks denser than this are stored dense, sparser stored CSR.
+  double dense_threshold = 0.4;
+  /// Zipf-like skew across block rows: density of block row i is
+  /// proportional to (i+1)^(-row_skew), normalized so the overall sparsity
+  /// stays `sparsity`. 0 = uniform (the paper's synthetic datasets); > 0
+  /// models heavy-head rating matrices (a few very active users).
+  double row_skew = 0.0;
+};
+
+/// \brief Generates a blocked matrix with uniformly-random non-zeros.
+///
+/// Generation is per-block and keyed on (seed, i, j), so any single block can
+/// be regenerated independently — this is how the distributed engine creates
+/// matrices in parallel without materializing them centrally.
+BlockGrid GenerateUniform(const GeneratorOptions& options);
+
+/// \brief Generates one block of the matrix described by `options`.
+///
+/// Deterministic: equals the (i, j) block of GenerateUniform(options).
+Block GenerateUniformBlock(const GeneratorOptions& options, int64_t block_i,
+                           int64_t block_j);
+
+/// \brief Statistics of the paper's real rating datasets (Table 3).
+struct RatingDataset {
+  std::string name;
+  int64_t users;    ///< matrix rows
+  int64_t items;    ///< matrix cols
+  int64_t ratings;  ///< non-zeros
+};
+
+/// \brief MovieLens: 27,753,444 ratings, 283,228 users, 58,098 items.
+RatingDataset MovieLens();
+/// \brief Netflix: 100,480,507 ratings, 480,189 users, 17,770 items.
+RatingDataset Netflix();
+/// \brief YahooMusic: 717,872,016 ratings, 1,823,179 users, 136,736 items.
+RatingDataset YahooMusic();
+
+/// \brief Derives GeneratorOptions for a rating dataset (optionally scaled
+/// down by `scale` in both dimensions for real-execution tests).
+GeneratorOptions RatingMatrixOptions(const RatingDataset& dataset,
+                                     int64_t block_size = 1000,
+                                     double scale = 1.0);
+
+}  // namespace distme

@@ -1,0 +1,129 @@
+#include "matrix/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace distme {
+
+Status WriteMatrixMarket(const BlockGrid& grid, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  std::fprintf(f, "%%%%MatrixMarket matrix coordinate real general\n");
+  std::fprintf(f, "%" PRId64 " %" PRId64 " %" PRId64 "\n", grid.shape().rows,
+               grid.shape().cols, grid.TotalNnz());
+  const int64_t bs = grid.shape().block_size;
+  for (const auto& [idx, block] : grid.blocks()) {
+    const int64_t row0 = idx.i * bs;
+    const int64_t col0 = idx.j * bs;
+    if (block.IsDense()) {
+      const DenseMatrix& d = block.dense();
+      for (int64_t r = 0; r < d.rows(); ++r) {
+        for (int64_t c = 0; c < d.cols(); ++c) {
+          const double v = d.At(r, c);
+          if (v != 0.0) {
+            std::fprintf(f, "%" PRId64 " %" PRId64 " %.17g\n", row0 + r + 1,
+                         col0 + c + 1, v);
+          }
+        }
+      }
+    } else {
+      const CsrMatrix& s = block.sparse();
+      for (int64_t r = 0; r < s.rows(); ++r) {
+        for (int64_t k = s.row_ptr()[r]; k < s.row_ptr()[r + 1]; ++k) {
+          std::fprintf(f, "%" PRId64 " %" PRId64 " %.17g\n", row0 + r + 1,
+                       col0 + s.col_idx()[k] + 1, s.values()[k]);
+        }
+      }
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<BlockGrid> ReadMatrixMarket(const std::string& path,
+                                   int64_t block_size) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+
+  char line[512];
+  bool array_format = false;
+  // Header line.
+  if (std::fgets(line, sizeof(line), f) == nullptr) {
+    std::fclose(f);
+    return Status::IOError("empty MatrixMarket file");
+  }
+  std::string header(line);
+  if (header.rfind("%%MatrixMarket", 0) != 0) {
+    std::fclose(f);
+    return Status::IOError("missing MatrixMarket banner");
+  }
+  if (header.find("array") != std::string::npos) array_format = true;
+  if (header.find("complex") != std::string::npos ||
+      header.find("pattern") != std::string::npos) {
+    std::fclose(f);
+    return Status::NotImplemented("only real-valued matrices supported");
+  }
+
+  // Skip comments.
+  long data_pos = std::ftell(f);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] != '%') break;
+    data_pos = std::ftell(f);
+  }
+  std::fseek(f, data_pos, SEEK_SET);
+
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t nnz = 0;
+  if (array_format) {
+    if (std::fscanf(f, "%" SCNd64 " %" SCNd64, &rows, &cols) != 2) {
+      std::fclose(f);
+      return Status::IOError("bad array header");
+    }
+  } else {
+    if (std::fscanf(f, "%" SCNd64 " %" SCNd64 " %" SCNd64, &rows, &cols,
+                    &nnz) != 3) {
+      std::fclose(f);
+      return Status::IOError("bad coordinate header");
+    }
+  }
+
+  if (array_format) {
+    DenseMatrix dense(rows, cols);
+    // Array format is column-major per the MatrixMarket spec.
+    for (int64_t c = 0; c < cols; ++c) {
+      for (int64_t r = 0; r < rows; ++r) {
+        double v = 0.0;
+        if (std::fscanf(f, "%lf", &v) != 1) {
+          std::fclose(f);
+          return Status::IOError("truncated array data");
+        }
+        dense.Set(r, c, v);
+      }
+    }
+    std::fclose(f);
+    return BlockGrid::FromDense(dense, block_size);
+  }
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(nnz));
+  for (int64_t n = 0; n < nnz; ++n) {
+    int64_t r = 0;
+    int64_t c = 0;
+    double v = 0.0;
+    if (std::fscanf(f, "%" SCNd64 " %" SCNd64 " %lf", &r, &c, &v) != 3) {
+      std::fclose(f);
+      return Status::IOError("truncated coordinate data");
+    }
+    triplets.push_back({r - 1, c - 1, v});  // 1-based → 0-based
+  }
+  std::fclose(f);
+  DISTME_ASSIGN_OR_RETURN(CsrMatrix csr,
+                          CsrMatrix::FromTriplets(rows, cols,
+                                                  std::move(triplets)));
+  return BlockGrid::FromCsr(csr, block_size);
+}
+
+}  // namespace distme

@@ -1,0 +1,21 @@
+// Matrix Market I/O — the interchange format DistME reads datasets from in
+// this reproduction (standing in for the paper's Parquet-on-HDFS loader).
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "matrix/block_grid.h"
+
+namespace distme {
+
+/// \brief Writes a blocked matrix as MatrixMarket coordinate format.
+Status WriteMatrixMarket(const BlockGrid& grid, const std::string& path);
+
+/// \brief Reads a MatrixMarket coordinate or array file into a blocked
+/// matrix with the given block size.
+Result<BlockGrid> ReadMatrixMarket(const std::string& path,
+                                   int64_t block_size);
+
+}  // namespace distme

@@ -1,0 +1,155 @@
+#include "matrix/serialize.h"
+
+#include <cstring>
+
+namespace distme {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xD157B10C;  // "DistME block"
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* buf, T value) {
+  const size_t offset = buf->size();
+  buf->resize(offset + sizeof(T));
+  std::memcpy(buf->data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+void AppendVector(std::vector<uint8_t>* buf, const std::vector<T>& values) {
+  AppendPod<int64_t>(buf, static_cast<int64_t>(values.size()));
+  const size_t offset = buf->size();
+  buf->resize(offset + values.size() * sizeof(T));
+  std::memcpy(buf->data() + offset, values.data(), values.size() * sizeof(T));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  template <typename T>
+  Status Read(T* out) {
+    if (pos_ + sizeof(T) > buf_.size()) {
+      return Status::IOError("truncated block buffer");
+    }
+    std::memcpy(out, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* out) {
+    int64_t n = 0;
+    DISTME_RETURN_NOT_OK(Read(&n));
+    if (n < 0 || pos_ + static_cast<size_t>(n) * sizeof(T) > buf_.size()) {
+      return Status::IOError("truncated block buffer (vector)");
+    }
+    out->resize(static_cast<size_t>(n));
+    std::memcpy(out->data(), buf_.data() + pos_,
+                static_cast<size_t>(n) * sizeof(T));
+    pos_ += static_cast<size_t>(n) * sizeof(T);
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeBlock(const Block& block) {
+  std::vector<uint8_t> buf;
+  AppendPod<uint32_t>(&buf, kMagic);
+  AppendPod<uint8_t>(&buf, block.IsDense() ? 0 : 1);
+  AppendPod<int64_t>(&buf, block.rows());
+  AppendPod<int64_t>(&buf, block.cols());
+  if (block.empty()) {
+    // Header only; an empty block deserializes to a zero block.
+    AppendPod<int64_t>(&buf, 0);
+    return buf;
+  }
+  if (block.IsDense()) {
+    const DenseMatrix& d = block.dense();
+    AppendPod<int64_t>(&buf, d.num_elements());
+    const size_t offset = buf.size();
+    buf.resize(offset + static_cast<size_t>(d.SizeBytes()));
+    std::memcpy(buf.data() + offset, d.data(),
+                static_cast<size_t>(d.SizeBytes()));
+  } else {
+    const CsrMatrix& s = block.sparse();
+    AppendVector(&buf, s.row_ptr());
+    AppendVector(&buf, s.col_idx());
+    AppendVector(&buf, s.values());
+  }
+  return buf;
+}
+
+Result<Block> DeserializeBlock(const std::vector<uint8_t>& buffer) {
+  Reader reader(buffer);
+  uint32_t magic = 0;
+  DISTME_RETURN_NOT_OK(reader.Read(&magic));
+  if (magic != kMagic) return Status::IOError("bad block magic");
+  uint8_t fmt = 0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  DISTME_RETURN_NOT_OK(reader.Read(&fmt));
+  DISTME_RETURN_NOT_OK(reader.Read(&rows));
+  DISTME_RETURN_NOT_OK(reader.Read(&cols));
+  if (rows < 0 || cols < 0) return Status::IOError("negative block dims");
+  if (rows == 0 || cols == 0) return Block::Zero(rows, cols);
+
+  if (fmt == 0) {
+    int64_t n = 0;
+    DISTME_RETURN_NOT_OK(reader.Read(&n));
+    if (n == 0) return Block::Zero(rows, cols);
+    if (n != rows * cols) return Status::IOError("dense payload size mismatch");
+    std::vector<double> data(static_cast<size_t>(n));
+    for (auto& v : data) DISTME_RETURN_NOT_OK(reader.Read(&v));
+    return Block::Dense(DenseMatrix(rows, cols, std::move(data)));
+  }
+
+  std::vector<int64_t> row_ptr;
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  DISTME_RETURN_NOT_OK(reader.ReadVector(&row_ptr));
+  DISTME_RETURN_NOT_OK(reader.ReadVector(&col_idx));
+  DISTME_RETURN_NOT_OK(reader.ReadVector(&values));
+  if (row_ptr.size() != static_cast<size_t>(rows) + 1 ||
+      col_idx.size() != values.size()) {
+    return Status::IOError("sparse payload size mismatch");
+  }
+  // Rebuild via triplets to validate index ranges.
+  std::vector<Triplet> triplets;
+  triplets.reserve(values.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (k < 0 || static_cast<size_t>(k) >= values.size()) {
+        return Status::IOError("corrupt CSR row pointers");
+      }
+      triplets.push_back({r, col_idx[static_cast<size_t>(k)],
+                          values[static_cast<size_t>(k)]});
+    }
+  }
+  DISTME_ASSIGN_OR_RETURN(CsrMatrix csr,
+                          CsrMatrix::FromTriplets(rows, cols,
+                                                  std::move(triplets)));
+  return Block::Sparse(std::move(csr));
+}
+
+int64_t SerializedBlockBytes(const Block& block) {
+  // Header: magic + fmt + rows + cols.
+  int64_t bytes = 4 + 1 + 8 + 8;
+  if (block.empty()) return bytes + 8;
+  if (block.IsDense()) {
+    bytes += 8 + block.dense().SizeBytes();
+  } else {
+    const CsrMatrix& s = block.sparse();
+    bytes += 3 * 8;  // three vector length prefixes
+    bytes += static_cast<int64_t>(s.row_ptr().size()) * 8;
+    bytes += s.nnz() * (8 + 8);
+  }
+  return bytes;
+}
+
+}  // namespace distme

@@ -1,0 +1,31 @@
+// Binary blocked-matrix store — the stand-in for the paper's Parquet-on-HDFS
+// persistence (Section 5): a self-describing container of serialized blocks
+// with an index, much faster and more compact than MatrixMarket text.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "matrix/block_grid.h"
+
+namespace distme {
+
+/// \brief Writes a blocked matrix to `path` in the DistME binary format:
+/// header (magic, shape, block size, block count) followed by an index of
+/// (i, j, offset, length) entries and the serialized blocks.
+Status WriteBinaryMatrix(const BlockGrid& grid, const std::string& path);
+
+/// \brief Reads a matrix written by WriteBinaryMatrix.
+Result<BlockGrid> ReadBinaryMatrix(const std::string& path);
+
+/// \brief Reads only the header: shape and materialized-block count —
+/// enough for the planner to build a descriptor without touching payloads.
+struct BinaryMatrixInfo {
+  BlockedShape shape;
+  int64_t num_blocks = 0;
+  int64_t total_nnz = 0;
+};
+Result<BinaryMatrixInfo> ReadBinaryMatrixInfo(const std::string& path);
+
+}  // namespace distme

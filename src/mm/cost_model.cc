@@ -1,0 +1,76 @@
+#include "mm/cost_model.h"
+
+namespace distme::mm {
+
+namespace {
+
+// Effective element counts: stored non-zeros for inputs, dense for C.
+double EffA(const MMProblem& p) { return p.a.nnz(); }
+double EffB(const MMProblem& p) { return p.b.nnz(); }
+double EffC(const MMProblem& p) { return p.C().num_elements(); }
+
+double BytesA(const MMProblem& p) { return p.a.StoredBytes(); }
+double BytesB(const MMProblem& p) { return p.b.StoredBytes(); }
+double BytesC(const MMProblem& p) { return p.C().StoredBytes(); }
+
+}  // namespace
+
+AnalyticCost BmmCost(const MMProblem& p, int64_t T) {
+  AnalyticCost c;
+  const double t = static_cast<double>(T);
+  c.repartition_elements = EffA(p) + t * EffB(p);
+  c.aggregation_elements = 0.0;
+  c.memory_per_task_bytes = BytesA(p) / t + BytesB(p) + BytesC(p) / t;
+  c.max_tasks = static_cast<double>(p.I());
+  return c;
+}
+
+AnalyticCost CpmmCost(const MMProblem& p, int64_t T) {
+  AnalyticCost c;
+  const double t = static_cast<double>(T);
+  c.repartition_elements = EffA(p) + EffB(p);
+  c.aggregation_elements = t * EffC(p);
+  c.memory_per_task_bytes = BytesA(p) / t + BytesB(p) / t + BytesC(p);
+  c.max_tasks = static_cast<double>(p.K());
+  return c;
+}
+
+AnalyticCost RmmCost(const MMProblem& p, int64_t T) {
+  AnalyticCost c;
+  const double t = static_cast<double>(T);
+  const double big_i = static_cast<double>(p.I());
+  const double big_j = static_cast<double>(p.J());
+  const double big_k = static_cast<double>(p.K());
+  c.repartition_elements = big_j * EffA(p) + big_i * EffB(p);
+  c.aggregation_elements = big_k * EffC(p);
+  c.memory_per_task_bytes =
+      (big_j * BytesA(p) + big_i * BytesB(p) + big_k * BytesC(p)) / t;
+  c.max_tasks = big_i * big_j * big_k;
+  return c;
+}
+
+double CuboidMemBytes(const MMProblem& p, const CuboidSpec& spec) {
+  const double pp = static_cast<double>(spec.P);
+  const double qq = static_cast<double>(spec.Q);
+  const double rr = static_cast<double>(spec.R);
+  return BytesA(p) / (pp * rr) + BytesB(p) / (rr * qq) +
+         BytesC(p) / (pp * qq);
+}
+
+double CuboidCostElements(const MMProblem& p, const CuboidSpec& spec) {
+  return static_cast<double>(spec.Q) * EffA(p) +
+         static_cast<double>(spec.P) * EffB(p) +
+         static_cast<double>(spec.R) * EffC(p);
+}
+
+AnalyticCost CuboidCost(const MMProblem& p, const CuboidSpec& spec) {
+  AnalyticCost c;
+  c.repartition_elements = static_cast<double>(spec.Q) * EffA(p) +
+                           static_cast<double>(spec.P) * EffB(p);
+  c.aggregation_elements = static_cast<double>(spec.R) * EffC(p);
+  c.memory_per_task_bytes = CuboidMemBytes(p, spec);
+  c.max_tasks = static_cast<double>(p.NumVoxels());
+  return c;
+}
+
+}  // namespace distme::mm

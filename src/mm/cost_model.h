@@ -1,0 +1,66 @@
+// The communication/memory cost model of the paper: Table 2 closed forms for
+// BMM / CPMM / RMM / CuboidMM and the CuboidMM optimization functions Mem()
+// (Eq. 3) and Cost() (Eq. 4).
+//
+// Units: communication is counted in *effective elements* (stored non-zeros
+// for the inputs, dense worst-case elements for C — this is the unit the
+// paper's Figure 9(b) Cost() curve uses: Cost(4,7,4) = 46.55e9 for the
+// 70K×70K×70K, sparsity-0.5 dataset). Memory is counted in bytes and
+// compared against θt.
+
+#pragma once
+
+#include <cstdint>
+
+#include "mm/problem.h"
+
+namespace distme::mm {
+
+/// \brief A (P, Q, R) cuboid partitioning (Section 3.1): P, Q, R partitions
+/// on the i-, j-, and k-axis respectively.
+struct CuboidSpec {
+  int64_t P = 1;
+  int64_t Q = 1;
+  int64_t R = 1;
+
+  int64_t num_cuboids() const { return P * Q * R; }
+
+  bool operator==(const CuboidSpec& o) const {
+    return P == o.P && Q == o.Q && R == o.R;
+  }
+};
+
+/// \brief Closed-form analytic costs of a method (Table 2).
+struct AnalyticCost {
+  double repartition_elements = 0;  ///< matrix repartition communication
+  double aggregation_elements = 0;  ///< matrix aggregation communication
+  double memory_per_task_bytes = 0;
+  double max_tasks = 0;
+
+  double total_comm_elements() const {
+    return repartition_elements + aggregation_elements;
+  }
+};
+
+/// \brief Table 2 row "BMM" with T tasks (assumes B is the broadcast side).
+AnalyticCost BmmCost(const MMProblem& p, int64_t T);
+
+/// \brief Table 2 row "CPMM" with T tasks.
+AnalyticCost CpmmCost(const MMProblem& p, int64_t T);
+
+/// \brief Table 2 row "RMM" with T tasks.
+AnalyticCost RmmCost(const MMProblem& p, int64_t T);
+
+/// \brief Table 2 row "CuboidMM": communication per Eq. (4), memory per
+/// Eq. (3) (one cuboid per task, T = P·Q·R).
+AnalyticCost CuboidCost(const MMProblem& p, const CuboidSpec& spec);
+
+/// \brief Eq. (3): memory usage per task, |A|/(P·R) + |B|/(R·Q) + |C|/(P·Q),
+/// in bytes.
+double CuboidMemBytes(const MMProblem& p, const CuboidSpec& spec);
+
+/// \brief Eq. (4): communication cost Q·|A| + P·|B| + R·|C|, in effective
+/// elements.
+double CuboidCostElements(const MMProblem& p, const CuboidSpec& spec);
+
+}  // namespace distme::mm

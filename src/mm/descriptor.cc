@@ -1,0 +1,19 @@
+#include "mm/descriptor.h"
+
+namespace distme::mm {
+
+MatrixDescriptor MatrixDescriptor::FromGrid(const BlockGrid& grid) {
+  MatrixDescriptor d;
+  d.shape = grid.shape();
+  const double total = d.num_elements();
+  d.sparsity = total == 0.0 ? 0.0 : grid.TotalNnz() / total;
+  // Treat as dense storage if most blocks are dense.
+  int64_t dense_blocks = 0;
+  for (const auto& [idx, block] : grid.blocks()) {
+    if (block.IsDense()) ++dense_blocks;
+  }
+  d.stored_dense = dense_blocks * 2 >= grid.num_blocks();
+  return d;
+}
+
+}  // namespace distme::mm

@@ -1,0 +1,74 @@
+// MatrixDescriptor: the metadata the planner and simulator work from —
+// logical shape, blocking, and sparsity — without materialized data.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "matrix/block_grid.h"
+
+namespace distme::mm {
+
+/// \brief Describes a blocked matrix for planning purposes.
+struct MatrixDescriptor {
+  BlockedShape shape;
+  /// Fraction of non-zero elements in [0, 1]; 1.0 = fully dense.
+  double sparsity = 1.0;
+  /// Whether blocks are stored dense (8 B/element) or CSR (16 B/non-zero).
+  bool stored_dense = true;
+
+  /// \brief Number of elements, |A| in the paper's notation.
+  double num_elements() const {
+    return static_cast<double>(shape.rows) * static_cast<double>(shape.cols);
+  }
+
+  /// \brief Number of non-zero elements.
+  double nnz() const { return num_elements() * sparsity; }
+
+  /// \brief Bytes this matrix occupies when shipped/stored.
+  double StoredBytes() const {
+    if (stored_dense) return num_elements() * kElementBytes;
+    // CSR: value + column index per non-zero (row pointers negligible).
+    return nnz() * (kElementBytes + 8.0);
+  }
+
+  /// \brief Average bytes per block.
+  double BytesPerBlock() const {
+    const double blocks = static_cast<double>(shape.block_rows()) *
+                          static_cast<double>(shape.block_cols());
+    return blocks == 0.0 ? 0.0 : StoredBytes() / blocks;
+  }
+
+  /// \brief Bytes for `count` average blocks.
+  double BytesForBlocks(double count) const { return count * BytesPerBlock(); }
+
+  /// \brief A dense descriptor (the paper's worst-case estimate) for the
+  /// product C of two matrices described by `a` and `b`.
+  static MatrixDescriptor DenseProduct(const MatrixDescriptor& a,
+                                       const MatrixDescriptor& b) {
+    MatrixDescriptor c;
+    c.shape = BlockedShape{a.shape.rows, b.shape.cols, a.shape.block_size};
+    c.sparsity = 1.0;
+    c.stored_dense = true;
+    return c;
+  }
+
+  /// \brief Descriptor of a dense rows×cols matrix.
+  static MatrixDescriptor Dense(int64_t rows, int64_t cols,
+                                int64_t block_size) {
+    return MatrixDescriptor{BlockedShape{rows, cols, block_size}, 1.0, true};
+  }
+
+  /// \brief Descriptor of a sparse rows×cols matrix at given sparsity.
+  static MatrixDescriptor Sparse(int64_t rows, int64_t cols,
+                                 int64_t block_size, double sparsity) {
+    return MatrixDescriptor{BlockedShape{rows, cols, block_size}, sparsity,
+                            false};
+  }
+
+  /// \brief Descriptor matching an actual local blocked matrix.
+  static MatrixDescriptor FromGrid(const BlockGrid& grid);
+};
+
+}  // namespace distme::mm

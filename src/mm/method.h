@@ -1,0 +1,82 @@
+// Method: the strategy interface for distributed matrix multiplication.
+// A method enumerates the tasks of the local-multiplication step; the
+// repartition and aggregation steps are derived from the tasks' voxel sets
+// by the executors.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/config.h"
+#include "mm/cost_model.h"
+#include "mm/plan.h"
+#include "mm/problem.h"
+
+namespace distme::mm {
+
+enum class MethodKind { kBmm, kCpmm, kRmm, kCuboid, kSumma, kSumma25d, kCrmm };
+
+const char* MethodKindName(MethodKind kind);
+
+/// \brief A distributed matrix-multiplication method (Section 2.2 / 3).
+class Method {
+ public:
+  virtual ~Method() = default;
+
+  virtual MethodKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// \brief Number of local-multiplication tasks this method generates.
+  virtual Result<int64_t> NumTasks(const MMProblem& problem,
+                                   const ClusterConfig& cluster) const = 0;
+
+  /// \brief Streams the plan's tasks to `fn` without materializing them.
+  virtual Status ForEachTask(const MMProblem& problem,
+                             const ClusterConfig& cluster,
+                             const TaskFn& fn) const = 0;
+
+  /// \brief Closed-form analytic costs (Table 2).
+  virtual Result<AnalyticCost> Analytic(const MMProblem& problem,
+                                        const ClusterConfig& cluster) const = 0;
+
+  /// \brief Whether the matrix aggregation step is needed (intermediate
+  /// C blocks must be shuffled and reduced).
+  virtual bool NeedsAggregation(const MMProblem& problem) const = 0;
+
+  /// \brief Whether tasks can use cuboid-level GPU streaming. RMM cannot —
+  /// its hash partitioning only allows block-level GPU computation
+  /// (Section 6.2).
+  virtual bool SupportsGpuStreaming() const { return true; }
+
+  /// \brief Whether the process keeps whole local matrices resident as
+  /// single arrays (ScaLAPACK/SciDB behaviour, Section 6.5) instead of
+  /// spilling per-block.
+  virtual bool ResidentLocalMatrices() const { return false; }
+
+  /// \brief Extra repartition bytes beyond what tasks' input lists imply
+  /// (e.g. CRMM's shuffle that forms logical blocks).
+  virtual double ExtraRepartitionBytes(const MMProblem&) const { return 0.0; }
+
+  /// \brief Number of bulk-synchronous barrier steps during local
+  /// multiplication (SUMMA's per-panel broadcasts); 0 for fully
+  /// asynchronous task execution.
+  virtual int64_t SyncSteps(const MMProblem&) const { return 0; }
+};
+
+/// \brief Splits `n` items into `parts` balanced contiguous ranges;
+/// returns [start, end) of range `idx`.
+struct SplitRange {
+  int64_t start;
+  int64_t end;
+};
+inline SplitRange Split(int64_t n, int64_t parts, int64_t idx) {
+  // First (n % parts) ranges get one extra item.
+  const int64_t base = n / parts;
+  const int64_t extra = n % parts;
+  const int64_t start = idx * base + (idx < extra ? idx : extra);
+  const int64_t len = base + (idx < extra ? 1 : 0);
+  return {start, start + len};
+}
+
+}  // namespace distme::mm

@@ -1,0 +1,458 @@
+#include "mm/methods.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace distme::mm {
+
+const char* MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kBmm:
+      return "BMM";
+    case MethodKind::kCpmm:
+      return "CPMM";
+    case MethodKind::kRmm:
+      return "RMM";
+    case MethodKind::kCuboid:
+      return "CuboidMM";
+    case MethodKind::kSumma:
+      return "SUMMA";
+    case MethodKind::kSumma25d:
+      return "2.5D";
+    case MethodKind::kCrmm:
+      return "CRMM";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- BMM
+
+Result<int64_t> BmmMethod::NumTasks(const MMProblem& problem,
+                                    const ClusterConfig&) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const int64_t max_tasks = BroadcastsB(problem) ? problem.I() : problem.J();
+  if (tasks_ <= 0) return max_tasks;
+  if (tasks_ > max_tasks) {
+    return Status::Invalid("BMM supports at most " +
+                           std::to_string(max_tasks) + " tasks");
+  }
+  return tasks_;
+}
+
+Status BmmMethod::ForEachTask(const MMProblem& problem,
+                              const ClusterConfig& cluster,
+                              const TaskFn& fn) const {
+  DISTME_ASSIGN_OR_RETURN(const int64_t tasks, NumTasks(problem, cluster));
+  const bool broadcast_b = BroadcastsB(problem);
+  for (int64_t t = 0; t < tasks; ++t) {
+    LocalTask task;
+    task.id = t;
+    if (broadcast_b) {
+      // Row-partition A; broadcast the whole of B.
+      const SplitRange r = Split(problem.I(), tasks, t);
+      task.voxels =
+          VoxelSet::Box(r.start, r.end, 0, problem.J(), 0, problem.K());
+      task.b_broadcast = true;
+    } else {
+      // Column-partition B; broadcast the whole of A.
+      const SplitRange r = Split(problem.J(), tasks, t);
+      task.voxels =
+          VoxelSet::Box(0, problem.I(), r.start, r.end, 0, problem.K());
+      task.a_broadcast = true;
+    }
+    DISTME_RETURN_NOT_OK(fn(task));
+  }
+  return Status::OK();
+}
+
+Result<AnalyticCost> BmmMethod::Analytic(const MMProblem& problem,
+                                         const ClusterConfig& cluster) const {
+  DISTME_ASSIGN_OR_RETURN(const int64_t tasks, NumTasks(problem, cluster));
+  if (BmmMethod::BroadcastsB(problem)) return BmmCost(problem, tasks);
+  // Mirror: A broadcast — swap roles in the Table 2 formula.
+  MMProblem mirrored;
+  mirrored.a = problem.b;
+  mirrored.b = problem.a;
+  // Transposed shapes so I'=J; the formula only uses sizes, so this is safe.
+  std::swap(mirrored.a.shape.rows, mirrored.a.shape.cols);
+  std::swap(mirrored.b.shape.rows, mirrored.b.shape.cols);
+  return BmmCost(mirrored, tasks);
+}
+
+// ---------------------------------------------------------------- CPMM
+
+Result<int64_t> CpmmMethod::NumTasks(const MMProblem& problem,
+                                     const ClusterConfig&) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  if (tasks_ <= 0) return problem.K();
+  if (tasks_ > problem.K()) {
+    return Status::Invalid("CPMM supports at most K = " +
+                           std::to_string(problem.K()) + " tasks");
+  }
+  return tasks_;
+}
+
+Status CpmmMethod::ForEachTask(const MMProblem& problem,
+                               const ClusterConfig& cluster,
+                               const TaskFn& fn) const {
+  DISTME_ASSIGN_OR_RETURN(const int64_t tasks, NumTasks(problem, cluster));
+  for (int64_t t = 0; t < tasks; ++t) {
+    const SplitRange r = Split(problem.K(), tasks, t);
+    LocalTask task;
+    task.id = t;
+    task.voxels =
+        VoxelSet::Box(0, problem.I(), 0, problem.J(), r.start, r.end);
+    DISTME_RETURN_NOT_OK(fn(task));
+  }
+  return Status::OK();
+}
+
+Result<AnalyticCost> CpmmMethod::Analytic(const MMProblem& problem,
+                                          const ClusterConfig& cluster) const {
+  DISTME_ASSIGN_OR_RETURN(const int64_t tasks, NumTasks(problem, cluster));
+  return CpmmCost(problem, tasks);
+}
+
+// ---------------------------------------------------------------- RMM
+
+int64_t RmmMethod::ScatterMultiplier(int64_t tasks) {
+  if (tasks <= 2) return 1;
+  // Start near the golden-ratio fraction of T and walk to coprimality.
+  int64_t g = std::max<int64_t>(1, static_cast<int64_t>(tasks * 0.6180339887));
+  while (std::gcd(g, tasks) != 1) ++g;
+  return g;
+}
+
+Result<int64_t> RmmMethod::NumTasks(const MMProblem& problem,
+                                    const ClusterConfig&) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const int64_t max_tasks = problem.NumVoxels();
+  // Default: T = I · J, the paper's best-performing setting.
+  const int64_t t = tasks_ <= 0 ? problem.I() * problem.J() : tasks_;
+  if (t > max_tasks) {
+    return Status::Invalid("RMM supports at most I*J*K = " +
+                           std::to_string(max_tasks) + " tasks");
+  }
+  return t;
+}
+
+Status RmmMethod::ForEachTask(const MMProblem& problem,
+                              const ClusterConfig& cluster,
+                              const TaskFn& fn) const {
+  DISTME_ASSIGN_OR_RETURN(const int64_t tasks, NumTasks(problem, cluster));
+  const int64_t g = ScatterMultiplier(tasks);
+  // task(x) = (g*x) mod T; per-task voxels are the residue class
+  // x ≡ g^{-1} t (mod T), enumerated with stride T. Computing g^{-1} t is
+  // equivalent to finding the first x with (g*x) mod T == t; we walk the
+  // residue directly via the extended-gcd-free identity below.
+  // Since gcd(g, T) = 1, x0(t) = (t * ModInverse(g, T)) mod T.
+  auto mod_inverse = [](int64_t a, int64_t m) {
+    // Extended Euclid.
+    int64_t old_r = a, r = m, old_s = 1, s = 0;
+    while (r != 0) {
+      const int64_t q = old_r / r;
+      int64_t tmp = old_r - q * r;
+      old_r = r;
+      r = tmp;
+      tmp = old_s - q * s;
+      old_s = s;
+      s = tmp;
+    }
+    return ((old_s % m) + m) % m;
+  };
+  const int64_t g_inv = mod_inverse(g, tasks);
+  for (int64_t t = 0; t < tasks; ++t) {
+    const int64_t start =
+        static_cast<int64_t>((static_cast<unsigned __int128>(g_inv) * t) %
+                             static_cast<unsigned __int128>(tasks));
+    LocalTask task;
+    task.id = t;
+    task.voxels = VoxelSet::Strided(problem.I(), problem.J(), problem.K(),
+                                    start, tasks);
+    task.inputs_shared = false;
+    task.aggregate_local = false;
+    DISTME_RETURN_NOT_OK(fn(task));
+  }
+  return Status::OK();
+}
+
+Result<AnalyticCost> RmmMethod::Analytic(const MMProblem& problem,
+                                         const ClusterConfig& cluster) const {
+  DISTME_ASSIGN_OR_RETURN(const int64_t tasks, NumTasks(problem, cluster));
+  return RmmCost(problem, tasks);
+}
+
+// ---------------------------------------------------------------- CuboidMM
+
+std::string CuboidMethod::name() const {
+  return "CuboidMM(" + std::to_string(spec_.P) + "," + std::to_string(spec_.Q) +
+         "," + std::to_string(spec_.R) + ")";
+}
+
+Status CuboidMethod::ValidateSpec(const MMProblem& problem) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  if (spec_.P < 1 || spec_.P > problem.I() || spec_.Q < 1 ||
+      spec_.Q > problem.J() || spec_.R < 1 || spec_.R > problem.K()) {
+    return Status::Invalid("cuboid spec " + name() +
+                           " out of range for I,J,K = " +
+                           std::to_string(problem.I()) + "," +
+                           std::to_string(problem.J()) + "," +
+                           std::to_string(problem.K()));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> CuboidMethod::NumTasks(const MMProblem& problem,
+                                       const ClusterConfig&) const {
+  DISTME_RETURN_NOT_OK(ValidateSpec(problem));
+  return spec_.num_cuboids();
+}
+
+Status CuboidMethod::ForEachTask(const MMProblem& problem,
+                                 const ClusterConfig&,
+                                 const TaskFn& fn) const {
+  DISTME_RETURN_NOT_OK(ValidateSpec(problem));
+  int64_t id = 0;
+  for (int64_t p = 0; p < spec_.P; ++p) {
+    const SplitRange ir = Split(problem.I(), spec_.P, p);
+    for (int64_t q = 0; q < spec_.Q; ++q) {
+      const SplitRange jr = Split(problem.J(), spec_.Q, q);
+      for (int64_t r = 0; r < spec_.R; ++r) {
+        const SplitRange kr = Split(problem.K(), spec_.R, r);
+        LocalTask task;
+        task.id = id++;
+        task.voxels = VoxelSet::Box(ir.start, ir.end, jr.start, jr.end,
+                                    kr.start, kr.end);
+        DISTME_RETURN_NOT_OK(fn(task));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<AnalyticCost> CuboidMethod::Analytic(const MMProblem& problem,
+                                            const ClusterConfig&) const {
+  DISTME_RETURN_NOT_OK(ValidateSpec(problem));
+  return CuboidCost(problem, spec_);
+}
+
+// ---------------------------------------------------------------- SUMMA
+
+CuboidSpec SummaMethod::GridFor(const MMProblem& problem,
+                                const ClusterConfig& cluster) const {
+  int64_t p = grid_p_;
+  int64_t q = grid_q_;
+  if (p <= 0 || q <= 0) {
+    // Most-square factorization of the total slot count.
+    const int64_t slots = cluster.total_slots();
+    p = static_cast<int64_t>(std::sqrt(static_cast<double>(slots)));
+    while (p > 1 && slots % p != 0) --p;
+    q = slots / p;
+  }
+  // The grid cannot exceed the block grid of C.
+  p = std::min(p, problem.I());
+  q = std::min(q, problem.J());
+  return CuboidSpec{p, q, 1};
+}
+
+Result<int64_t> SummaMethod::NumTasks(const MMProblem& problem,
+                                      const ClusterConfig& cluster) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const CuboidSpec grid = GridFor(problem, cluster);
+  return grid.P * grid.Q;
+}
+
+Status SummaMethod::ForEachTask(const MMProblem& problem,
+                                const ClusterConfig& cluster,
+                                const TaskFn& fn) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const CuboidSpec grid = GridFor(problem, cluster);
+  CuboidMethod inner(grid);
+  return inner.ForEachTask(problem, cluster, fn);
+}
+
+Result<AnalyticCost> SummaMethod::Analytic(const MMProblem& problem,
+                                           const ClusterConfig& cluster) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  return CuboidCost(problem, GridFor(problem, cluster));
+}
+
+// ---------------------------------------------------------------- CRMM
+
+int64_t CrmmMethod::MergeFactor(const MMProblem& problem,
+                                const ClusterConfig& cluster) const {
+  if (merge_ > 0) return merge_;
+  // Largest cubic merge factor m such that one logical voxel (an m×m A
+  // logical block + m×m B logical block + m×m C logical block) fits in θt.
+  const double per_block_a = problem.a.BytesPerBlock();
+  const double per_block_b = problem.b.BytesPerBlock();
+  const double per_block_c = problem.C().BytesPerBlock();
+  const int64_t max_dim =
+      std::max({problem.I(), problem.J(), problem.K()});
+  int64_t best = 1;
+  for (int64_t m = 1; m <= max_dim; ++m) {
+    const double bytes =
+        static_cast<double>(m) * m * (per_block_a + per_block_b + per_block_c);
+    if (bytes > static_cast<double>(cluster.task_memory_bytes)) break;
+    best = m;
+  }
+  return best;
+}
+
+namespace {
+
+// The coarse voxel grid CRMM works over.
+struct CoarseDims {
+  int64_t ci, cj, ck;
+};
+
+CoarseDims CoarseGrid(const MMProblem& p, int64_t m) {
+  return {BlockedShape::CeilDiv(p.I(), m), BlockedShape::CeilDiv(p.J(), m),
+          BlockedShape::CeilDiv(p.K(), m)};
+}
+
+}  // namespace
+
+Result<int64_t> CrmmMethod::NumTasks(const MMProblem& problem,
+                                     const ClusterConfig& cluster) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const CoarseDims d = CoarseGrid(problem, MergeFactor(problem, cluster));
+  return d.ci * d.cj * d.ck;
+}
+
+bool CrmmMethod::NeedsAggregation(const MMProblem& problem) const {
+  // Aggregation needed whenever the coarse k-dimension exceeds one. The
+  // merge factor depends on the cluster; be conservative.
+  return problem.K() > 1;
+}
+
+Status CrmmMethod::ForEachTask(const MMProblem& problem,
+                               const ClusterConfig& cluster,
+                               const TaskFn& fn) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const int64_t m = MergeFactor(problem, cluster);
+  const CoarseDims d = CoarseGrid(problem, m);
+  // One task per coarse (logical-block) voxel: a cubic box in fine space.
+  // Within the box communication is shared (the logical block moves once);
+  // across boxes nothing is shared — that is CRMM's limitation vs CuboidMM
+  // (cubes instead of optimally-shaped cuboids).
+  int64_t id = 0;
+  for (int64_t ci = 0; ci < d.ci; ++ci) {
+    for (int64_t cj = 0; cj < d.cj; ++cj) {
+      for (int64_t ck = 0; ck < d.ck; ++ck) {
+        LocalTask task;
+        task.id = id++;
+        task.voxels = VoxelSet::Box(
+            ci * m, std::min((ci + 1) * m, problem.I()), cj * m,
+            std::min((cj + 1) * m, problem.J()), ck * m,
+            std::min((ck + 1) * m, problem.K()));
+        DISTME_RETURN_NOT_OK(fn(task));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<AnalyticCost> CrmmMethod::Analytic(const MMProblem& problem,
+                                          const ClusterConfig& cluster) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const int64_t m = MergeFactor(problem, cluster);
+  const CoarseDims d = CoarseGrid(problem, m);
+  AnalyticCost c;
+  // RMM formula over the coarse grid, plus the logical-block-forming shuffle.
+  c.repartition_elements = static_cast<double>(d.cj) * problem.a.nnz() +
+                           static_cast<double>(d.ci) * problem.b.nnz() +
+                           problem.a.nnz() + problem.b.nnz();
+  c.aggregation_elements =
+      static_cast<double>(d.ck) * problem.C().num_elements();
+  const double tasks = static_cast<double>(d.ci) * d.cj * d.ck;
+  c.memory_per_task_bytes =
+      (static_cast<double>(d.cj) * problem.a.StoredBytes() +
+       static_cast<double>(d.ci) * problem.b.StoredBytes() +
+       static_cast<double>(d.ck) * problem.C().StoredBytes()) /
+      tasks;
+  c.max_tasks = tasks;
+  return c;
+}
+
+double CrmmMethod::ExtraRepartitionBytes(const MMProblem& problem) const {
+  return problem.a.StoredBytes() + problem.b.StoredBytes();
+}
+
+int64_t SummaMethod::SyncSteps(const MMProblem& problem) const {
+  return problem.K();
+}
+
+// ---------------------------------------------------------------- 2.5D
+
+CuboidSpec Summa25dMethod::GridFor(const MMProblem& problem,
+                                   const ClusterConfig& cluster) const {
+  const int64_t slots = cluster.total_slots();
+  int64_t c = c_;
+  if (c <= 0) {
+    // Largest c whose c-fold-replicated inputs still fit a process:
+    // resident bytes/process ≈ c · (|A| + |B|) / S + |C| / (S / c).
+    const double inputs = problem.a.StoredBytes() + problem.b.StoredBytes();
+    const double output = problem.C().StoredBytes();
+    c = 1;
+    for (int64_t candidate = 2; candidate <= slots; candidate *= 2) {
+      const double per_process =
+          static_cast<double>(candidate) * (inputs + output) /
+          static_cast<double>(slots);
+      if (per_process > static_cast<double>(cluster.task_memory_bytes)) break;
+      if (slots % candidate != 0) continue;
+      c = candidate;
+    }
+  }
+  c = std::min<int64_t>(c, problem.K());
+  c = std::max<int64_t>(c, 1);
+
+  // Most-square factorization of slots / c for the ij-plane.
+  const int64_t plane = std::max<int64_t>(1, slots / c);
+  int64_t p = static_cast<int64_t>(std::sqrt(static_cast<double>(plane)));
+  while (p > 1 && plane % p != 0) --p;
+  int64_t q = plane / p;
+  p = std::min(p, problem.I());
+  q = std::min(q, problem.J());
+  return CuboidSpec{p, q, c};
+}
+
+std::string Summa25dMethod::name() const {
+  return c_ > 0 ? "2.5D(c=" + std::to_string(c_) + ")" : "2.5D";
+}
+
+Result<int64_t> Summa25dMethod::NumTasks(const MMProblem& problem,
+                                         const ClusterConfig& cluster) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  return GridFor(problem, cluster).num_cuboids();
+}
+
+Status Summa25dMethod::ForEachTask(const MMProblem& problem,
+                                   const ClusterConfig& cluster,
+                                   const TaskFn& fn) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  CuboidMethod inner(GridFor(problem, cluster));
+  return inner.ForEachTask(problem, cluster, fn);
+}
+
+Result<AnalyticCost> Summa25dMethod::Analytic(
+    const MMProblem& problem, const ClusterConfig& cluster) const {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  return CuboidCost(problem, GridFor(problem, cluster));
+}
+
+bool Summa25dMethod::NeedsAggregation(const MMProblem& problem) const {
+  // The c layers' partial C matrices are reduced whenever c > 1. With
+  // auto-chosen c the interface has no cluster to consult, so be
+  // conservative (a pass-through reduce of final blocks stays correct).
+  if (problem.K() <= 1) return false;
+  return c_ != 1;
+}
+
+int64_t Summa25dMethod::SyncSteps(const MMProblem& problem) const {
+  // Each layer runs SUMMA over its K/c panel slice.
+  return std::max<int64_t>(1, problem.K());
+}
+
+}  // namespace distme::mm

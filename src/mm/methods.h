@@ -1,0 +1,215 @@
+// The concrete distributed matrix-multiplication methods:
+//   BMM     — broadcast the smaller matrix (Section 2.2.1)
+//   CPMM    — cross-product / outer-product per k (Section 2.2.2)
+//   RMM     — replication with voxel-hash partitioning (Section 2.2.3)
+//   CuboidMM— (P,Q,R)-cuboid partitioning, the paper's contribution (Sec. 3)
+//   SUMMA   — ScaLAPACK's 2-D algorithm, (P,Q,1) grid (Section 7)
+//   CRMM    — Marlin's coarsened RMM with logical blocks (Section 7)
+
+#pragma once
+
+#include "mm/method.h"
+
+namespace distme::mm {
+
+/// \brief Broadcast matrix multiplication. The smaller input is broadcast to
+/// all T tasks; the larger is row- (or column-) partitioned. No aggregation.
+class BmmMethod : public Method {
+ public:
+  /// \param tasks number of tasks; 0 = the method's maximum (I or J).
+  explicit BmmMethod(int64_t tasks = 0) : tasks_(tasks) {}
+
+  MethodKind kind() const override { return MethodKind::kBmm; }
+  std::string name() const override { return "BMM"; }
+  Result<int64_t> NumTasks(const MMProblem& problem,
+                           const ClusterConfig& cluster) const override;
+  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+                     const TaskFn& fn) const override;
+  Result<AnalyticCost> Analytic(const MMProblem& problem,
+                                const ClusterConfig& cluster) const override;
+  bool NeedsAggregation(const MMProblem&) const override { return false; }
+
+  /// \brief True if B (the right operand) is the broadcast side.
+  static bool BroadcastsB(const MMProblem& problem) {
+    return problem.b.StoredBytes() <= problem.a.StoredBytes();
+  }
+
+ private:
+  int64_t tasks_;
+};
+
+/// \brief Cross-product matrix multiplication: A column-partitioned, B
+/// row-partitioned; task k computes the outer product of A's k-th column of
+/// blocks with B's k-th row of blocks; intermediates aggregated by (i, j).
+class CpmmMethod : public Method {
+ public:
+  /// \param tasks number of tasks; 0 = K (the maximum, the paper's setting).
+  explicit CpmmMethod(int64_t tasks = 0) : tasks_(tasks) {}
+
+  MethodKind kind() const override { return MethodKind::kCpmm; }
+  std::string name() const override { return "CPMM"; }
+  Result<int64_t> NumTasks(const MMProblem& problem,
+                           const ClusterConfig& cluster) const override;
+  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+                     const TaskFn& fn) const override;
+  Result<AnalyticCost> Analytic(const MMProblem& problem,
+                                const ClusterConfig& cluster) const override;
+  bool NeedsAggregation(const MMProblem& problem) const override {
+    return problem.K() > 1;
+  }
+
+ private:
+  int64_t tasks_;
+};
+
+/// \brief Replication-based matrix multiplication: every voxel is keyed
+/// independently and hashed to a task; no communication sharing.
+class RmmMethod : public Method {
+ public:
+  /// \param tasks number of tasks; 0 = I · J (the paper's best setting —
+  /// Section 6.2 notes T = I·J·K "incurs some errors due to too many tasks").
+  explicit RmmMethod(int64_t tasks = 0) : tasks_(tasks) {}
+
+  MethodKind kind() const override { return MethodKind::kRmm; }
+  std::string name() const override { return "RMM"; }
+  Result<int64_t> NumTasks(const MMProblem& problem,
+                           const ClusterConfig& cluster) const override;
+  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+                     const TaskFn& fn) const override;
+  Result<AnalyticCost> Analytic(const MMProblem& problem,
+                                const ClusterConfig& cluster) const override;
+  /// RMM's voxel-keyed intermediates always pass through a reduceByKey
+  /// shuffle stage, even when K = 1 (the engine cannot know a key is
+  /// unique without grouping).
+  bool NeedsAggregation(const MMProblem&) const override { return true; }
+  bool SupportsGpuStreaming() const override { return false; }
+
+  /// \brief The multiplicative hash used to scatter voxels across tasks:
+  /// task(x) = (g · x) mod T for linear voxel index x, with gcd(g, T) = 1.
+  /// Being a bijection on Z_T, per-task voxels can be enumerated as a
+  /// stride-T walk — scattered like a hash, invertible like a partition.
+  static int64_t ScatterMultiplier(int64_t tasks);
+
+ private:
+  int64_t tasks_;
+};
+
+/// \brief CuboidMM (Section 3): (P,Q,R)-cuboid partitioning with one cuboid
+/// per task. Generalizes BMM ((I,1,1)), CPMM ((1,1,K)), and RMM ((I,J,K)).
+class CuboidMethod : public Method {
+ public:
+  explicit CuboidMethod(CuboidSpec spec) : spec_(spec) {}
+
+  MethodKind kind() const override { return MethodKind::kCuboid; }
+  std::string name() const override;
+  Result<int64_t> NumTasks(const MMProblem& problem,
+                           const ClusterConfig& cluster) const override;
+  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+                     const TaskFn& fn) const override;
+  Result<AnalyticCost> Analytic(const MMProblem& problem,
+                                const ClusterConfig& cluster) const override;
+  bool NeedsAggregation(const MMProblem&) const override {
+    return spec_.R > 1;
+  }
+
+  const CuboidSpec& spec() const { return spec_; }
+
+  Status ValidateSpec(const MMProblem& problem) const;
+
+ private:
+  CuboidSpec spec_;
+};
+
+/// \brief SUMMA (ScaLAPACK): a fixed P×Q process grid covering the ij-plane
+/// (R = 1); A panels broadcast along grid rows, B panels along grid columns,
+/// bulk-synchronously over the K panel steps.
+class SummaMethod : public Method {
+ public:
+  /// \brief Grid defaults to the most-square factorization of M·Tc.
+  SummaMethod() = default;
+  SummaMethod(int64_t grid_p, int64_t grid_q)
+      : grid_p_(grid_p), grid_q_(grid_q) {}
+
+  MethodKind kind() const override { return MethodKind::kSumma; }
+  std::string name() const override { return "SUMMA"; }
+  Result<int64_t> NumTasks(const MMProblem& problem,
+                           const ClusterConfig& cluster) const override;
+  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+                     const TaskFn& fn) const override;
+  Result<AnalyticCost> Analytic(const MMProblem& problem,
+                                const ClusterConfig& cluster) const override;
+  bool NeedsAggregation(const MMProblem&) const override { return false; }
+  bool ResidentLocalMatrices() const override { return true; }
+  int64_t SyncSteps(const MMProblem& problem) const override;
+
+  /// \brief The grid actually used for a given cluster.
+  CuboidSpec GridFor(const MMProblem& problem,
+                     const ClusterConfig& cluster) const;
+
+ private:
+  int64_t grid_p_ = 0;  // 0 = auto
+  int64_t grid_q_ = 0;
+};
+
+/// \brief 2.5D matrix multiplication (Solomonik & Demmel; the HPC
+/// communication-avoiding family between SUMMA (c = 1) and 3D algorithms):
+/// a √(S/c) × √(S/c) × c process grid over S slots. Each of the c layers
+/// owns a K/c slice and the layers' partial C's are reduced — in cuboid
+/// terms, a (P, Q, c) partitioning with P·Q·c = S. Included to position
+/// CuboidMM against the HPC lineage: 2.5D fixes the replication factor per
+/// job; CuboidMM additionally shapes all three axes per input and memory
+/// budget.
+class Summa25dMethod : public Method {
+ public:
+  /// \param replication the layer count c; 0 = largest c such that the
+  /// replicated inputs still fit the per-task memory budget.
+  explicit Summa25dMethod(int64_t replication = 0) : c_(replication) {}
+
+  MethodKind kind() const override { return MethodKind::kSumma25d; }
+  std::string name() const override;
+  Result<int64_t> NumTasks(const MMProblem& problem,
+                           const ClusterConfig& cluster) const override;
+  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+                     const TaskFn& fn) const override;
+  Result<AnalyticCost> Analytic(const MMProblem& problem,
+                                const ClusterConfig& cluster) const override;
+  bool NeedsAggregation(const MMProblem& problem) const override;
+  bool ResidentLocalMatrices() const override { return true; }
+  int64_t SyncSteps(const MMProblem& problem) const override;
+
+  /// \brief The (P, Q, c) grid used for a problem on a cluster.
+  CuboidSpec GridFor(const MMProblem& problem,
+                     const ClusterConfig& cluster) const;
+
+ private:
+  int64_t c_;
+};
+
+/// \brief CRMM (Marlin): RMM over coarsened "logical" cubic blocks. The
+/// merge factor m shrinks (I, J, K) to (⌈I/m⌉, ⌈J/m⌉, ⌈K/m⌉); forming
+/// logical blocks costs one extra shuffle of both inputs.
+class CrmmMethod : public Method {
+ public:
+  /// \param merge_factor 0 = choose the largest m whose logical voxel fits θt.
+  explicit CrmmMethod(int64_t merge_factor = 0) : merge_(merge_factor) {}
+
+  MethodKind kind() const override { return MethodKind::kCrmm; }
+  std::string name() const override { return "CRMM"; }
+  Result<int64_t> NumTasks(const MMProblem& problem,
+                           const ClusterConfig& cluster) const override;
+  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+                     const TaskFn& fn) const override;
+  Result<AnalyticCost> Analytic(const MMProblem& problem,
+                                const ClusterConfig& cluster) const override;
+  bool NeedsAggregation(const MMProblem& problem) const override;
+  double ExtraRepartitionBytes(const MMProblem& problem) const override;
+
+  /// \brief The merge factor used for a problem on a cluster.
+  int64_t MergeFactor(const MMProblem& problem,
+                      const ClusterConfig& cluster) const;
+
+ private:
+  int64_t merge_;
+};
+
+}  // namespace distme::mm

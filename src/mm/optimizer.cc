@@ -1,0 +1,158 @@
+#include "mm/optimizer.h"
+
+#include <cmath>
+
+namespace distme::mm {
+
+namespace {
+
+struct Candidate {
+  CuboidSpec spec;
+  double cost = 0.0;
+  double mem = 0.0;
+  double makespan = 0.0;  // wave-aware compute proxy
+  bool valid = false;
+};
+
+// Compute-makespan proxy: tasks run in waves of `slots`, so the critical
+// path is ceil(T / slots) tasks deep, each processing voxels/T voxels.
+double MakespanProxy(const MMProblem& p, const CuboidSpec& spec,
+                     int64_t slots) {
+  const double tasks = static_cast<double>(spec.num_cuboids());
+  const double waves =
+      std::ceil(tasks / static_cast<double>(slots > 0 ? slots : 1));
+  return waves * static_cast<double>(p.NumVoxels()) / tasks;
+}
+
+// Strictly-better comparison implementing the tie-break policy: minimize
+// Cost() (Eq. 4); break ties toward the candidate that schedules into
+// balanced waves, then toward the smaller memory footprint.
+bool Better(const Candidate& lhs, const Candidate& rhs) {
+  if (!rhs.valid) return true;
+  if (lhs.cost != rhs.cost) return lhs.cost < rhs.cost;
+  if (lhs.makespan != rhs.makespan) return lhs.makespan < rhs.makespan;
+  return lhs.mem < rhs.mem;
+}
+
+}  // namespace
+
+Result<OptimizedCuboid> OptimizeCuboid(const MMProblem& problem,
+                                       const ClusterConfig& cluster,
+                                       const OptimizerOptions& options) {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const int64_t big_i = problem.I();
+  const int64_t big_j = problem.J();
+  const int64_t big_k = problem.K();
+  const double theta =
+      options.memory_safety_factor *
+      static_cast<double>(cluster.task_memory_bytes);
+  const int64_t slots = cluster.total_slots();
+
+  // Exceptional case (Section 3.2): fewer voxels than slots — use maximum
+  // parallelism, which works like RMM.
+  if (options.enforce_parallelism && problem.NumVoxels() < slots) {
+    const CuboidSpec spec{big_i, big_j, big_k};
+    OptimizedCuboid out;
+    out.spec = spec;
+    out.cost_elements = CuboidCostElements(problem, spec);
+    out.memory_bytes = CuboidMemBytes(problem, spec);
+    out.max_parallelism_fallback = true;
+    if (out.memory_bytes > theta) {
+      return Status::OutOfMemory(
+          "even a single voxel per task exceeds the task memory budget");
+    }
+    return out;
+  }
+
+  const double bytes_a = problem.a.StoredBytes();
+  const double bytes_b = problem.b.StoredBytes();
+  const double bytes_c = problem.C().StoredBytes();
+
+  Candidate best;
+  for (int64_t p = 1; p <= big_i; ++p) {
+    for (int64_t q = 1; q <= big_j; ++q) {
+      // Memory: bytes_a/(P·R) + bytes_b/(R·Q) + bytes_c/(P·Q) ≤ θ
+      //   ⇒ R ≥ (bytes_a/P + bytes_b/Q) / (θ − bytes_c/(P·Q)).
+      const double c_term =
+          bytes_c / (static_cast<double>(p) * static_cast<double>(q));
+      int64_t r_min = 1;
+      if (c_term > theta) continue;  // no R can fit
+      const double numerator = bytes_a / p + bytes_b / q;
+      if (numerator > 0.0 && theta - c_term > 0.0) {
+        r_min = static_cast<int64_t>(
+            std::ceil(numerator / (theta - c_term) - 1e-12));
+        if (r_min < 1) r_min = 1;
+      }
+      if (options.enforce_parallelism) {
+        const int64_t r_par = BlockedShape::CeilDiv(slots, p * q);
+        if (r_par > r_min) r_min = r_par;
+      }
+      if (r_min > big_k) continue;
+      CuboidSpec spec{p, q, r_min};
+      double mem = CuboidMemBytes(problem, spec);
+      // Guard against rounding: verify feasibility explicitly.
+      if (mem > theta) {
+        if (r_min + 1 > big_k) continue;
+        spec.R = r_min + 1;
+        mem = CuboidMemBytes(problem, spec);
+        if (mem > theta) continue;
+      }
+      Candidate cand{spec, CuboidCostElements(problem, spec), mem,
+                     MakespanProxy(problem, spec, slots), true};
+      if (Better(cand, best)) best = cand;
+    }
+  }
+
+  if (!best.valid) {
+    return Status::OutOfMemory(
+        "no (P,Q,R) satisfies the task memory budget of " +
+        std::to_string(cluster.task_memory_bytes) + " bytes");
+  }
+  OptimizedCuboid out;
+  out.spec = best.spec;
+  out.cost_elements = best.cost;
+  out.memory_bytes = best.mem;
+  return out;
+}
+
+Result<OptimizedCuboid> OptimizeCuboidBruteForce(
+    const MMProblem& problem, const ClusterConfig& cluster,
+    const OptimizerOptions& options) {
+  DISTME_RETURN_NOT_OK(problem.Validate());
+  const double theta =
+      options.memory_safety_factor *
+      static_cast<double>(cluster.task_memory_bytes);
+  const int64_t slots = cluster.total_slots();
+
+  if (options.enforce_parallelism && problem.NumVoxels() < slots) {
+    return OptimizeCuboid(problem, cluster, options);
+  }
+
+  Candidate best;
+  for (int64_t p = 1; p <= problem.I(); ++p) {
+    for (int64_t q = 1; q <= problem.J(); ++q) {
+      for (int64_t r = 1; r <= problem.K(); ++r) {
+        const CuboidSpec spec{p, q, r};
+        if (options.enforce_parallelism && spec.num_cuboids() < slots) {
+          continue;
+        }
+        const double mem = CuboidMemBytes(problem, spec);
+        if (mem > theta) continue;
+        Candidate cand{spec, CuboidCostElements(problem, spec), mem,
+                       MakespanProxy(problem, spec, cluster.total_slots()),
+                       true};
+        if (Better(cand, best)) best = cand;
+      }
+    }
+  }
+  if (!best.valid) {
+    return Status::OutOfMemory("no feasible (P,Q,R)");
+  }
+  OptimizedCuboid out;
+  out.spec = best.spec;
+  out.cost_elements = best.cost;
+  out.memory_bytes = best.mem;
+  return out;
+}
+
+}  // namespace distme::mm

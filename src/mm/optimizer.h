@@ -1,0 +1,52 @@
+// The CuboidMM parameter optimizer (Section 3.2): exhaustive search for
+// (P*, Q*, R*) = argmin Cost(P,Q,R) subject to Mem(P,Q,R) ≤ θt, Eq. (2).
+
+#pragma once
+
+#include "cluster/config.h"
+#include "common/result.h"
+#include "mm/cost_model.h"
+
+namespace distme::mm {
+
+/// \brief Options controlling the search.
+struct OptimizerOptions {
+  /// Fraction of θt actually usable by matrix data (execution overhead
+  /// headroom, analogous to Spark's memory fraction).
+  double memory_safety_factor = 0.9;
+  /// Prune candidates with P·Q·R < M·Tc so the cluster's parallelism is
+  /// fully exploited (Section 3.2). When I·J·K < M·Tc this is impossible
+  /// and the optimizer returns (I, J, K) instead.
+  bool enforce_parallelism = true;
+};
+
+/// \brief Result of the (P,Q,R) search.
+struct OptimizedCuboid {
+  CuboidSpec spec;
+  double cost_elements = 0;    ///< Cost(P*,Q*,R*), Eq. (4)
+  double memory_bytes = 0;     ///< Mem(P*,Q*,R*), Eq. (3)
+  /// True when the exceptional I·J·K < M·Tc rule fired and spec = (I,J,K).
+  bool max_parallelism_fallback = false;
+};
+
+/// \brief Finds the optimal cuboid partitioning for `problem` on `cluster`.
+///
+/// The search space is P ∈ [1,I] × Q ∈ [1,J]; for each (P,Q) the optimal R
+/// is derived in closed form (Cost is increasing and Mem decreasing in R, so
+/// the best R is the smallest feasible one), making the search O(I·J)
+/// while returning exactly the optimum of the full O(I·J·K) enumeration.
+/// Ties are broken toward the first candidate in ascending (P, Q) order,
+/// then the smaller memory footprint.
+///
+/// Returns OutOfMemory if even a single voxel per task exceeds θt.
+Result<OptimizedCuboid> OptimizeCuboid(const MMProblem& problem,
+                                       const ClusterConfig& cluster,
+                                       const OptimizerOptions& options = {});
+
+/// \brief Brute-force reference enumerating every (P,Q,R); used by tests to
+/// validate OptimizeCuboid. O(I·J·K).
+Result<OptimizedCuboid> OptimizeCuboidBruteForce(
+    const MMProblem& problem, const ClusterConfig& cluster,
+    const OptimizerOptions& options = {});
+
+}  // namespace distme::mm

@@ -1,0 +1,136 @@
+// Plan primitives: voxel sets and local tasks. An MM method is a generator
+// of LocalTasks; executors (real or simulated) consume them.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+
+namespace distme::mm {
+
+/// \brief One computational unit of the 3-dimensional model: computing the
+/// intermediate block C^k_{i,j} = A_{i,k} · B_{k,j} (Section 2.2).
+struct Voxel {
+  int64_t i = 0;
+  int64_t j = 0;
+  int64_t k = 0;
+};
+
+/// \brief The set of voxels one task computes.
+///
+/// Two shapes arise in practice:
+///  * kBox — an axis-aligned cuboid [i0,i1)×[j0,j1)×[k0,k1): used by BMM,
+///    CPMM, CuboidMM, SUMMA. Consecutive voxels share blocks, enabling the
+///    communication sharing of Figure 3(b).
+///  * kStrided — every `stride`-th voxel of the row-major linearization of
+///    the I×J×K voxel space: models RMM's hash partitioning, where a task's
+///    voxels are non-consecutive and no communication sharing is possible.
+class VoxelSet {
+ public:
+  enum class Kind { kBox, kStrided };
+
+  /// \brief Axis-aligned cuboid of voxels.
+  static VoxelSet Box(int64_t i0, int64_t i1, int64_t j0, int64_t j1,
+                      int64_t k0, int64_t k1) {
+    VoxelSet s;
+    s.kind_ = Kind::kBox;
+    s.i0_ = i0;
+    s.i1_ = i1;
+    s.j0_ = j0;
+    s.j1_ = j1;
+    s.k0_ = k0;
+    s.k1_ = k1;
+    return s;
+  }
+
+  /// \brief Voxels {start, start+stride, ...} of the linearized (I,J,K) space.
+  static VoxelSet Strided(int64_t big_i, int64_t big_j, int64_t big_k,
+                          int64_t start, int64_t stride) {
+    VoxelSet s;
+    s.kind_ = Kind::kStrided;
+    s.i1_ = big_i;
+    s.j1_ = big_j;
+    s.k1_ = big_k;
+    s.start_ = start;
+    s.stride_ = stride;
+    return s;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_box() const { return kind_ == Kind::kBox; }
+
+  /// \brief Number of voxels in the set.
+  int64_t size() const {
+    if (kind_ == Kind::kBox) {
+      return (i1_ - i0_) * (j1_ - j0_) * (k1_ - k0_);
+    }
+    const int64_t total = i1_ * j1_ * k1_;
+    if (start_ >= total) return 0;
+    return (total - start_ - 1) / stride_ + 1;
+  }
+
+  // Box accessors (valid when is_box()).
+  int64_t i0() const { return i0_; }
+  int64_t i1() const { return i1_; }
+  int64_t j0() const { return j0_; }
+  int64_t j1() const { return j1_; }
+  int64_t k0() const { return k0_; }
+  int64_t k1() const { return k1_; }
+  int64_t i_count() const { return i1_ - i0_; }
+  int64_t j_count() const { return j1_ - j0_; }
+  int64_t k_count() const { return k1_ - k0_; }
+
+  /// \brief Invokes `fn(Voxel)` for every voxel, in deterministic order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (kind_ == Kind::kBox) {
+      for (int64_t i = i0_; i < i1_; ++i) {
+        for (int64_t j = j0_; j < j1_; ++j) {
+          for (int64_t k = k0_; k < k1_; ++k) {
+            fn(Voxel{i, j, k});
+          }
+        }
+      }
+      return;
+    }
+    const int64_t total = i1_ * j1_ * k1_;
+    for (int64_t x = start_; x < total; x += stride_) {
+      // Row-major decode: x = (i * J + j) * K + k.
+      const int64_t k = x % k1_;
+      const int64_t ij = x / k1_;
+      fn(Voxel{ij / j1_, ij % j1_, k});
+    }
+  }
+
+ private:
+  Kind kind_ = Kind::kBox;
+  // Box bounds; for kStrided, (i1_, j1_, k1_) hold the global (I, J, K).
+  int64_t i0_ = 0, i1_ = 0, j0_ = 0, j1_ = 0, k0_ = 0, k1_ = 0;
+  int64_t start_ = 0, stride_ = 1;
+};
+
+/// \brief One distributed task of the local-multiplication step.
+struct LocalTask {
+  int64_t id = 0;
+  VoxelSet voxels;
+  /// If true, each distinct input block is shipped to the task once (the
+  /// communication sharing of cuboids); if false, inputs are shipped once
+  /// per voxel (RMM's voxel-keyed shuffle).
+  bool inputs_shared = true;
+  /// If true, the task accumulates C^k blocks over its k range locally and
+  /// emits one partial block per (i, j); if false, every voxel emits its own
+  /// intermediate block to the aggregation shuffle.
+  bool aggregate_local = true;
+  /// If true, the task's B blocks arrive via broadcast rather than shuffle
+  /// (BMM's repartition step when B is the smaller matrix).
+  bool b_broadcast = false;
+  /// If true, the task's A blocks arrive via broadcast (BMM with A smaller).
+  bool a_broadcast = false;
+};
+
+/// \brief Callback invoked per task during plan enumeration.
+using TaskFn = std::function<Status(const LocalTask&)>;
+
+}  // namespace distme::mm

@@ -1,0 +1,57 @@
+// MMProblem: one distributed matrix multiplication C = A × B, described by
+// the 3-dimensional voxel model of Section 2.2.
+
+#pragma once
+
+#include "common/result.h"
+#include "mm/descriptor.h"
+
+namespace distme::mm {
+
+/// \brief A distributed matrix multiplication instance.
+struct MMProblem {
+  MatrixDescriptor a;
+  MatrixDescriptor b;
+
+  /// \brief Number of blocks on the i-axis (rows of A).
+  int64_t I() const { return a.shape.block_rows(); }
+  /// \brief Number of blocks on the j-axis (cols of B).
+  int64_t J() const { return b.shape.block_cols(); }
+  /// \brief Number of blocks on the k-axis (the common dimension).
+  int64_t K() const { return a.shape.block_cols(); }
+
+  /// \brief Total voxels I · J · K.
+  int64_t NumVoxels() const { return I() * J() * K(); }
+
+  /// \brief Worst-case (dense) descriptor for the output C.
+  MatrixDescriptor C() const { return MatrixDescriptor::DenseProduct(a, b); }
+
+  /// \brief Validates conformability and blocking.
+  Status Validate() const {
+    if (a.shape.cols != b.shape.rows) {
+      return Status::Invalid("inner dimensions do not match: A is " +
+                             std::to_string(a.shape.rows) + "x" +
+                             std::to_string(a.shape.cols) + ", B is " +
+                             std::to_string(b.shape.rows) + "x" +
+                             std::to_string(b.shape.cols));
+    }
+    if (a.shape.block_size != b.shape.block_size) {
+      return Status::Invalid("block sizes do not match");
+    }
+    if (a.shape.block_size <= 0) return Status::Invalid("block size must be positive");
+    if (a.shape.rows <= 0 || a.shape.cols <= 0 || b.shape.cols <= 0) {
+      return Status::Invalid("matrix dimensions must be positive");
+    }
+    return Status::OK();
+  }
+
+  /// \brief Convenience constructor for dense × dense problems, dimensions
+  /// in elements.
+  static MMProblem DenseSquareBlocks(int64_t i_elems, int64_t k_elems,
+                                     int64_t j_elems, int64_t block_size) {
+    return MMProblem{MatrixDescriptor::Dense(i_elems, k_elems, block_size),
+                     MatrixDescriptor::Dense(k_elems, j_elems, block_size)};
+  }
+};
+
+}  // namespace distme::mm

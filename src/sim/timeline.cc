@@ -1,0 +1,27 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+namespace distme::sim {
+
+double ShuffleSeconds(double bytes, int nodes, double nic_bandwidth,
+                      double serialization_bandwidth,
+                      double serialization_factor) {
+  if (bytes <= 0.0 || nodes <= 0) return 0.0;
+  const double wire_bytes = bytes * serialization_factor;
+  const double per_node = wire_bytes / nodes;
+  const double transfer = per_node / nic_bandwidth;
+  const double serialize = per_node / serialization_bandwidth;
+  // Serialize → send → deserialize pipeline: the slowest stage dominates,
+  // plus one pipeline fill of the secondary stage.
+  const double bottleneck = std::max(transfer, serialize);
+  const double secondary = std::min(transfer, serialize);
+  return bottleneck + 0.1 * secondary;
+}
+
+double PointToPointSeconds(double bytes, double nic_bandwidth) {
+  if (bytes <= 0.0) return 0.0;
+  return bytes / nic_bandwidth;
+}
+
+}  // namespace distme::sim

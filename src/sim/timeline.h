@@ -1,0 +1,80 @@
+// Virtual-time scheduling primitives for the discrete-event executor.
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace distme::sim {
+
+/// \brief A serially-used resource (a copy engine, a kernel queue): requests
+/// are granted in arrival order, each occupying the resource for `duration`.
+class ResourceTimeline {
+ public:
+  /// \brief Schedules work of `duration` seconds not before `earliest`;
+  /// returns the start time actually granted.
+  double Schedule(double earliest, double duration) {
+    const double start = earliest > available_ ? earliest : available_;
+    available_ = start + duration;
+    return start;
+  }
+
+  /// \brief Time at which the resource next becomes free.
+  double available() const { return available_; }
+
+  void Reset() { available_ = 0.0; }
+
+ private:
+  double available_ = 0.0;
+};
+
+/// \brief Schedules task durations onto a fixed number of slots, FIFO in
+/// submission order (Spark-style wave execution). Returns the makespan.
+class WaveScheduler {
+ public:
+  explicit WaveScheduler(int slots) : slots_(slots) {}
+
+  /// \brief Submits one task; it starts on the earliest-free slot.
+  void Add(double duration) {
+    ++num_tasks_;
+    if (static_cast<int>(heap_.size()) < slots_) {
+      const double finish = duration;
+      heap_.push(finish);
+      makespan_ = finish > makespan_ ? finish : makespan_;
+      return;
+    }
+    const double slot_free = heap_.top();
+    heap_.pop();
+    const double finish = slot_free + duration;
+    heap_.push(finish);
+    makespan_ = finish > makespan_ ? finish : makespan_;
+  }
+
+  /// \brief Completion time of the last task.
+  double Makespan() const { return makespan_; }
+
+  int64_t num_tasks() const { return num_tasks_; }
+
+ private:
+  int slots_;
+  // Min-heap of slot next-free times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap_;
+  double makespan_ = 0.0;
+  int64_t num_tasks_ = 0;
+};
+
+/// \brief Time to move `bytes` across the cluster fabric during a shuffle.
+///
+/// All `nodes` NICs send and receive concurrently; serialization happens on
+/// both ends and pipelines with the transfer, so the bottleneck stage rules.
+/// `serialization_factor` inflates raw bytes to wire bytes.
+double ShuffleSeconds(double bytes, int nodes, double nic_bandwidth,
+                      double serialization_bandwidth,
+                      double serialization_factor);
+
+/// \brief Time for one node to push `bytes` through its own NIC (broadcast
+/// source bottleneck).
+double PointToPointSeconds(double bytes, double nic_bandwidth);
+
+}  // namespace distme::sim

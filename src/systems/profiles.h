@@ -1,0 +1,61 @@
+// Comparator system models (Sections 6.3–6.5): each system is a planner
+// policy (which MM method it picks) plus execution characteristics
+// (GPU capability, map-output materialization, repartition overheads,
+// dependency awareness). All run on the same simulated cluster, so the
+// differences reproduce the paper's relative results.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gnmf.h"
+#include "core/planner.h"
+#include "engine/sim_executor.h"
+
+namespace distme::systems {
+
+/// \brief One system under comparison.
+struct SystemProfile {
+  std::string name;
+  std::shared_ptr<core::Planner> planner;
+  engine::SimOptions sim;
+  /// DMac / DistME store operator outputs pre-partitioned for consumers.
+  bool dependency_aware = false;
+};
+
+/// \brief DistME — this paper's system. `gpu` selects DistME(G) (cuboid-level
+/// GPU streaming, Section 4) vs DistME(C).
+SystemProfile DistME(bool gpu);
+
+/// \brief SystemML: picks BMM / CPMM / RMM by feasibility then lowest
+/// analytic communication cost; spill-tolerant aggregation.
+/// SystemML(G) is the paper's modification with block-level cuBLAS kernels.
+SystemProfile SystemML(bool gpu);
+
+/// \brief MatFast (naive version): CPMM for large inputs, BMM for small;
+/// materializes map outputs (the O.O.M. walls of Figure 7(c)).
+SystemProfile MatFast(bool gpu);
+
+/// \brief DMac: dependency-aware CPU system (Section 6.4 only).
+SystemProfile DMac();
+
+/// \brief ScaLAPACK: SUMMA over a square process grid, MPI (no Spark
+/// overheads), whole local matrices resident as single arrays.
+SystemProfile ScaLAPACK();
+
+/// \brief SciDB: wraps ScaLAPACK but re-partitions inputs into the required
+/// block-cyclic layout first and keeps array copies during conversion.
+SystemProfile SciDB();
+
+/// \brief Runs one multiplication under a system profile.
+Result<engine::MMReport> RunMultiply(const SystemProfile& system,
+                                     const mm::MMProblem& problem,
+                                     const ClusterConfig& cluster);
+
+/// \brief Runs the GNMF query (Section 6.4) under a system profile.
+Result<core::GnmfSimReport> RunGnmfSim(const SystemProfile& system,
+                                       const core::GnmfSimOptions& base);
+
+}  // namespace distme::systems

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <tuple>
+
+#include "blas/block_ops.h"
+#include "blas/gemm.h"
+#include "blas/local_mm.h"
+#include "blas/spmm.h"
+#include "common/random.h"
+#include "matrix/generator.h"
+
+namespace distme::blas {
+namespace {
+
+DenseMatrix RandomDense(int64_t r, int64_t c, uint64_t seed) {
+  Rng rng(seed);
+  return DenseMatrix::Random(r, c, &rng, -1.0, 1.0);
+}
+
+CsrMatrix RandomSparse(int64_t r, int64_t c, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  const int64_t target = static_cast<int64_t>(density * r * c);
+  for (int64_t i = 0; i < target; ++i) {
+    triplets.push_back({static_cast<int64_t>(rng.NextBounded(r)),
+                        static_cast<int64_t>(rng.NextBounded(c)),
+                        rng.NextUniform(-1.0, 1.0)});
+  }
+  return *CsrMatrix::FromTriplets(r, c, triplets);
+}
+
+// ---- Tiled GEMM vs naive reference over a shape sweep. ----
+
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  DenseMatrix a = RandomDense(m, k, 1);
+  DenseMatrix b = RandomDense(k, n, 2);
+  DenseMatrix c_fast = RandomDense(m, n, 3);
+  DenseMatrix c_ref = c_fast;  // same initial C for beta accumulation
+  Dgemm(0.5, a, b, 0.25, &c_fast);
+  DgemmReference(0.5, a, b, 0.25, &c_ref);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c_fast, c_ref), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(64, 64, 64), std::make_tuple(65, 63, 130),
+                      std::make_tuple(128, 300, 70), std::make_tuple(1, 300, 1),
+                      std::make_tuple(257, 1, 257)));
+
+TEST(GemmTest, BetaZeroIgnoresGarbage) {
+  DenseMatrix a = RandomDense(4, 4, 1);
+  DenseMatrix b = RandomDense(4, 4, 2);
+  DenseMatrix c(4, 4);
+  c.Fill(std::numeric_limits<double>::quiet_NaN());
+  Dgemm(1.0, a, b, 0.0, &c);
+  // beta = 0 must overwrite, not multiply, so no NaN survives.
+  EXPECT_FALSE(std::isnan(c.At(0, 0)));
+}
+
+TEST(GemmTest, AlphaZeroLeavesBetaScaledC) {
+  DenseMatrix a = RandomDense(3, 3, 4);
+  DenseMatrix b = RandomDense(3, 3, 5);
+  DenseMatrix c(3, 3);
+  c.Fill(2.0);
+  Dgemm(0.0, a, b, 0.5, &c);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 1.0);
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  DenseMatrix a = RandomDense(9, 9, 6);
+  DenseMatrix c = Multiply(a, DenseMatrix::Identity(9));
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(a, c), 1e-12);
+}
+
+// ---- Sparse kernels vs densified reference. ----
+
+TEST(SpmmTest, CsrTimesDense) {
+  CsrMatrix a = RandomSparse(20, 30, 0.15, 7);
+  DenseMatrix b = RandomDense(30, 25, 8);
+  DenseMatrix c(20, 25);
+  DcsrMm(a, b, &c);
+  DenseMatrix expected = Multiply(a.ToDense(), b);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected), 1e-10);
+}
+
+TEST(SpmmTest, DenseTimesCsr) {
+  DenseMatrix a = RandomDense(15, 20, 9);
+  CsrMatrix b = RandomSparse(20, 18, 0.2, 10);
+  DenseMatrix c(15, 18);
+  DgeCsrMm(a, b, &c);
+  DenseMatrix expected = Multiply(a, b.ToDense());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected), 1e-10);
+}
+
+TEST(SpmmTest, CsrTimesCsr) {
+  CsrMatrix a = RandomSparse(12, 16, 0.25, 11);
+  CsrMatrix b = RandomSparse(16, 14, 0.25, 12);
+  DenseMatrix c(12, 14);
+  DcsrCsrMm(a, b, &c);
+  DenseMatrix expected = Multiply(a.ToDense(), b.ToDense());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected), 1e-10);
+}
+
+TEST(SpmmTest, AccumulatesIntoC) {
+  CsrMatrix a = RandomSparse(5, 5, 0.4, 13);
+  DenseMatrix b = RandomDense(5, 5, 14);
+  DenseMatrix c(5, 5);
+  c.Fill(1.0);
+  DcsrMm(a, b, &c);
+  DenseMatrix expected = Multiply(a.ToDense(), b);
+  for (int64_t r = 0; r < 5; ++r) {
+    for (int64_t col = 0; col < 5; ++col) {
+      EXPECT_NEAR(c.At(r, col), expected.At(r, col) + 1.0, 1e-10);
+    }
+  }
+}
+
+// ---- Block-level dispatch across all four format combinations. ----
+
+class BlockFormatTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BlockFormatTest, MultiplyAccumulateDispatches) {
+  const auto [a_sparse, b_sparse] = GetParam();
+  DenseMatrix da = RandomDense(10, 12, 20);
+  DenseMatrix db = RandomDense(12, 9, 21);
+  Block a = a_sparse ? Block::Sparse(CsrMatrix::FromDense(da))
+                     : Block::Dense(da);
+  Block b = b_sparse ? Block::Sparse(CsrMatrix::FromDense(db))
+                     : Block::Dense(db);
+  DenseMatrix acc(10, 9);
+  ASSERT_TRUE(MultiplyAccumulate(a, b, &acc).ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(acc, Multiply(da, db)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, BlockFormatTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(BlockOpsTest, MultiplyRejectsBadShapes) {
+  Block a = Block::Dense(RandomDense(3, 4, 1));
+  Block b = Block::Dense(RandomDense(5, 3, 2));
+  DenseMatrix acc(3, 3);
+  EXPECT_FALSE(MultiplyAccumulate(a, b, &acc).ok());
+}
+
+TEST(BlockOpsTest, ElementWiseAddSubMulDiv) {
+  DenseMatrix da = RandomDense(6, 6, 30);
+  DenseMatrix db = RandomDense(6, 6, 31);
+  Block a = Block::Dense(da);
+  Block b = Block::Dense(db);
+  auto add = ElementWise(ElementWiseOp::kAdd, a, b);
+  auto sub = ElementWise(ElementWiseOp::kSub, a, b);
+  auto mul = ElementWise(ElementWiseOp::kMul, a, b);
+  auto div = ElementWise(ElementWiseOp::kDiv, a, b, 1e-30);
+  ASSERT_TRUE(add.ok() && sub.ok() && mul.ok() && div.ok());
+  for (int64_t r = 0; r < 6; ++r) {
+    for (int64_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(add->At(r, c), da.At(r, c) + db.At(r, c), 1e-12);
+      EXPECT_NEAR(sub->At(r, c), da.At(r, c) - db.At(r, c), 1e-12);
+      EXPECT_NEAR(mul->At(r, c), da.At(r, c) * db.At(r, c), 1e-12);
+      EXPECT_NEAR(div->At(r, c), da.At(r, c) / db.At(r, c), 1e-6);
+    }
+  }
+}
+
+TEST(BlockOpsTest, SparseElementWiseMulStaysSparse) {
+  Block sparse = Block::Sparse(RandomSparse(10, 10, 0.1, 40));
+  Block dense = Block::Dense(RandomDense(10, 10, 41));
+  auto result = ElementWise(ElementWiseOp::kMul, sparse, dense);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->IsSparse());
+  DenseMatrix expected(10, 10);
+  DenseMatrix ds = sparse.ToDense();
+  DenseMatrix dd = dense.ToDense();
+  for (int64_t r = 0; r < 10; ++r) {
+    for (int64_t c = 0; c < 10; ++c) {
+      expected.Set(r, c, ds.At(r, c) * dd.At(r, c));
+    }
+  }
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(result->ToDense(), expected), 1e-12);
+}
+
+TEST(BlockOpsTest, AddBlocksHandlesZeroFastPath) {
+  Block z = Block::Zero(4, 4);
+  Block d = Block::Dense(RandomDense(4, 4, 50));
+  auto sum = AddBlocks(z, d);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(sum->ToDense(), d.ToDense()), 0.0 + 1e-15);
+}
+
+TEST(BlockOpsTest, AddBlocksSparseSparse) {
+  Block a = Block::Sparse(RandomSparse(8, 8, 0.2, 51));
+  Block b = Block::Sparse(RandomSparse(8, 8, 0.2, 52));
+  auto sum = AddBlocks(a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_TRUE(sum->IsSparse());
+  DenseMatrix expected = a.ToDense();
+  DenseMatrix db = b.ToDense();
+  for (int64_t r = 0; r < 8; ++r) {
+    for (int64_t c = 0; c < 8; ++c) {
+      expected.Add(r, c, db.At(r, c));
+    }
+  }
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(sum->ToDense(), expected), 1e-12);
+}
+
+TEST(BlockOpsTest, TransposeBlockBothFormats) {
+  Block dense = Block::Dense(RandomDense(5, 7, 60));
+  Block sparse = Block::Sparse(RandomSparse(5, 7, 0.3, 61));
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(TransposeBlock(dense).ToDense(),
+                                    dense.ToDense().Transpose()),
+            1e-15);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(TransposeBlock(sparse).ToDense(),
+                                    sparse.ToDense().Transpose()),
+            1e-15);
+}
+
+TEST(BlockOpsTest, ScaleBlock) {
+  Block dense = Block::Dense(RandomDense(4, 4, 62));
+  Block scaled = ScaleBlock(dense, -2.0);
+  EXPECT_NEAR(scaled.At(1, 1), -2.0 * dense.At(1, 1), 1e-15);
+  Block sparse = Block::Sparse(RandomSparse(6, 6, 0.3, 63));
+  Block sscaled = ScaleBlock(sparse, 3.0);
+  EXPECT_TRUE(sscaled.IsSparse());
+  EXPECT_NEAR(sscaled.ToDense().At(0, 0), 3.0 * sparse.ToDense().At(0, 0),
+              1e-15);
+}
+
+TEST(BlockOpsTest, MultiplyFlops) {
+  EXPECT_EQ(MultiplyFlops(10, 20, 30), 2 * 10 * 20 * 30);
+}
+
+// ---- Local blocked multiply: the ground-truth reference. ----
+
+TEST(LocalMmTest, MatchesDenseMultiply) {
+  GeneratorOptions ga;
+  ga.rows = 27;
+  ga.cols = 33;
+  ga.block_size = 10;
+  ga.sparsity = 1.0;
+  ga.seed = 70;
+  GeneratorOptions gb = ga;
+  gb.rows = 33;
+  gb.cols = 21;
+  gb.seed = 71;
+  BlockGrid a = GenerateUniform(ga);
+  BlockGrid b = GenerateUniform(gb);
+  auto c = LocalMultiply(a, b);
+  ASSERT_TRUE(c.ok());
+  DenseMatrix expected = Multiply(a.ToDense(), b.ToDense());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c->ToDense(), expected), 1e-9);
+}
+
+TEST(LocalMmTest, SparseTimesDense) {
+  GeneratorOptions ga;
+  ga.rows = 40;
+  ga.cols = 50;
+  ga.block_size = 16;
+  ga.sparsity = 0.05;
+  ga.seed = 80;
+  GeneratorOptions gb;
+  gb.rows = 50;
+  gb.cols = 30;
+  gb.block_size = 16;
+  gb.sparsity = 1.0;
+  gb.seed = 81;
+  BlockGrid a = GenerateUniform(ga);
+  BlockGrid b = GenerateUniform(gb);
+  auto c = LocalMultiply(a, b);
+  ASSERT_TRUE(c.ok());
+  DenseMatrix expected = Multiply(a.ToDense(), b.ToDense());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c->ToDense(), expected), 1e-9);
+}
+
+TEST(LocalMmTest, RejectsMismatchedShapes) {
+  BlockGrid a(BlockedShape{10, 20, 5});
+  BlockGrid b(BlockedShape{30, 10, 5});
+  EXPECT_FALSE(LocalMultiply(a, b).ok());
+  BlockGrid c(BlockedShape{20, 10, 4});  // different block size
+  EXPECT_FALSE(LocalMultiply(a, c).ok());
+}
+
+TEST(LocalMmTest, TransposeGrid) {
+  GeneratorOptions g;
+  g.rows = 23;
+  g.cols = 31;
+  g.block_size = 10;
+  g.sparsity = 0.4;
+  g.seed = 90;
+  BlockGrid a = GenerateUniform(g);
+  BlockGrid t = LocalTranspose(a);
+  EXPECT_EQ(t.shape().rows, 31);
+  EXPECT_EQ(t.shape().cols, 23);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(t.ToDense(), a.ToDense().Transpose()),
+            1e-15);
+}
+
+}  // namespace
+}  // namespace distme::blas

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "matrix/block_grid.h"
+
+namespace distme {
+namespace {
+
+TEST(BlockedShapeTest, BlockCounts) {
+  BlockedShape s{100, 55, 10};
+  EXPECT_EQ(s.block_rows(), 10);
+  EXPECT_EQ(s.block_cols(), 6);
+  EXPECT_EQ(s.BlockRowsAt(0), 10);
+  EXPECT_EQ(s.BlockColsAt(5), 5);  // edge block is 5 wide
+  EXPECT_EQ(s.num_elements(), 5500);
+}
+
+TEST(BlockedShapeTest, ExactDivision) {
+  BlockedShape s{40, 40, 10};
+  EXPECT_EQ(s.block_rows(), 4);
+  EXPECT_EQ(s.BlockColsAt(3), 10);
+}
+
+TEST(BlockGridTest, PutValidatesIndexAndDims) {
+  BlockGrid grid(BlockedShape{20, 20, 10});
+  EXPECT_TRUE(grid.Put({0, 0}, Block::Zero(10, 10)).ok());
+  EXPECT_FALSE(grid.Put({2, 0}, Block::Zero(10, 10)).ok());  // index range
+  EXPECT_FALSE(grid.Put({0, 1}, Block::Zero(5, 10)).ok());   // wrong dims
+}
+
+TEST(BlockGridTest, GetMissingReturnsZeroOfRightShape) {
+  BlockGrid grid(BlockedShape{25, 15, 10});
+  Block b = grid.Get({2, 1});
+  EXPECT_EQ(b.rows(), 5);  // edge block
+  EXPECT_EQ(b.cols(), 5);
+  EXPECT_EQ(b.nnz(), 0);
+}
+
+TEST(BlockGridTest, FromDenseToDenseRoundTrip) {
+  Rng rng(5);
+  DenseMatrix m = DenseMatrix::Random(23, 17, &rng);
+  BlockGrid grid = BlockGrid::FromDense(m, 8);
+  EXPECT_EQ(grid.block_rows(), 3);
+  EXPECT_EQ(grid.block_cols(), 3);
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(grid.ToDense(), m, 0.0));
+}
+
+TEST(BlockGridTest, FromCsrRoundTrip) {
+  Rng rng(6);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 40; ++i) {
+    triplets.push_back({static_cast<int64_t>(rng.NextBounded(30)),
+                        static_cast<int64_t>(rng.NextBounded(25)),
+                        rng.NextDouble() + 0.1});
+  }
+  auto csr = CsrMatrix::FromTriplets(30, 25, triplets);
+  ASSERT_TRUE(csr.ok());
+  BlockGrid grid = BlockGrid::FromCsr(*csr, 7);
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(grid.ToDense(), csr->ToDense(), 0.0));
+  // Sparse input produces sparse blocks.
+  for (const auto& [idx, block] : grid.blocks()) {
+    EXPECT_TRUE(block.IsSparse());
+  }
+}
+
+TEST(BlockGridTest, ZeroBlocksAreImplicit) {
+  DenseMatrix m(20, 20);  // all zeros
+  m.Set(15, 15, 3.0);     // only one block has data
+  BlockGrid grid = BlockGrid::FromDense(m, 10);
+  EXPECT_EQ(grid.num_blocks(), 1);
+  EXPECT_TRUE(grid.Has({1, 1}));
+  EXPECT_FALSE(grid.Has({0, 0}));
+}
+
+TEST(BlockGridTest, TotalNnzAndSizeBytes) {
+  DenseMatrix m(10, 10);
+  m.Set(0, 0, 1.0);
+  m.Set(9, 9, 2.0);
+  BlockGrid grid = BlockGrid::FromDense(m, 5);
+  EXPECT_EQ(grid.TotalNnz(), 2);
+  EXPECT_GT(grid.SizeBytes(), 0);
+}
+
+}  // namespace
+}  // namespace distme

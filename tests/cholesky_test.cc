@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "blas/cholesky.h"
+#include "blas/gemm.h"
+#include "common/random.h"
+
+namespace distme::blas {
+namespace {
+
+// A random SPD matrix: M·Mᵀ + n·I.
+DenseMatrix RandomSpd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m = DenseMatrix::Random(n, n, &rng, -1.0, 1.0);
+  DenseMatrix spd = Multiply(m, m.Transpose());
+  for (int64_t i = 0; i < n; ++i) {
+    spd.Add(i, i, static_cast<double>(n));
+  }
+  return spd;
+}
+
+TEST(CholeskyTest, FactorsReproduceTheMatrix) {
+  for (const int64_t n : {1, 2, 5, 16, 33}) {
+    const DenseMatrix a = RandomSpd(n, 10 + static_cast<uint64_t>(n));
+    auto l = Cholesky(a);
+    ASSERT_TRUE(l.ok()) << "n=" << n;
+    // L is lower triangular with positive diagonal.
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_GT(l->At(i, i), 0.0);
+      for (int64_t j = i + 1; j < n; ++j) EXPECT_EQ(l->At(i, j), 0.0);
+    }
+    const DenseMatrix reconstructed = Multiply(*l, l->Transpose());
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(reconstructed, a), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(CholeskyTest, KnownFactorization) {
+  // [[4, 2], [2, 5]] = [[2, 0], [1, 2]] · [[2, 1], [0, 2]].
+  DenseMatrix a(2, 2);
+  a.Set(0, 0, 4);
+  a.Set(0, 1, 2);
+  a.Set(1, 0, 2);
+  a.Set(1, 1, 5);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_DOUBLE_EQ(l->At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l->At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(l->At(1, 1), 2.0);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  DenseMatrix negative(2, 2);
+  negative.Set(0, 0, -1.0);
+  negative.Set(1, 1, 1.0);
+  EXPECT_FALSE(Cholesky(negative).ok());
+
+  DenseMatrix rectangular(2, 3);
+  EXPECT_FALSE(Cholesky(rectangular).ok());
+
+  // Singular (rank 1) matrix fails the pivot test.
+  DenseMatrix singular(2, 2);
+  singular.Set(0, 0, 1.0);
+  singular.Set(0, 1, 1.0);
+  singular.Set(1, 0, 1.0);
+  singular.Set(1, 1, 1.0);
+  EXPECT_FALSE(Cholesky(singular).ok());
+}
+
+TEST(CholeskyTest, TriangularSolves) {
+  const DenseMatrix a = RandomSpd(12, 99);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  Rng rng(5);
+  const DenseMatrix b = DenseMatrix::Random(12, 3, &rng, -1.0, 1.0);
+  auto y = SolveLowerTriangular(*l, b);
+  ASSERT_TRUE(y.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(Multiply(*l, *y), b), 1e-9);
+  auto x = SolveUpperTriangularFromLower(*l, *y);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(Multiply(l->Transpose(), *x), *y), 1e-9);
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  const int64_t n = 20;
+  const DenseMatrix a = RandomSpd(n, 7);
+  Rng rng(8);
+  const DenseMatrix x_true = DenseMatrix::Random(n, 2, &rng, -3.0, 3.0);
+  const DenseMatrix b = Multiply(a, x_true);
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*x, x_true), 1e-7);
+}
+
+TEST(CholeskyTest, DimensionMismatchRejected) {
+  const DenseMatrix a = RandomSpd(4, 1);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  DenseMatrix wrong(5, 1);
+  EXPECT_FALSE(SolveLowerTriangular(*l, wrong).ok());
+  EXPECT_FALSE(SolveUpperTriangularFromLower(*l, wrong).ok());
+}
+
+}  // namespace
+}  // namespace distme::blas

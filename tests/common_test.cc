@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace distme {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::OutOfMemory("task 3 needs 7 GB");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(st.message(), "task 3 needs 7 GB");
+  EXPECT_EQ(st.ToString(), "OutOfMemory: task 3 needs 7 GB");
+}
+
+TEST(StatusTest, CopyAndMove) {
+  Status st = Status::Timeout("slow");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsTimeout());
+  EXPECT_TRUE(st.IsTimeout());
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsTimeout());
+  copy = moved;
+  EXPECT_EQ(copy.message(), "slow");
+}
+
+TEST(StatusTest, PaperFailureCodes) {
+  EXPECT_TRUE(Status::OutOfMemory("").IsOutOfMemory());
+  EXPECT_TRUE(Status::Timeout("").IsTimeout());
+  EXPECT_TRUE(Status::ExceedsDiskCapacity("").IsExceedsDiskCapacity());
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kExceedsDiskCapacity),
+               "ExceedsDiskCapacity");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalid());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  DISTME_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(RngTest, NextUniformRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextUniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2.0 * kKiB), "2.00 KB");
+  EXPECT_EQ(FormatBytes(1.5 * kGiB), "1.50 GB");
+  EXPECT_EQ(FormatBytes(36.0 * kTiB), "36.00 TB");
+}
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(12.34), "12.3s");
+  EXPECT_EQ(FormatSeconds(600.0), "10.0m");
+  EXPECT_EQ(FormatSeconds(7200.0), "2.00h");
+}
+
+TEST(UnitsTest, FormatCount) {
+  EXPECT_EQ(FormatCount(70000), "70K");
+  EXPECT_EQ(FormatCount(5000000), "5M");
+  EXPECT_EQ(FormatCount(1500000), "1.5M");
+}
+
+}  // namespace
+}  // namespace distme

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "cluster/config.h"
+#include "mm/cost_model.h"
+
+namespace distme::mm {
+namespace {
+
+// The paper's Figure 9 dataset: 70K×70K×70K, sparsity 0.5, block 1000².
+MMProblem Fig9Problem() {
+  MMProblem p;
+  p.a = MatrixDescriptor::Dense(70000, 70000, 1000);
+  p.a.sparsity = 0.5;
+  p.b = MatrixDescriptor::Dense(70000, 70000, 1000);
+  p.b.sparsity = 0.5;
+  return p;
+}
+
+TEST(CostModelTest, Figure9CostValues) {
+  // Figure 9(b) reports Cost() = 46.55e9 at (4,7,4), 51.45e9 at (6,7,4) and
+  // (4,7,5), 56.35e9 at (8,7,4) and (4,7,6), 61.25e9 at (10,7,4) and (4,7,7).
+  const MMProblem p = Fig9Problem();
+  EXPECT_NEAR(CuboidCostElements(p, {4, 7, 4}), 46.55e9, 1e6);
+  EXPECT_NEAR(CuboidCostElements(p, {6, 7, 4}), 51.45e9, 1e6);
+  EXPECT_NEAR(CuboidCostElements(p, {4, 7, 5}), 51.45e9, 1e6);
+  EXPECT_NEAR(CuboidCostElements(p, {8, 7, 4}), 56.35e9, 1e6);
+  EXPECT_NEAR(CuboidCostElements(p, {4, 7, 6}), 56.35e9, 1e6);
+  EXPECT_NEAR(CuboidCostElements(p, {10, 7, 4}), 61.25e9, 1e6);
+  EXPECT_NEAR(CuboidCostElements(p, {4, 7, 7}), 61.25e9, 1e6);
+}
+
+TEST(CostModelTest, CuboidGeneralizesBmm) {
+  // (I, 1, 1)-cuboid partitioning works like BMM (Section 3.1): same
+  // repartition communication (T = I tasks, B replicated to each).
+  MMProblem p = MMProblem::DenseSquareBlocks(4000, 4000, 4000, 1000);
+  const AnalyticCost bmm = BmmCost(p, p.I());
+  const AnalyticCost cuboid = CuboidCost(p, {p.I(), 1, 1});
+  EXPECT_DOUBLE_EQ(bmm.repartition_elements, cuboid.repartition_elements);
+}
+
+TEST(CostModelTest, CuboidGeneralizesCpmm) {
+  // (1, 1, K)-cuboid partitioning works like CPMM.
+  MMProblem p = MMProblem::DenseSquareBlocks(4000, 4000, 4000, 1000);
+  const AnalyticCost cpmm = CpmmCost(p, p.K());
+  const AnalyticCost cuboid = CuboidCost(p, {1, 1, p.K()});
+  EXPECT_DOUBLE_EQ(cpmm.repartition_elements, cuboid.repartition_elements);
+  EXPECT_DOUBLE_EQ(cpmm.aggregation_elements, cuboid.aggregation_elements);
+}
+
+TEST(CostModelTest, CuboidGeneralizesRmm) {
+  // (I, J, K)-cuboid partitioning works like RMM.
+  MMProblem p = MMProblem::DenseSquareBlocks(4000, 5000, 3000, 1000);
+  const AnalyticCost rmm = RmmCost(p, p.I() * p.J());
+  const AnalyticCost cuboid = CuboidCost(p, {p.I(), p.J(), p.K()});
+  EXPECT_DOUBLE_EQ(rmm.repartition_elements, cuboid.repartition_elements);
+  EXPECT_DOUBLE_EQ(rmm.aggregation_elements, cuboid.aggregation_elements);
+}
+
+TEST(CostModelTest, Table2BmmRow) {
+  MMProblem p = MMProblem::DenseSquareBlocks(3000, 2000, 1000, 1000);
+  const AnalyticCost c = BmmCost(p, 3);
+  // |A| + T·|B|, no aggregation.
+  EXPECT_DOUBLE_EQ(c.repartition_elements, 6e6 + 3 * 2e6);
+  EXPECT_DOUBLE_EQ(c.aggregation_elements, 0.0);
+  EXPECT_DOUBLE_EQ(c.max_tasks, 3.0);  // I
+  // |A|/T + |B| + |C|/T bytes.
+  EXPECT_DOUBLE_EQ(c.memory_per_task_bytes, (6e6 / 3 + 2e6 + 3e6 / 3) * 8);
+}
+
+TEST(CostModelTest, Table2CpmmRow) {
+  MMProblem p = MMProblem::DenseSquareBlocks(3000, 2000, 1000, 1000);
+  const AnalyticCost c = CpmmCost(p, 2);
+  EXPECT_DOUBLE_EQ(c.repartition_elements, 6e6 + 2e6);
+  EXPECT_DOUBLE_EQ(c.aggregation_elements, 2 * 3e6);  // T·|C|
+  EXPECT_DOUBLE_EQ(c.max_tasks, 2.0);                 // K
+}
+
+TEST(CostModelTest, Table2RmmRow) {
+  MMProblem p = MMProblem::DenseSquareBlocks(3000, 2000, 1000, 1000);
+  // I=3, K=2, J=1.
+  const AnalyticCost c = RmmCost(p, 6);
+  EXPECT_DOUBLE_EQ(c.repartition_elements, 1 * 6e6 + 3 * 2e6);  // J|A|+I|B|
+  EXPECT_DOUBLE_EQ(c.aggregation_elements, 2 * 3e6);            // K|C|
+  EXPECT_DOUBLE_EQ(c.max_tasks, 6.0);  // I·J·K
+}
+
+TEST(CostModelTest, MemDecreasesWithMorePartitions) {
+  MMProblem p = MMProblem::DenseSquareBlocks(10000, 10000, 10000, 1000);
+  EXPECT_GT(CuboidMemBytes(p, {1, 1, 1}), CuboidMemBytes(p, {2, 2, 2}));
+  EXPECT_GT(CuboidMemBytes(p, {2, 2, 2}), CuboidMemBytes(p, {5, 5, 5}));
+}
+
+TEST(CostModelTest, CostIncreasesWithMorePartitions) {
+  MMProblem p = MMProblem::DenseSquareBlocks(10000, 10000, 10000, 1000);
+  EXPECT_LT(CuboidCostElements(p, {1, 1, 1}), CuboidCostElements(p, {2, 1, 1}));
+  EXPECT_LT(CuboidCostElements(p, {1, 1, 1}), CuboidCostElements(p, {1, 2, 1}));
+  EXPECT_LT(CuboidCostElements(p, {1, 1, 1}), CuboidCostElements(p, {1, 1, 2}));
+}
+
+TEST(CostModelTest, SparseInputsShipFewerElements) {
+  MMProblem dense = MMProblem::DenseSquareBlocks(5000, 5000, 5000, 1000);
+  MMProblem sparse = dense;
+  sparse.a.sparsity = 0.01;
+  sparse.a.stored_dense = false;
+  EXPECT_LT(CuboidCostElements(sparse, {2, 2, 2}),
+            CuboidCostElements(dense, {2, 2, 2}));
+  // But C is still estimated fully dense (Section 2.2.2): the R·|C| term is
+  // unchanged.
+  EXPECT_DOUBLE_EQ(CuboidCost(sparse, {1, 1, 2}).aggregation_elements,
+                   CuboidCost(dense, {1, 1, 2}).aggregation_elements);
+}
+
+TEST(CostModelTest, MemoryOfSingleVoxelIsThreeBlocks) {
+  MMProblem p = MMProblem::DenseSquareBlocks(4000, 4000, 4000, 1000);
+  const CuboidSpec all{p.I(), p.J(), p.K()};
+  // One voxel per task: one A block + one B block + one C block.
+  EXPECT_DOUBLE_EQ(CuboidMemBytes(p, all), 3.0 * 1000 * 1000 * 8);
+}
+
+}  // namespace
+}  // namespace distme::mm

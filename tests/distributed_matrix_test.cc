@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "engine/distributed_matrix.h"
+#include "matrix/generator.h"
+
+namespace distme::engine {
+namespace {
+
+BlockGrid TestGrid(double sparsity = 1.0) {
+  GeneratorOptions g;
+  g.rows = 43;
+  g.cols = 37;
+  g.block_size = 10;
+  g.sparsity = sparsity;
+  g.seed = 3;
+  return GenerateUniform(g);
+}
+
+TEST(DistributedMatrixTest, FromGridCollectRoundTrip) {
+  BlockGrid grid = TestGrid();
+  DistributedMatrix dist = DistributedMatrix::FromGridHashed(grid, 4);
+  EXPECT_EQ(dist.num_nodes(), 4);
+  EXPECT_EQ(dist.num_blocks(), grid.num_blocks());
+  EXPECT_TRUE(
+      DenseMatrix::ApproxEquals(dist.Collect().ToDense(), grid.ToDense(), 0.0));
+}
+
+TEST(DistributedMatrixTest, GetReportsNetworkCrossing) {
+  BlockGrid grid = TestGrid();
+  DistributedMatrix dist = DistributedMatrix::FromGridHashed(grid, 3);
+  const BlockIndex idx{1, 1};
+  const int home = dist.NodeOf(idx);
+  bool crossed = true;
+  ASSERT_TRUE(dist.Get(idx, home, &crossed).ok());
+  EXPECT_FALSE(crossed);
+  ASSERT_TRUE(dist.Get(idx, (home + 1) % 3, &crossed).ok());
+  EXPECT_TRUE(crossed);
+}
+
+TEST(DistributedMatrixTest, GetMissingIsZeroBlock) {
+  DistributedMatrix dist(BlockedShape{25, 25, 10}, 2, Partitioner::Hash(2));
+  auto blk = dist.Get({2, 2}, 0, nullptr);
+  ASSERT_TRUE(blk.ok());
+  EXPECT_EQ(blk->nnz(), 0);
+  EXPECT_EQ(blk->rows(), 5);  // edge block
+}
+
+TEST(DistributedMatrixTest, OutOfRangeRejected) {
+  DistributedMatrix dist(BlockedShape{20, 20, 10}, 2, Partitioner::Hash(2));
+  EXPECT_FALSE(dist.Put({5, 0}, Block::Zero(10, 10)).ok());
+  EXPECT_FALSE(dist.Get({-1, 0}, 0, nullptr).ok());
+}
+
+TEST(DistributedMatrixTest, RowPartitioningPlacesRowsTogether) {
+  BlockGrid grid = TestGrid();
+  DistributedMatrix dist =
+      DistributedMatrix::FromGrid(grid, 3, Partitioner::Row(3));
+  for (int64_t j = 0; j < dist.shape().block_cols(); ++j) {
+    EXPECT_EQ(dist.NodeOf({2, j}), dist.NodeOf({2, 0}));
+  }
+}
+
+TEST(DistributedMatrixTest, DescriptorMeasuresSparsity) {
+  BlockGrid grid = TestGrid(0.25);
+  DistributedMatrix dist = DistributedMatrix::FromGridHashed(grid, 2);
+  mm::MatrixDescriptor d = dist.Descriptor();
+  EXPECT_EQ(d.shape.rows, 43);
+  EXPECT_NEAR(d.sparsity, 0.25, 0.05);
+  EXPECT_FALSE(d.stored_dense);  // 0.25 < 0.4 threshold → CSR blocks
+}
+
+TEST(DistributedMatrixTest, SizeBytesMatchesCollectedGrid) {
+  BlockGrid grid = TestGrid();
+  DistributedMatrix dist = DistributedMatrix::FromGridHashed(grid, 5);
+  EXPECT_EQ(dist.SizeBytes(), grid.SizeBytes());
+}
+
+}  // namespace
+}  // namespace distme::engine

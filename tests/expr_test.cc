@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "blas/gemm.h"
+#include "core/expr.h"
+
+namespace distme::core {
+namespace {
+
+Session MakeSession() {
+  Session::Options options;
+  options.cluster = ClusterConfig::Local(2, 2);
+  options.planner = std::make_shared<DistmePlanner>(
+      mm::OptimizerOptions{.enforce_parallelism = false});
+  return Session(std::move(options));
+}
+
+Matrix Gen(Session* session, int64_t rows, int64_t cols, uint64_t seed) {
+  GeneratorOptions g;
+  g.rows = rows;
+  g.cols = cols;
+  g.block_size = 8;
+  g.sparsity = 1.0;
+  g.seed = seed;
+  auto m = session->Generate(g);
+  EXPECT_TRUE(m.ok());
+  return *m;
+}
+
+TEST(ExprTest, LeafEvaluatesToItself) {
+  Session session = MakeSession();
+  Matrix a = Gen(&session, 16, 16, 1);
+  auto expr = Expr::Leaf(a, "A");
+  auto result = Evaluate(&session, expr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(result->Collect().ToDense(),
+                                        a.Collect().ToDense(), 0.0));
+}
+
+TEST(ExprTest, MultiplyChain) {
+  Session session = MakeSession();
+  Matrix a = Gen(&session, 24, 16, 2);
+  Matrix b = Gen(&session, 16, 24, 3);
+  Matrix c = Gen(&session, 24, 8, 4);
+  // (A × B) × C
+  auto expr = Expr::Multiply(
+      Expr::Multiply(Expr::Leaf(a, "A"), Expr::Leaf(b, "B")),
+      Expr::Leaf(c, "C"));
+  EXPECT_EQ(expr->ToString(), "((A x B) x C)");
+  EXPECT_EQ(expr->Shape(), (std::pair<int64_t, int64_t>{24, 8}));
+  auto result = Evaluate(&session, expr);
+  ASSERT_TRUE(result.ok());
+  DenseMatrix expected = blas::Multiply(
+      blas::Multiply(a.Collect().ToDense(), b.Collect().ToDense()),
+      c.Collect().ToDense());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(result->Collect().ToDense(), expected),
+            1e-9);
+}
+
+TEST(ExprTest, TransposeFoldsAtBuildTime) {
+  Session session = MakeSession();
+  Matrix a = Gen(&session, 16, 24, 5);
+  auto leaf = Expr::Leaf(a, "A");
+  auto twice = Expr::Transpose(Expr::Transpose(leaf));
+  EXPECT_EQ(twice.get(), leaf.get());  // folded to the original node
+  EXPECT_EQ(Expr::Transpose(leaf)->ToString(), "A'");
+}
+
+TEST(ExprTest, ScaleFolding) {
+  Session session = MakeSession();
+  Matrix a = Gen(&session, 8, 8, 6);
+  auto expr = Expr::Scale(Expr::Scale(Expr::Leaf(a, "A"), 2.0), 3.0);
+  EXPECT_EQ(expr->kind(), ExprKind::kScale);
+  EXPECT_EQ(expr->left()->kind(), ExprKind::kLeaf);  // single scale node
+  EXPECT_DOUBLE_EQ(expr->scalar(), 6.0);
+  auto result = Evaluate(&session, expr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->Collect().ToDense().At(2, 2),
+              6.0 * a.Collect().ToDense().At(2, 2), 1e-12);
+}
+
+TEST(ExprTest, SharedSubtreeEvaluatedOnce) {
+  // The GNMF H-update numerator and denominator both consume Wᵀ: with the
+  // DAG, the transpose runs once (DMac-style dependency exploitation).
+  Session session = MakeSession();
+  Matrix w = Gen(&session, 32, 8, 7);
+  Matrix v = Gen(&session, 32, 24, 8);
+  Matrix h = Gen(&session, 8, 24, 9);
+
+  auto wt = Expr::Transpose(Expr::Leaf(w, "W"));
+  auto wtv = Expr::Multiply(wt, Expr::Leaf(v, "V"));
+  auto wtw = Expr::Multiply(wt, Expr::Leaf(w, "W"));
+  auto wtwh = Expr::Multiply(wtw, Expr::Leaf(h, "H"));
+  auto update = Expr::ElementWise(
+      blas::ElementWiseOp::kDiv,
+      Expr::ElementWise(blas::ElementWiseOp::kMul, Expr::Leaf(h, "H"), wtv),
+      wtwh, 1e-12);
+
+  EvalStats stats;
+  auto result = Evaluate(&session, update, &stats);
+  ASSERT_TRUE(result.ok());
+  // wt appears twice in the DAG but is computed once.
+  EXPECT_GE(stats.nodes_reused, 1);
+  EXPECT_EQ(stats.multiplications, 3);  // WᵀV, WᵀW, (WᵀW)H
+
+  // Numerically identical to the eager computation.
+  auto wt_e = session.Transpose(w);
+  auto wtv_e = session.Multiply(*wt_e, v);
+  auto wtw_e = session.Multiply(*wt_e, w);
+  auto wtwh_e = session.Multiply(*wtw_e, h);
+  auto num = session.ElementWise(blas::ElementWiseOp::kMul, h, *wtv_e);
+  auto expected =
+      session.ElementWise(blas::ElementWiseOp::kDiv, *num, *wtwh_e, 1e-12);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(result->Collect().ToDense(),
+                                    expected->Collect().ToDense()),
+            1e-9);
+}
+
+TEST(ExprTest, ElementWiseSameLeafTwice) {
+  Session session = MakeSession();
+  Matrix a = Gen(&session, 16, 16, 10);
+  auto leaf = Expr::Leaf(a, "A");
+  auto squared = Expr::ElementWise(blas::ElementWiseOp::kMul, leaf, leaf);
+  auto result = Evaluate(&session, squared);
+  ASSERT_TRUE(result.ok());
+  const DenseMatrix da = a.Collect().ToDense();
+  const DenseMatrix dr = result->Collect().ToDense();
+  for (int64_t r = 0; r < 16; ++r) {
+    for (int64_t c = 0; c < 16; ++c) {
+      EXPECT_NEAR(dr.At(r, c), da.At(r, c) * da.At(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(ExprTest, NullArgumentsRejected) {
+  Session session = MakeSession();
+  EXPECT_FALSE(Evaluate(&session, nullptr).ok());
+  Matrix a = Gen(&session, 8, 8, 11);
+  EXPECT_FALSE(Evaluate(nullptr, Expr::Leaf(a, "A")).ok());
+}
+
+}  // namespace
+}  // namespace distme::core
+
+namespace distme::core {
+namespace {
+
+TEST(ChainOptimizerTest, PicksCheaperAssociation) {
+  Session session = MakeSession();
+  // A: 64×8, B: 8×64, x: 64×8 — (A×B)×x costs 2·64·64·(8+8);
+  // A×(B×x) costs 2·8·(64·8 + 64·8): far cheaper per element count.
+  Matrix a = Gen(&session, 64, 8, 20);
+  Matrix b = Gen(&session, 8, 64, 21);
+  Matrix x = Gen(&session, 64, 8, 22);
+  auto naive = Expr::Multiply(
+      Expr::Multiply(Expr::Leaf(a, "A"), Expr::Leaf(b, "B")),
+      Expr::Leaf(x, "x"));
+  auto optimized = OptimizeMultiplicationOrder(naive);
+  EXPECT_LT(MultiplicationFlops(optimized), MultiplicationFlops(naive));
+  EXPECT_EQ(optimized->ToString(), "(A x (B x x))");
+
+  // Same value either way.
+  auto v1 = Evaluate(&session, naive);
+  auto v2 = Evaluate(&session, optimized);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(v1->Collect().ToDense(),
+                                    v2->Collect().ToDense()),
+            1e-9);
+}
+
+TEST(ChainOptimizerTest, AlreadyOptimalUnchangedCost) {
+  Session session = MakeSession();
+  Matrix a = Gen(&session, 16, 16, 23);
+  Matrix b = Gen(&session, 16, 16, 24);
+  auto expr = Expr::Multiply(Expr::Leaf(a, "A"), Expr::Leaf(b, "B"));
+  auto optimized = OptimizeMultiplicationOrder(expr);
+  EXPECT_DOUBLE_EQ(MultiplicationFlops(optimized),
+                   MultiplicationFlops(expr));
+}
+
+TEST(ChainOptimizerTest, FourFactorChain) {
+  Session session = MakeSession();
+  Matrix a = Gen(&session, 40, 8, 25);
+  Matrix b = Gen(&session, 8, 40, 26);
+  Matrix c = Gen(&session, 40, 8, 27);
+  Matrix d = Gen(&session, 8, 40, 28);
+  auto chain = Expr::Multiply(
+      Expr::Multiply(Expr::Multiply(Expr::Leaf(a, "A"), Expr::Leaf(b, "B")),
+                     Expr::Leaf(c, "C")),
+      Expr::Leaf(d, "D"));
+  auto optimized = OptimizeMultiplicationOrder(chain);
+  EXPECT_LE(MultiplicationFlops(optimized), MultiplicationFlops(chain));
+  auto v1 = Evaluate(&session, chain);
+  auto v2 = Evaluate(&session, optimized);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(v1->Collect().ToDense(),
+                                    v2->Collect().ToDense()),
+            1e-8);
+}
+
+TEST(ChainOptimizerTest, PreservesNonMultiplyStructure) {
+  Session session = MakeSession();
+  Matrix a = Gen(&session, 16, 16, 29);
+  auto expr = Expr::Scale(
+      Expr::ElementWise(blas::ElementWiseOp::kAdd, Expr::Leaf(a, "A"),
+                        Expr::Transpose(Expr::Leaf(a, "A"))),
+      2.0);
+  auto optimized = OptimizeMultiplicationOrder(expr);
+  EXPECT_EQ(optimized->ToString(), expr->ToString());
+}
+
+}  // namespace
+}  // namespace distme::core

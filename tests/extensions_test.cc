@@ -1,0 +1,193 @@
+// Tests for the future-work extensions implemented beyond the paper:
+// multiple GPUs per node, LPT load-balanced scheduling, and the skewed
+// (Zipf-like) dataset generator.
+
+#include <gtest/gtest.h>
+
+#include "blas/local_mm.h"
+#include "engine/real_executor.h"
+#include "engine/sim_executor.h"
+#include "matrix/generator.h"
+#include "mm/methods.h"
+#include "mm/optimizer.h"
+
+namespace distme {
+namespace {
+
+// ---- Multi-GPU ----
+
+TEST(MultiGpuTest, SimulatedSpeedupOnComputeBoundWork) {
+  mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(40000, 40000, 40000,
+                                                     1000);
+  auto make_report = [&](int devices) {
+    ClusterConfig cluster = ClusterConfig::Paper();
+    cluster.gpu.devices_per_node = devices;
+    engine::SimExecutor executor(cluster);
+    auto opt = mm::OptimizeCuboid(p, cluster);
+    EXPECT_TRUE(opt.ok());
+    engine::SimOptions gpu;
+    gpu.mode = engine::ComputeMode::kGpuStreaming;
+    auto report = executor.Run(p, mm::CuboidMethod(opt->spec), gpu);
+    EXPECT_TRUE(report.ok());
+    return *report;
+  };
+  const engine::MMReport one = make_report(1);
+  const engine::MMReport four = make_report(4);
+  ASSERT_TRUE(one.outcome.ok() && four.outcome.ok());
+  const double speedup =
+      one.steps.multiply_seconds / four.steps.multiply_seconds;
+  EXPECT_GT(speedup, 1.8);  // compute-bound: near-linear until PCI-E binds
+  EXPECT_LE(speedup, 4.5);
+}
+
+TEST(MultiGpuTest, RealExecutionStaysCorrect) {
+  ClusterConfig cluster = ClusterConfig::Local(2, 4);
+  cluster.gpu.devices_per_node = 2;
+  GeneratorOptions ga;
+  ga.rows = 40;
+  ga.cols = 40;
+  ga.block_size = 8;
+  ga.seed = 5;
+  GeneratorOptions gb = ga;
+  gb.seed = 6;
+  BlockGrid grid_a = GenerateUniform(ga);
+  BlockGrid grid_b = GenerateUniform(gb);
+  engine::DistributedMatrix a =
+      engine::DistributedMatrix::FromGridHashed(grid_a, 2);
+  engine::DistributedMatrix b =
+      engine::DistributedMatrix::FromGridHashed(grid_b, 2);
+  engine::RealExecutor executor(cluster);
+  engine::RealOptions options;
+  options.mode = engine::ComputeMode::kGpuStreaming;
+  auto run = executor.Run(a, b, mm::CuboidMethod(mm::CuboidSpec{2, 2, 2}),
+                          options);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->report.outcome.ok());
+  auto expected = blas::LocalMultiply(grid_a, grid_b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
+                                    expected->ToDense()),
+            1e-9);
+  EXPECT_GT(run->report.pcie_bytes, 0.0);
+}
+
+// ---- LPT scheduling ----
+
+TEST(LptTest, SimMakespanNeverWorse) {
+  // A cuboid spec whose splits are uneven creates task-duration skew; LPT
+  // must not increase the multiply makespan and usually shrinks it.
+  mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(37000, 41000, 53000,
+                                                     1000);
+  ClusterConfig cluster = ClusterConfig::Paper();
+  engine::SimExecutor executor(cluster);
+  const mm::CuboidMethod method(mm::CuboidSpec{7, 11, 3});  // 231 tasks
+  engine::SimOptions plain;
+  engine::SimOptions lpt;
+  lpt.lpt_scheduling = true;
+  auto base = executor.Run(p, method, plain);
+  auto balanced = executor.Run(p, method, lpt);
+  ASSERT_TRUE(base.ok() && balanced.ok());
+  EXPECT_LE(balanced->steps.multiply_seconds,
+            base->steps.multiply_seconds + 1e-9);
+}
+
+TEST(LptTest, RealExecutionUnchangedResults) {
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  GeneratorOptions ga;
+  ga.rows = 33;  // deliberately not a multiple of the block size
+  ga.cols = 29;
+  ga.block_size = 8;
+  ga.seed = 9;
+  GeneratorOptions gb;
+  gb.rows = 29;
+  gb.cols = 21;
+  gb.block_size = 8;
+  gb.seed = 10;
+  BlockGrid grid_a = GenerateUniform(ga);
+  BlockGrid grid_b = GenerateUniform(gb);
+  engine::DistributedMatrix a =
+      engine::DistributedMatrix::FromGridHashed(grid_a, 2);
+  engine::DistributedMatrix b =
+      engine::DistributedMatrix::FromGridHashed(grid_b, 2);
+  engine::RealExecutor executor(cluster);
+  engine::RealOptions lpt;
+  lpt.lpt_scheduling = true;
+  auto run = executor.Run(a, b, mm::CuboidMethod(mm::CuboidSpec{2, 2, 2}),
+                          lpt);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->report.outcome.ok());
+  auto expected = blas::LocalMultiply(grid_a, grid_b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
+                                    expected->ToDense()),
+            1e-9);
+}
+
+// ---- Skewed generator ----
+
+TEST(SkewedGeneratorTest, RowDensityDecreases) {
+  GeneratorOptions g;
+  g.rows = 100;
+  g.cols = 100;
+  g.block_size = 10;
+  g.sparsity = 0.1;
+  g.row_skew = 1.0;
+  g.seed = 77;
+  BlockGrid grid = GenerateUniform(g);
+  // nnz per block row should fall monotonically (statistically).
+  std::vector<int64_t> per_row(10, 0);
+  for (const auto& [idx, block] : grid.blocks()) {
+    per_row[static_cast<size_t>(idx.i)] += block.nnz();
+  }
+  EXPECT_GT(per_row[0], 3 * per_row[9]);
+  EXPECT_GT(per_row[0], per_row[4]);
+}
+
+TEST(SkewedGeneratorTest, OverallSparsityPreserved) {
+  GeneratorOptions g;
+  g.rows = 200;
+  g.cols = 200;
+  g.block_size = 20;
+  g.sparsity = 0.05;
+  g.row_skew = 0.8;
+  g.seed = 78;
+  BlockGrid grid = GenerateUniform(g);
+  const double measured =
+      static_cast<double>(grid.TotalNnz()) / (200.0 * 200.0);
+  EXPECT_NEAR(measured, 0.05, 0.015);
+}
+
+TEST(SkewedGeneratorTest, ZeroSkewMatchesUniform) {
+  GeneratorOptions g;
+  g.rows = 40;
+  g.cols = 40;
+  g.block_size = 10;
+  g.sparsity = 0.3;
+  g.seed = 79;
+  GeneratorOptions skewless = g;
+  skewless.row_skew = 0.0;
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(GenerateUniform(g).ToDense(),
+                                        GenerateUniform(skewless).ToDense(),
+                                        0.0));
+}
+
+TEST(SkewedGeneratorTest, DeterministicPerBlock) {
+  GeneratorOptions g;
+  g.rows = 60;
+  g.cols = 60;
+  g.block_size = 15;
+  g.sparsity = 0.1;
+  g.row_skew = 1.2;
+  g.seed = 80;
+  BlockGrid whole = GenerateUniform(g);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      Block blk = GenerateUniformBlock(g, i, j);
+      EXPECT_TRUE(DenseMatrix::ApproxEquals(
+          blk.ToDense(), whole.Get({i, j}).ToDense(), 0.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distme

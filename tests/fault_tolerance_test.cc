@@ -1,0 +1,142 @@
+// Fault-injection tests: task attempts crash before their commit point and
+// are retried; results must be exactly the same as a failure-free run —
+// the lineage-recovery property of the RDD substrate.
+
+#include <gtest/gtest.h>
+
+#include "blas/local_mm.h"
+#include "engine/real_executor.h"
+#include "matrix/generator.h"
+#include "mm/methods.h"
+
+namespace distme::engine {
+namespace {
+
+struct Inputs {
+  BlockGrid a;
+  BlockGrid b;
+};
+
+Inputs MakeInputs(uint64_t seed) {
+  GeneratorOptions ga;
+  ga.rows = 48;
+  ga.cols = 48;
+  ga.block_size = 8;
+  ga.sparsity = 1.0;
+  ga.seed = seed;
+  GeneratorOptions gb = ga;
+  gb.seed = seed + 1;
+  return {GenerateUniform(ga), GenerateUniform(gb)};
+}
+
+TEST(FaultToleranceTest, RetriesProduceExactResult) {
+  const ClusterConfig cluster = ClusterConfig::Local(3, 2);
+  Inputs in = MakeInputs(42);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 3);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 3);
+  RealExecutor executor(cluster);
+
+  RealOptions faulty;
+  faulty.task_failure_rate = 0.3;  // ~30% of attempts crash
+  faulty.max_task_attempts = 10;
+  auto run = executor.Run(a, b, mm::CuboidMethod(mm::CuboidSpec{2, 3, 2}),
+                          faulty);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->report.outcome.ok()) << run->report.outcome;
+  EXPECT_GT(run->report.task_retries, 0);
+
+  auto expected = blas::LocalMultiply(in.a, in.b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
+                                    expected->ToDense()),
+            1e-9);
+}
+
+TEST(FaultToleranceTest, AggregatingMethodSurvivesCrashes) {
+  // RMM's per-voxel intermediates go through the reducer; a replayed task
+  // must not double-count its partial blocks (atomic commit).
+  const ClusterConfig cluster = ClusterConfig::Local(2, 3);
+  Inputs in = MakeInputs(77);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 2);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 2);
+  RealExecutor executor(cluster);
+  RealOptions faulty;
+  faulty.task_failure_rate = 0.4;
+  faulty.max_task_attempts = 16;
+  auto run = executor.Run(a, b, mm::RmmMethod(), faulty);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->report.outcome.ok()) << run->report.outcome;
+  EXPECT_GT(run->report.task_retries, 0);
+  auto expected = blas::LocalMultiply(in.a, in.b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
+                                    expected->ToDense()),
+            1e-9);
+}
+
+TEST(FaultToleranceTest, ExhaustedAttemptsFailTheJob) {
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  Inputs in = MakeInputs(99);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 2);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 2);
+  RealExecutor executor(cluster);
+  RealOptions doomed;
+  doomed.task_failure_rate = 1.0;  // every attempt crashes
+  doomed.max_task_attempts = 3;
+  auto run = executor.Run(a, b, mm::CpmmMethod(), doomed);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->report.outcome.ok());
+  EXPECT_GE(run->report.task_retries, 3);
+}
+
+TEST(FaultToleranceTest, ZeroRateMeansZeroRetries) {
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  Inputs in = MakeInputs(11);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 2);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 2);
+  RealExecutor executor(cluster);
+  auto run = executor.Run(a, b, mm::CpmmMethod(), {});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->report.task_retries, 0);
+}
+
+TEST(FaultToleranceTest, DeterministicInjection) {
+  // Same (rate, task set) → same number of retries: failures are a pure
+  // function of (task id, attempt), so runs are reproducible.
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  Inputs in = MakeInputs(123);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 2);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 2);
+  RealExecutor executor(cluster);
+  RealOptions faulty;
+  faulty.task_failure_rate = 0.5;
+  faulty.max_task_attempts = 12;
+  auto r1 = executor.Run(a, b, mm::RmmMethod(), faulty);
+  auto r2 = executor.Run(a, b, mm::RmmMethod(), faulty);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->report.task_retries, r2->report.task_retries);
+}
+
+TEST(FaultToleranceTest, GpuTasksRetryToo) {
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  Inputs in = MakeInputs(55);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 2);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 2);
+  RealExecutor executor(cluster);
+  RealOptions faulty;
+  faulty.mode = ComputeMode::kGpuStreaming;
+  faulty.task_failure_rate = 0.3;
+  faulty.max_task_attempts = 10;
+  auto run = executor.Run(a, b, mm::CuboidMethod(mm::CuboidSpec{2, 2, 3}),
+                          faulty);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->report.outcome.ok()) << run->report.outcome;
+  auto expected = blas::LocalMultiply(in.a, in.b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
+                                    expected->ToDense()),
+            1e-9);
+}
+
+}  // namespace
+}  // namespace distme::engine

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "matrix/generator.h"
+
+namespace distme {
+namespace {
+
+TEST(GeneratorTest, Deterministic) {
+  GeneratorOptions options;
+  options.rows = 50;
+  options.cols = 40;
+  options.block_size = 16;
+  options.sparsity = 0.5;
+  options.seed = 99;
+  BlockGrid a = GenerateUniform(options);
+  BlockGrid b = GenerateUniform(options);
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(a.ToDense(), b.ToDense(), 0.0));
+}
+
+TEST(GeneratorTest, PerBlockMatchesWholeMatrix) {
+  GeneratorOptions options;
+  options.rows = 33;
+  options.cols = 29;
+  options.block_size = 10;
+  options.sparsity = 1.0;
+  options.seed = 123;
+  BlockGrid whole = GenerateUniform(options);
+  for (int64_t i = 0; i < whole.block_rows(); ++i) {
+    for (int64_t j = 0; j < whole.block_cols(); ++j) {
+      Block blk = GenerateUniformBlock(options, i, j);
+      EXPECT_TRUE(DenseMatrix::ApproxEquals(blk.ToDense(),
+                                            whole.Get({i, j}).ToDense(), 0.0))
+          << "block (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(GeneratorTest, SparsityStatistics) {
+  GeneratorOptions options;
+  options.rows = 200;
+  options.cols = 200;
+  options.block_size = 50;
+  options.sparsity = 0.3;
+  options.seed = 7;
+  BlockGrid grid = GenerateUniform(options);
+  const double measured =
+      static_cast<double>(grid.TotalNnz()) / (200.0 * 200.0);
+  EXPECT_NEAR(measured, 0.3, 0.03);
+}
+
+TEST(GeneratorTest, FullyDenseHasNoZeros) {
+  GeneratorOptions options;
+  options.rows = 30;
+  options.cols = 30;
+  options.block_size = 10;
+  options.sparsity = 1.0;
+  BlockGrid grid = GenerateUniform(options);
+  EXPECT_EQ(grid.TotalNnz(), 900);
+}
+
+TEST(GeneratorTest, VerySparseUsesCsrBlocks) {
+  GeneratorOptions options;
+  options.rows = 100;
+  options.cols = 100;
+  options.block_size = 50;
+  options.sparsity = 0.01;
+  BlockGrid grid = GenerateUniform(options);
+  for (const auto& [idx, block] : grid.blocks()) {
+    EXPECT_TRUE(block.IsSparse());
+  }
+}
+
+TEST(GeneratorTest, DenseThresholdControlsFormat) {
+  GeneratorOptions options;
+  options.rows = 40;
+  options.cols = 40;
+  options.block_size = 20;
+  options.sparsity = 0.5;  // above the default 0.4 threshold → dense
+  BlockGrid grid = GenerateUniform(options);
+  for (const auto& [idx, block] : grid.blocks()) {
+    EXPECT_TRUE(block.IsDense());
+  }
+}
+
+TEST(GeneratorTest, ZeroSparsityIsEmpty) {
+  GeneratorOptions options;
+  options.rows = 10;
+  options.cols = 10;
+  options.block_size = 5;
+  options.sparsity = 0.0;
+  EXPECT_EQ(GenerateUniform(options).num_blocks(), 0);
+}
+
+TEST(RatingDatasetTest, Table3Statistics) {
+  // The exact published dataset shapes (Table 3).
+  EXPECT_EQ(MovieLens().ratings, 27753444);
+  EXPECT_EQ(MovieLens().users, 283228);
+  EXPECT_EQ(MovieLens().items, 58098);
+  EXPECT_EQ(Netflix().ratings, 100480507);
+  EXPECT_EQ(Netflix().users, 480189);
+  EXPECT_EQ(Netflix().items, 17770);
+  EXPECT_EQ(YahooMusic().ratings, 717872016);
+  EXPECT_EQ(YahooMusic().users, 1823179);
+  EXPECT_EQ(YahooMusic().items, 136736);
+}
+
+TEST(RatingDatasetTest, OptionsPreserveDensity) {
+  const RatingDataset netflix = Netflix();
+  GeneratorOptions full = RatingMatrixOptions(netflix);
+  const double density = static_cast<double>(netflix.ratings) /
+                         (static_cast<double>(netflix.users) * netflix.items);
+  EXPECT_DOUBLE_EQ(full.sparsity, density);
+  EXPECT_EQ(full.rows, netflix.users);
+
+  GeneratorOptions scaled = RatingMatrixOptions(netflix, 100, 0.001);
+  EXPECT_DOUBLE_EQ(scaled.sparsity, density);  // density is scale-invariant
+  EXPECT_EQ(scaled.rows, 480);
+  EXPECT_EQ(scaled.block_size, 100);
+}
+
+}  // namespace
+}  // namespace distme

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "gpu/device.h"
+
+namespace distme::gpu {
+namespace {
+
+GpuSpec SmallGpu() {
+  GpuSpec spec;
+  spec.memory_bytes = 1024;
+  return spec;
+}
+
+TEST(DeviceTest, MemoryAccounting) {
+  Device device(SmallGpu(), HardwareModel{});
+  auto a = device.Allocate(512, "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(device.memory_used(), 512);
+  auto b = device.Allocate(512, "b");
+  ASSERT_TRUE(b.ok());
+  auto c = device.Allocate(1, "c");
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsOutOfMemory());
+  ASSERT_TRUE(device.Free(*a).ok());
+  EXPECT_EQ(device.memory_used(), 512);
+  EXPECT_TRUE(device.Allocate(256, "d").ok());
+  EXPECT_EQ(device.stats().peak_memory_bytes, 1024);
+}
+
+TEST(DeviceTest, FreeUnknownBufferFails) {
+  Device device(SmallGpu(), HardwareModel{});
+  EXPECT_FALSE(device.Free(123).ok());
+}
+
+TEST(DeviceTest, UnknownStreamRejected) {
+  Device device(SmallGpu(), HardwareModel{});
+  EXPECT_FALSE(device.EnqueueH2D(0, 100).ok());
+  EXPECT_FALSE(device.EnqueueKernel(5, 100).ok());
+}
+
+TEST(DeviceTest, StreamOpsAreFifo) {
+  HardwareModel hw;
+  hw.pcie_bandwidth = 1000.0;  // 1000 B/s → easy arithmetic
+  hw.gpu_gemm_flops = 1000.0;
+  hw.kernel_launch_overhead = 0.0;
+  Device device(GpuSpec{}, hw);
+  const StreamId s = device.CreateStream();
+  ASSERT_TRUE(device.EnqueueH2D(s, 1000).ok());       // [0, 1]
+  ASSERT_TRUE(device.EnqueueKernel(s, 2000).ok());    // [1, 3]
+  ASSERT_TRUE(device.EnqueueD2H(s, 500).ok());        // [3, 3.5]
+  EXPECT_NEAR(device.Synchronize(), 3.5, 1e-9);
+}
+
+TEST(DeviceTest, H2DCopiesSerializeAcrossStreams) {
+  // Section 4.3: "H2D copies of these streams cannot overlap with each
+  // other since the current GPU architecture does not support it."
+  HardwareModel hw;
+  hw.pcie_bandwidth = 1000.0;
+  hw.kernel_launch_overhead = 0.0;
+  Device device(GpuSpec{}, hw);
+  const StreamId s1 = device.CreateStream();
+  const StreamId s2 = device.CreateStream();
+  ASSERT_TRUE(device.EnqueueH2D(s1, 1000).ok());  // engine busy [0, 1]
+  ASSERT_TRUE(device.EnqueueH2D(s2, 1000).ok());  // must wait → [1, 2]
+  EXPECT_NEAR(device.Synchronize(), 2.0, 1e-9);
+  EXPECT_NEAR(device.stats().h2d_seconds, 2.0, 1e-9);
+}
+
+TEST(DeviceTest, KernelsOverlapCopiesOnOtherStreams) {
+  HardwareModel hw;
+  hw.pcie_bandwidth = 1000.0;
+  hw.gpu_gemm_flops = 1000.0;
+  hw.kernel_launch_overhead = 0.0;
+  Device device(GpuSpec{}, hw);
+  const StreamId s1 = device.CreateStream();
+  const StreamId s2 = device.CreateStream();
+  // Stream 1: copy [0,1] then kernel [1,2]. Stream 2's copy waits for the
+  // H2D engine [1,2] and its kernel runs [2,3] — overlapping s1's kernel
+  // window would require the kernel engine, which is then free.
+  ASSERT_TRUE(device.EnqueueH2D(s1, 1000).ok());
+  ASSERT_TRUE(device.EnqueueKernel(s1, 1000).ok());
+  ASSERT_TRUE(device.EnqueueH2D(s2, 1000).ok());
+  ASSERT_TRUE(device.EnqueueKernel(s2, 1000).ok());
+  EXPECT_NEAR(device.Synchronize(), 3.0, 1e-9);
+}
+
+TEST(DeviceTest, KernelBodyExecutes) {
+  Device device(GpuSpec{}, HardwareModel{});
+  const StreamId s = device.CreateStream();
+  int calls = 0;
+  ASSERT_TRUE(device.EnqueueKernel(s, 100, [&]() { ++calls; }).ok());
+  ASSERT_TRUE(device.EnqueueKernel(s, 100, [&]() { ++calls; }).ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(device.stats().kernel_calls, 2);
+}
+
+TEST(DeviceTest, SparseKernelUsesSparseThroughput) {
+  HardwareModel hw;
+  hw.gpu_gemm_flops = 1000.0;
+  hw.gpu_sparse_flops = 100.0;
+  hw.kernel_launch_overhead = 0.0;
+  Device device(GpuSpec{}, hw);
+  const StreamId s = device.CreateStream();
+  ASSERT_TRUE(device.EnqueueKernel(s, 1000, nullptr, /*sparse=*/false).ok());
+  const double dense_time = device.Synchronize();
+  device.ResetTimeline();
+  const StreamId s2 = device.CreateStream();
+  ASSERT_TRUE(device.EnqueueKernel(s2, 1000, nullptr, /*sparse=*/true).ok());
+  EXPECT_GT(device.Synchronize(), dense_time * 5);
+}
+
+TEST(DeviceTest, StatsAccumulateBytes) {
+  Device device(GpuSpec{}, HardwareModel{});
+  const StreamId s = device.CreateStream();
+  ASSERT_TRUE(device.EnqueueH2D(s, 100).ok());
+  ASSERT_TRUE(device.EnqueueH2D(s, 200).ok());
+  ASSERT_TRUE(device.EnqueueD2H(s, 50).ok());
+  EXPECT_EQ(device.stats().h2d_bytes, 300);
+  EXPECT_EQ(device.stats().d2h_bytes, 50);
+  EXPECT_EQ(device.stats().h2d_copies, 2);
+  EXPECT_EQ(device.stats().d2h_copies, 1);
+}
+
+TEST(DeviceTest, ResetTimelineClearsClockKeepsMemory) {
+  Device device(SmallGpu(), HardwareModel{});
+  ASSERT_TRUE(device.Allocate(100, "x").ok());
+  const StreamId s = device.CreateStream();
+  ASSERT_TRUE(device.EnqueueH2D(s, 1000000).ok());
+  EXPECT_GT(device.Synchronize(), 0.0);
+  device.ResetTimeline();
+  EXPECT_EQ(device.Synchronize(), 0.0);
+  EXPECT_EQ(device.memory_used(), 100);  // allocations survive
+}
+
+}  // namespace
+}  // namespace distme::gpu

@@ -1,0 +1,221 @@
+// End-to-end integration: the distributed engine against the single-node
+// reference across methods, planners, sparsities, shapes and compute modes;
+// plus cross-validation between the simulated executor's communication
+// accounting and the real executor's measured bytes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/gemm.h"
+#include "blas/local_mm.h"
+#include "core/gnmf.h"
+#include "core/session.h"
+#include "engine/real_executor.h"
+#include "engine/sim_executor.h"
+#include "matrix/io.h"
+#include "mm/methods.h"
+#include "systems/profiles.h"
+
+namespace distme {
+namespace {
+
+TEST(IntegrationTest, SimAndRealAgreeOnCommunicationRatios) {
+  // On the same problem, the ratio of RMM-to-CuboidMM shuffle volume should
+  // roughly agree between the analytic simulation and measured execution.
+  const ClusterConfig cluster = ClusterConfig::Local(3, 2);
+
+  GeneratorOptions ga;
+  ga.rows = 48;
+  ga.cols = 48;
+  ga.block_size = 8;
+  ga.sparsity = 1.0;
+  ga.seed = 11;
+  GeneratorOptions gb = ga;
+  gb.seed = 12;
+  BlockGrid grid_a = GenerateUniform(ga);
+  BlockGrid grid_b = GenerateUniform(gb);
+  engine::DistributedMatrix a =
+      engine::DistributedMatrix::FromGridHashed(grid_a, 3);
+  engine::DistributedMatrix b =
+      engine::DistributedMatrix::FromGridHashed(grid_b, 3);
+
+  mm::MMProblem problem{a.Descriptor(), b.Descriptor()};
+  mm::RmmMethod rmm;
+  mm::CuboidMethod cuboid(mm::CuboidSpec{2, 3, 2});
+
+  engine::RealExecutor real(cluster);
+  auto real_rmm = real.Run(a, b, rmm, {});
+  auto real_cuboid = real.Run(a, b, cuboid, {});
+  ASSERT_TRUE(real_rmm.ok() && real_cuboid.ok());
+
+  engine::SimExecutor sim(cluster);
+  auto sim_rmm = sim.Run(problem, rmm, {});
+  auto sim_cuboid = sim.Run(problem, cuboid, {});
+  ASSERT_TRUE(sim_rmm.ok() && sim_cuboid.ok());
+
+  const double real_ratio = real_rmm->report.total_shuffle_bytes() /
+                            real_cuboid->report.total_shuffle_bytes();
+  const double sim_ratio =
+      sim_rmm->total_shuffle_bytes() / sim_cuboid->total_shuffle_bytes();
+  EXPECT_GT(real_ratio, 1.0);
+  EXPECT_GT(sim_ratio, 1.0);
+  // Within 2× of each other (the real run only counts cross-node moves on a
+  // 3-node cluster; the model charges every move).
+  EXPECT_LT(std::abs(std::log(real_ratio / sim_ratio)), std::log(2.5));
+}
+
+TEST(IntegrationTest, FullPipelineLoadMultiplySave) {
+  // MatrixMarket in → distribute → multiply (planner) → collect → save →
+  // reload → verify.
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  core::Session::Options options;
+  options.cluster = cluster;
+  options.planner = std::make_shared<core::DistmePlanner>(
+      mm::OptimizerOptions{.enforce_parallelism = false});
+  core::Session session(options);
+
+  GeneratorOptions g;
+  g.rows = 40;
+  g.cols = 30;
+  g.block_size = 10;
+  g.sparsity = 0.25;
+  g.seed = 21;
+  BlockGrid grid = GenerateUniform(g);
+  const std::string path = testing::TempDir() + "/pipeline.mtx";
+  ASSERT_TRUE(WriteMatrixMarket(grid, path).ok());
+  auto loaded = ReadMatrixMarket(path, 10);
+  ASSERT_TRUE(loaded.ok());
+
+  auto v = session.FromGrid(*loaded);
+  auto vt = session.Transpose(*v);
+  auto gram = session.Multiply(*vt, *v);  // VᵀV, 30×30
+  ASSERT_TRUE(gram.ok());
+
+  DenseMatrix dv = grid.ToDense();
+  DenseMatrix expected = blas::Multiply(dv.Transpose(), dv);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(gram->Collect().ToDense(), expected),
+            1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, AllSystemPlannersProduceCorrectProducts) {
+  // Each comparator system's *planner* drives the real executor; whatever
+  // method it picks, the product must be right.
+  const ClusterConfig cluster = ClusterConfig::Local(2, 3);
+  GeneratorOptions ga;
+  ga.rows = 32;
+  ga.cols = 40;
+  ga.block_size = 8;
+  ga.sparsity = 1.0;
+  ga.seed = 31;
+  GeneratorOptions gb;
+  gb.rows = 40;
+  gb.cols = 24;
+  gb.block_size = 8;
+  gb.sparsity = 1.0;
+  gb.seed = 32;
+  BlockGrid grid_a = GenerateUniform(ga);
+  BlockGrid grid_b = GenerateUniform(gb);
+  auto expected = blas::LocalMultiply(grid_a, grid_b);
+  ASSERT_TRUE(expected.ok());
+
+  engine::DistributedMatrix a =
+      engine::DistributedMatrix::FromGridHashed(grid_a, 2);
+  engine::DistributedMatrix b =
+      engine::DistributedMatrix::FromGridHashed(grid_b, 2);
+  mm::MMProblem problem{a.Descriptor(), b.Descriptor()};
+
+  // Relax the parallelism constraint so the cuboid optimizer is feasible at
+  // toy scale.
+  auto distme_planner = std::make_shared<core::DistmePlanner>(
+      mm::OptimizerOptions{.enforce_parallelism = false});
+  std::vector<std::shared_ptr<core::Planner>> planners = {
+      distme_planner,
+      systems::SystemML(false).planner,
+      systems::MatFast(false).planner,
+      systems::ScaLAPACK().planner,
+  };
+  engine::RealExecutor executor(cluster);
+  for (const auto& planner : planners) {
+    auto method = planner->Choose(problem, cluster);
+    ASSERT_TRUE(method.ok()) << planner->name();
+    auto run = executor.Run(a, b, **method, {});
+    ASSERT_TRUE(run.ok()) << planner->name();
+    ASSERT_TRUE(run->report.outcome.ok())
+        << planner->name() << ": " << run->report.outcome;
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
+                                      expected->ToDense()),
+              1e-9)
+        << planner->name() << " chose " << run->report.method_name;
+  }
+}
+
+TEST(IntegrationTest, GnmfReconstructsLowRankMatrix) {
+  // V = W0 × H0 exactly rank-4 and non-negative: GNMF should drive the
+  // reconstruction error well below the initial one.
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  core::Session::Options options;
+  options.cluster = cluster;
+  options.planner = std::make_shared<core::DistmePlanner>(
+      mm::OptimizerOptions{.enforce_parallelism = false});
+  core::Session session(options);
+
+  GeneratorOptions gw;
+  gw.rows = 32;
+  gw.cols = 4;
+  gw.block_size = 8;
+  gw.seed = 41;
+  GeneratorOptions gh;
+  gh.rows = 4;
+  gh.cols = 24;
+  gh.block_size = 8;
+  gh.seed = 42;
+  auto w0 = session.Generate(gw);
+  auto h0 = session.Generate(gh);
+  auto v = session.Multiply(*w0, *h0);
+  ASSERT_TRUE(v.ok());
+
+  core::GnmfOptions gnmf;
+  gnmf.factor_dim = 4;
+  gnmf.iterations = 60;
+  gnmf.track_loss = true;
+  auto result = core::RunGnmf(&session, *v, gnmf);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->loss.empty());
+  // GNMF's multiplicative updates converge slowly; require a clear drop.
+  EXPECT_LT(result->loss.back(), 0.5 * result->loss.front());
+}
+
+TEST(IntegrationTest, GpuAndCpuSessionsAgree) {
+  core::Session::Options cpu_options;
+  cpu_options.cluster = ClusterConfig::Local(2, 2);
+  cpu_options.mode = engine::ComputeMode::kCpu;
+  cpu_options.planner = std::make_shared<core::DistmePlanner>(
+      mm::OptimizerOptions{.enforce_parallelism = false});
+  core::Session::Options gpu_options = cpu_options;
+  gpu_options.mode = engine::ComputeMode::kGpuStreaming;
+
+  core::Session cpu(cpu_options);
+  core::Session gpu(gpu_options);
+  GeneratorOptions ga;
+  ga.rows = 40;
+  ga.cols = 40;
+  ga.block_size = 8;
+  ga.seed = 51;
+  GeneratorOptions gb = ga;
+  gb.seed = 52;
+  auto a1 = cpu.Generate(ga);
+  auto b1 = cpu.Generate(gb);
+  auto a2 = gpu.Generate(ga);
+  auto b2 = gpu.Generate(gb);
+  auto c_cpu = cpu.Multiply(*a1, *b1);
+  auto c_gpu = gpu.Multiply(*a2, *b2);
+  ASSERT_TRUE(c_cpu.ok() && c_gpu.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c_cpu->Collect().ToDense(),
+                                    c_gpu->Collect().ToDense()),
+            1e-9);
+}
+
+}  // namespace
+}  // namespace distme

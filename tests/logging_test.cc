@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace distme {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // These are filtered out; the streaming must still be safe.
+  DISTME_LOG(Debug) << "invisible " << 42;
+  DISTME_LOG(Info) << "also invisible " << 3.14;
+  DISTME_LOG(Warning) << "still invisible";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedLevelsDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  DISTME_LOG(Debug) << "debug line " << 1;
+  DISTME_LOG(Error) << "error line " << std::string("abc");
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace distme

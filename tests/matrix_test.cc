@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/sparse_matrix.h"
+
+namespace distme {
+namespace {
+
+TEST(DenseMatrixTest, ConstructZeroInitialized) {
+  DenseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.num_elements(), 12);
+  EXPECT_EQ(m.SizeBytes(), 96);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) EXPECT_EQ(m.At(r, c), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, SetGetAdd) {
+  DenseMatrix m(2, 2);
+  m.Set(0, 1, 3.5);
+  m.Add(0, 1, 1.5);
+  EXPECT_EQ(m.At(0, 1), 5.0);
+  EXPECT_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(DenseMatrixTest, CountNonZerosAndSparsity) {
+  DenseMatrix m(2, 5);
+  m.Set(0, 0, 1.0);
+  m.Set(1, 4, -2.0);
+  EXPECT_EQ(m.CountNonZeros(), 2);
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 0.2);
+}
+
+TEST(DenseMatrixTest, Transpose) {
+  Rng rng(3);
+  DenseMatrix m = DenseMatrix::Random(5, 7, &rng);
+  DenseMatrix t = m.Transpose();
+  ASSERT_EQ(t.rows(), 7);
+  ASSERT_EQ(t.cols(), 5);
+  for (int64_t r = 0; r < 5; ++r) {
+    for (int64_t c = 0; c < 7; ++c) EXPECT_EQ(m.At(r, c), t.At(c, r));
+  }
+  // Double transpose is identity.
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(m, t.Transpose(), 0.0));
+}
+
+TEST(DenseMatrixTest, Identity) {
+  DenseMatrix eye = DenseMatrix::Identity(4);
+  EXPECT_EQ(eye.CountNonZeros(), 4);
+  EXPECT_EQ(eye.At(2, 2), 1.0);
+  EXPECT_EQ(eye.At(2, 3), 0.0);
+}
+
+TEST(DenseMatrixTest, FrobeniusNorm) {
+  DenseMatrix m(1, 2);
+  m.Set(0, 0, 3.0);
+  m.Set(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiffShapeMismatchIsInfinite) {
+  DenseMatrix a(2, 2);
+  DenseMatrix b(2, 3);
+  EXPECT_TRUE(std::isinf(DenseMatrix::MaxAbsDiff(a, b)));
+}
+
+TEST(CsrMatrixTest, FromTripletsSortsAndSumsDuplicates) {
+  auto m = CsrMatrix::FromTriplets(
+      3, 3, {{2, 1, 4.0}, {0, 0, 1.0}, {2, 1, -1.0}, {1, 2, 2.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 3);
+  EXPECT_EQ(m->At(0, 0), 1.0);
+  EXPECT_EQ(m->At(2, 1), 3.0);  // 4 - 1
+  EXPECT_EQ(m->At(1, 2), 2.0);
+  EXPECT_EQ(m->At(1, 1), 0.0);
+}
+
+TEST(CsrMatrixTest, DuplicatesCancellingToZeroAreDropped) {
+  auto m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, -1.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 0);
+}
+
+TEST(CsrMatrixTest, OutOfRangeTripletRejected) {
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}).ok());
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{0, -1, 1.0}}).ok());
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  Rng rng(17);
+  DenseMatrix dense(6, 5);
+  for (int64_t r = 0; r < 6; ++r) {
+    for (int64_t c = 0; c < 5; ++c) {
+      if (rng.NextDouble() < 0.3) dense.Set(r, c, rng.NextDouble());
+    }
+  }
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(csr.nnz(), dense.CountNonZeros());
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(csr.ToDense(), dense, 0.0));
+}
+
+TEST(CsrMatrixTest, Transpose) {
+  auto m = CsrMatrix::FromTriplets(2, 3, {{0, 2, 5.0}, {1, 0, 7.0}});
+  ASSERT_TRUE(m.ok());
+  CsrMatrix t = m->Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.At(2, 0), 5.0);
+  EXPECT_EQ(t.At(0, 1), 7.0);
+  EXPECT_EQ(t.nnz(), 2);
+}
+
+TEST(CsrMatrixTest, TransposeRoundTrip) {
+  Rng rng(23);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 50; ++i) {
+    triplets.push_back({static_cast<int64_t>(rng.NextBounded(10)),
+                        static_cast<int64_t>(rng.NextBounded(8)),
+                        rng.NextDouble() + 0.1});
+  }
+  auto m = CsrMatrix::FromTriplets(10, 8, triplets);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(m->Transpose().Transpose().ToDense(),
+                                        m->ToDense(), 0.0));
+}
+
+TEST(CsrMatrixTest, SizeBytesGrowsWithNnz) {
+  auto small = CsrMatrix::FromTriplets(4, 4, {{0, 0, 1.0}});
+  auto large = CsrMatrix::FromTriplets(
+      4, 4, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}, {3, 3, 1.0}});
+  EXPECT_LT(small->SizeBytes(), large->SizeBytes());
+}
+
+TEST(CscMatrixTest, FromTripletsAndToDense) {
+  auto m = CscMatrix::FromTriplets(3, 2, {{2, 0, 1.5}, {0, 1, 2.5}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 2);
+  DenseMatrix d = m->ToDense();
+  EXPECT_EQ(d.At(2, 0), 1.5);
+  EXPECT_EQ(d.At(0, 1), 2.5);
+}
+
+TEST(CscMatrixTest, FromCsrPreservesValues) {
+  auto csr = CsrMatrix::FromTriplets(
+      4, 4, {{0, 3, 1.0}, {2, 1, 2.0}, {3, 3, 3.0}});
+  ASSERT_TRUE(csr.ok());
+  CscMatrix csc = CscMatrix::FromCsr(*csr);
+  EXPECT_EQ(csc.nnz(), 3);
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(csc.ToDense(), csr->ToDense(), 0.0));
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  auto m = CsrMatrix::FromTriplets(0, 0, {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 0);
+  EXPECT_EQ(m->Sparsity(), 0.0);
+}
+
+}  // namespace
+}  // namespace distme

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "cluster/memory_tracker.h"
+
+namespace distme {
+namespace {
+
+TEST(MemoryTrackerTest, AllocateAndFree) {
+  MemoryTracker tracker("t", 1000);
+  EXPECT_TRUE(tracker.Allocate(400).ok());
+  EXPECT_EQ(tracker.used(), 400);
+  EXPECT_EQ(tracker.remaining(), 600);
+  EXPECT_TRUE(tracker.Allocate(600).ok());
+  EXPECT_EQ(tracker.remaining(), 0);
+  tracker.Free(500);
+  EXPECT_EQ(tracker.used(), 500);
+  EXPECT_TRUE(tracker.Allocate(500).ok());
+}
+
+TEST(MemoryTrackerTest, RejectsOverBudget) {
+  MemoryTracker tracker("t", 100);
+  EXPECT_TRUE(tracker.Allocate(100).ok());
+  Status st = tracker.Allocate(1);
+  EXPECT_TRUE(st.IsOutOfMemory());
+  // Failed allocation does not count.
+  EXPECT_EQ(tracker.used(), 100);
+}
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker tracker("t", 1000);
+  ASSERT_TRUE(tracker.Allocate(700).ok());
+  tracker.Free(600);
+  ASSERT_TRUE(tracker.Allocate(200).ok());
+  EXPECT_EQ(tracker.peak(), 700);
+  EXPECT_EQ(tracker.used(), 300);
+}
+
+TEST(MemoryTrackerTest, FreeClampsAtZero) {
+  MemoryTracker tracker("t", 100);
+  ASSERT_TRUE(tracker.Allocate(50).ok());
+  tracker.Free(80);  // over-free is clamped
+  EXPECT_EQ(tracker.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ErrorMessageNamesTheTask) {
+  MemoryTracker tracker("task 7", 10);
+  Status st = tracker.Allocate(20);
+  ASSERT_TRUE(st.IsOutOfMemory());
+  EXPECT_NE(st.message().find("task 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace distme

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <numeric>
+
+#include "mm/methods.h"
+
+namespace distme::mm {
+namespace {
+
+// Verifies the fundamental plan invariant: the union of all tasks' voxel
+// sets covers every (i, j, k) in [0,I)×[0,J)×[0,K) exactly once.
+void CheckExactCoverage(const Method& method, const MMProblem& problem,
+                        const ClusterConfig& cluster) {
+  std::map<std::tuple<int64_t, int64_t, int64_t>, int> counts;
+  int64_t tasks_seen = 0;
+  ASSERT_TRUE(method
+                  .ForEachTask(problem, cluster,
+                               [&](const LocalTask& task) {
+                                 ++tasks_seen;
+                                 task.voxels.ForEach([&](Voxel v) {
+                                   ++counts[{v.i, v.j, v.k}];
+                                 });
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(static_cast<int64_t>(counts.size()), problem.NumVoxels());
+  for (const auto& [voxel, count] : counts) {
+    ASSERT_EQ(count, 1) << "voxel covered " << count << " times";
+  }
+  auto expected_tasks = method.NumTasks(problem, cluster);
+  ASSERT_TRUE(expected_tasks.ok());
+  EXPECT_EQ(tasks_seen, *expected_tasks);
+}
+
+MMProblem Problem(int64_t i, int64_t k, int64_t j, int64_t bs = 10) {
+  return MMProblem::DenseSquareBlocks(i * bs, k * bs, j * bs, bs);
+}
+
+class CoverageTest : public ::testing::TestWithParam<MethodKind> {};
+
+std::unique_ptr<Method> MakeCoverageMethod(MethodKind kind,
+                                           const MMProblem& problem) {
+  switch (kind) {
+    case MethodKind::kBmm:
+      return std::make_unique<BmmMethod>();
+    case MethodKind::kCpmm:
+      return std::make_unique<CpmmMethod>();
+    case MethodKind::kRmm:
+      return std::make_unique<RmmMethod>();
+    case MethodKind::kCuboid:
+      return std::make_unique<CuboidMethod>(
+          CuboidSpec{std::min<int64_t>(2, problem.I()),
+                     std::min<int64_t>(3, problem.J()),
+                     std::min<int64_t>(2, problem.K())});
+    case MethodKind::kSumma:
+      return std::make_unique<SummaMethod>();
+    case MethodKind::kSumma25d:
+      return std::make_unique<Summa25dMethod>(2);
+    case MethodKind::kCrmm:
+      return std::make_unique<CrmmMethod>(2);
+  }
+  return nullptr;
+}
+
+TEST_P(CoverageTest, AllVoxelsExactlyOnce) {
+  const ClusterConfig cluster = ClusterConfig::Local(3, 2);
+  for (const MMProblem& problem :
+       {Problem(4, 5, 6), Problem(5, 1, 3), Problem(1, 7, 1),
+        Problem(3, 3, 3)}) {
+    auto method = MakeCoverageMethod(GetParam(), problem);
+    ASSERT_NE(method, nullptr);
+    CheckExactCoverage(*method, problem, cluster);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, CoverageTest,
+                         ::testing::Values(MethodKind::kBmm, MethodKind::kCpmm,
+                                           MethodKind::kRmm,
+                                           MethodKind::kCuboid,
+                                           MethodKind::kSumma,
+                                           MethodKind::kSumma25d,
+                                           MethodKind::kCrmm));
+
+TEST(BmmTest, BroadcastsSmallerSide) {
+  MMProblem p = Problem(4, 3, 2);
+  p.b.sparsity = 0.01;  // B much smaller
+  p.b.stored_dense = false;
+  EXPECT_TRUE(BmmMethod::BroadcastsB(p));
+  p.b.sparsity = 1.0;
+  p.b.stored_dense = true;
+  p.a.sparsity = 0.01;
+  p.a.stored_dense = false;
+  EXPECT_FALSE(BmmMethod::BroadcastsB(p));
+}
+
+TEST(BmmTest, TaskFlagsAndAggregation) {
+  const ClusterConfig cluster = ClusterConfig::Local();
+  MMProblem p = Problem(4, 3, 5);
+  p.b.sparsity = 0.01;
+  p.b.stored_dense = false;
+  BmmMethod bmm;
+  EXPECT_FALSE(bmm.NeedsAggregation(p));
+  ASSERT_TRUE(bmm
+                  .ForEachTask(p, cluster,
+                               [&](const LocalTask& t) {
+                                 EXPECT_TRUE(t.b_broadcast);
+                                 EXPECT_FALSE(t.a_broadcast);
+                                 EXPECT_TRUE(t.inputs_shared);
+                                 // Each task spans all of J and K.
+                                 EXPECT_EQ(t.voxels.j_count(), p.J());
+                                 EXPECT_EQ(t.voxels.k_count(), p.K());
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(*bmm.NumTasks(p, cluster), p.I());
+}
+
+TEST(BmmTest, MirrorsWhenABroadcast) {
+  const ClusterConfig cluster = ClusterConfig::Local();
+  MMProblem p = Problem(4, 3, 5);
+  p.a.sparsity = 0.001;
+  p.a.stored_dense = false;  // A is tiny → broadcast A, partition B columns
+  BmmMethod bmm;
+  EXPECT_EQ(*bmm.NumTasks(p, cluster), p.J());
+  ASSERT_TRUE(bmm
+                  .ForEachTask(p, cluster,
+                               [&](const LocalTask& t) {
+                                 EXPECT_TRUE(t.a_broadcast);
+                                 EXPECT_EQ(t.voxels.i_count(), p.I());
+                                 return Status::OK();
+                               })
+                  .ok());
+}
+
+TEST(CpmmTest, OneKSlicePerTask) {
+  const ClusterConfig cluster = ClusterConfig::Local();
+  const MMProblem p = Problem(3, 7, 2);
+  CpmmMethod cpmm;
+  EXPECT_EQ(*cpmm.NumTasks(p, cluster), 7);
+  EXPECT_TRUE(cpmm.NeedsAggregation(p));
+  int64_t id = 0;
+  ASSERT_TRUE(cpmm
+                  .ForEachTask(p, cluster,
+                               [&](const LocalTask& t) {
+                                 EXPECT_EQ(t.voxels.k_count(), 1);
+                                 EXPECT_EQ(t.voxels.i_count(), p.I());
+                                 EXPECT_EQ(t.voxels.j_count(), p.J());
+                                 EXPECT_EQ(t.id, id++);
+                                 return Status::OK();
+                               })
+                  .ok());
+}
+
+TEST(CpmmTest, NoAggregationWhenKIsOne) {
+  CpmmMethod cpmm;
+  EXPECT_FALSE(cpmm.NeedsAggregation(Problem(5, 1, 5)));
+}
+
+TEST(RmmTest, DefaultTasksIsIJ) {
+  const ClusterConfig cluster = ClusterConfig::Local();
+  const MMProblem p = Problem(4, 5, 6);
+  RmmMethod rmm;
+  EXPECT_EQ(*rmm.NumTasks(p, cluster), 24);
+}
+
+TEST(RmmTest, TasksAreScatteredNotConsecutive) {
+  // RMM tasks process non-consecutive voxels (Section 3.1): a task with
+  // more than one voxel must not hold a contiguous linear range.
+  const ClusterConfig cluster = ClusterConfig::Local();
+  const MMProblem p = Problem(4, 6, 4);
+  RmmMethod rmm(8);  // 96 voxels over 8 tasks → 12 voxels each
+  ASSERT_TRUE(rmm
+                  .ForEachTask(p, cluster,
+                               [&](const LocalTask& t) {
+                                 EXPECT_FALSE(t.voxels.is_box());
+                                 EXPECT_FALSE(t.inputs_shared);
+                                 EXPECT_FALSE(t.aggregate_local);
+                                 EXPECT_EQ(t.voxels.size(), 12);
+                                 return Status::OK();
+                               })
+                  .ok());
+}
+
+TEST(RmmTest, ScatterMultiplierCoprime) {
+  for (int64_t t : {2, 3, 10, 24, 90, 97, 4900}) {
+    EXPECT_EQ(std::gcd(RmmMethod::ScatterMultiplier(t), t), 1) << t;
+  }
+}
+
+TEST(RmmTest, CannotUseCuboidGpuStreaming) {
+  EXPECT_FALSE(RmmMethod().SupportsGpuStreaming());
+  EXPECT_TRUE(CuboidMethod(CuboidSpec{1, 1, 1}).SupportsGpuStreaming());
+}
+
+TEST(CuboidTest, SpecValidation) {
+  const ClusterConfig cluster = ClusterConfig::Local();
+  const MMProblem p = Problem(4, 5, 6);
+  EXPECT_FALSE(CuboidMethod(CuboidSpec{5, 1, 1}).NumTasks(p, cluster).ok());
+  EXPECT_FALSE(CuboidMethod(CuboidSpec{1, 7, 1}).NumTasks(p, cluster).ok());
+  EXPECT_FALSE(CuboidMethod(CuboidSpec{0, 1, 1}).NumTasks(p, cluster).ok());
+  EXPECT_EQ(*CuboidMethod(CuboidSpec{4, 6, 5}).NumTasks(p, cluster), 120);
+}
+
+TEST(CuboidTest, AggregationOnlyWhenRGreaterThanOne) {
+  const MMProblem p = Problem(4, 5, 6);
+  EXPECT_FALSE(CuboidMethod(CuboidSpec{2, 3, 1}).NeedsAggregation(p));
+  EXPECT_TRUE(CuboidMethod(CuboidSpec{2, 3, 2}).NeedsAggregation(p));
+}
+
+TEST(CuboidTest, BalancedSplit) {
+  // 7 block-rows into 3 parts: 3+2+2.
+  EXPECT_EQ(Split(7, 3, 0).end - Split(7, 3, 0).start, 3);
+  EXPECT_EQ(Split(7, 3, 1).end - Split(7, 3, 1).start, 2);
+  EXPECT_EQ(Split(7, 3, 2).end, 7);
+  EXPECT_EQ(Split(7, 3, 2).start, 5);
+}
+
+TEST(SummaTest, GridIsMostSquareFactorization) {
+  ClusterConfig cluster = ClusterConfig::Paper();  // 90 slots → 9×10
+  const MMProblem p = Problem(100, 100, 100);
+  SummaMethod summa;
+  const CuboidSpec grid = summa.GridFor(p, cluster);
+  EXPECT_EQ(grid.P * grid.Q, 90);
+  EXPECT_EQ(grid.R, 1);
+  EXPECT_LE(std::abs(grid.P - grid.Q), 1);
+}
+
+TEST(SummaTest, GridClampedToBlockGrid) {
+  ClusterConfig cluster = ClusterConfig::Paper();
+  const MMProblem p = Problem(2, 100, 3);  // tiny C grid
+  const CuboidSpec grid = SummaMethod().GridFor(p, cluster);
+  EXPECT_LE(grid.P, 2);
+  EXPECT_LE(grid.Q, 3);
+}
+
+TEST(SummaTest, SyncStepsEqualsK) {
+  const MMProblem p = Problem(4, 17, 4);
+  EXPECT_EQ(SummaMethod().SyncSteps(p), 17);
+  EXPECT_TRUE(SummaMethod().ResidentLocalMatrices());
+}
+
+TEST(CrmmTest, MergeFactorFitsMemory) {
+  ClusterConfig cluster = ClusterConfig::Local();
+  const MMProblem p = Problem(20, 20, 20);
+  CrmmMethod crmm;
+  const int64_t m = crmm.MergeFactor(p, cluster);
+  EXPECT_GE(m, 1);
+  // One logical voxel (3 m×m logical blocks) must fit θt.
+  const double bytes = 3.0 * m * m * 10 * 10 * 8;
+  EXPECT_LE(bytes, static_cast<double>(cluster.task_memory_bytes));
+}
+
+TEST(CrmmTest, ExtraShuffleForLogicalBlocks) {
+  const MMProblem p = Problem(4, 4, 4);
+  EXPECT_GT(CrmmMethod().ExtraRepartitionBytes(p), 0.0);
+  EXPECT_EQ(CuboidMethod(CuboidSpec{1, 1, 1}).ExtraRepartitionBytes(p), 0.0);
+}
+
+TEST(MethodKindTest, Names) {
+  EXPECT_STREQ(MethodKindName(MethodKind::kBmm), "BMM");
+  EXPECT_STREQ(MethodKindName(MethodKind::kCuboid), "CuboidMM");
+  EXPECT_EQ(CuboidMethod(CuboidSpec{2, 3, 4}).name(), "CuboidMM(2,3,4)");
+}
+
+TEST(MethodTest, InvalidProblemRejected) {
+  const ClusterConfig cluster = ClusterConfig::Local();
+  MMProblem bad;
+  bad.a = MatrixDescriptor::Dense(100, 50, 10);
+  bad.b = MatrixDescriptor::Dense(60, 100, 10);  // inner mismatch
+  EXPECT_FALSE(BmmMethod().NumTasks(bad, cluster).ok());
+  EXPECT_FALSE(CpmmMethod().NumTasks(bad, cluster).ok());
+  EXPECT_FALSE(RmmMethod().NumTasks(bad, cluster).ok());
+}
+
+}  // namespace
+}  // namespace distme::mm
+
+namespace distme::mm {
+namespace {
+
+TEST(Summa25dTest, ReplicationTradesCommForMemory) {
+  // The classic 2.5D result: more replication layers c → less repartition
+  // communication for A/B relative to the plane size, more memory.
+  const ClusterConfig cluster = ClusterConfig::Paper();  // 90 slots
+  const MMProblem p = Problem(30, 30, 30, 1000);         // 30-block axes
+  double prev_comm = -1;
+  for (const int64_t c : {1, 2, 5}) {
+    Summa25dMethod method(c);
+    const CuboidSpec grid = method.GridFor(p, cluster);
+    EXPECT_EQ(grid.R, c);
+    EXPECT_LE(grid.P * grid.Q * grid.R, cluster.total_slots());
+    auto cost = method.Analytic(p, cluster);
+    ASSERT_TRUE(cost.ok());
+    if (prev_comm >= 0) {
+      // Repartition shrinks as the plane gets smaller (P+Q decreases).
+      EXPECT_LT(cost->repartition_elements, prev_comm);
+    }
+    prev_comm = cost->repartition_elements;
+  }
+}
+
+TEST(Summa25dTest, CEqualsOneMatchesSummaGrid) {
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  const MMProblem p = Problem(100, 100, 100, 1000);
+  const CuboidSpec grid_25d = Summa25dMethod(1).GridFor(p, cluster);
+  const CuboidSpec grid_summa = SummaMethod().GridFor(p, cluster);
+  EXPECT_EQ(grid_25d.P, grid_summa.P);
+  EXPECT_EQ(grid_25d.Q, grid_summa.Q);
+  EXPECT_EQ(grid_25d.R, 1);
+}
+
+TEST(Summa25dTest, AutoReplicationRespectsMemory) {
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  const MMProblem p = Problem(30, 30, 30, 1000);
+  Summa25dMethod method;  // auto c
+  const CuboidSpec grid = method.GridFor(p, cluster);
+  EXPECT_GE(grid.R, 1);
+  // Replicated inputs must still fit the per-process budget.
+  const double per_process =
+      static_cast<double>(grid.R) *
+      (p.a.StoredBytes() + p.b.StoredBytes() + p.C().StoredBytes()) /
+      static_cast<double>(cluster.total_slots());
+  EXPECT_LE(per_process, static_cast<double>(cluster.task_memory_bytes));
+}
+
+}  // namespace
+}  // namespace distme::mm

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mm/optimizer.h"
+
+namespace distme::mm {
+namespace {
+
+MMProblem DenseProblem(int64_t i, int64_t k, int64_t j, int64_t bs,
+                       double sparsity = 1.0) {
+  MMProblem p = MMProblem::DenseSquareBlocks(i, k, j, bs);
+  p.a.sparsity = sparsity;
+  p.b.sparsity = sparsity;
+  return p;
+}
+
+TEST(OptimizerTest, FeasibleAndCostEqualsBruteForce) {
+  ClusterConfig cluster = ClusterConfig::Paper();
+  // A manageable brute-force size.
+  for (const auto& [i, k, j] :
+       {std::tuple<int64_t, int64_t, int64_t>{30000, 30000, 30000},
+        {10000, 80000, 10000},
+        {50000, 2000, 40000}}) {
+    const MMProblem p = DenseProblem(i, k, j, 1000, 0.5);
+    auto fast = OptimizeCuboid(p, cluster);
+    auto brute = OptimizeCuboidBruteForce(p, cluster);
+    ASSERT_TRUE(fast.ok()) << i << "x" << k << "x" << j;
+    ASSERT_TRUE(brute.ok());
+    EXPECT_DOUBLE_EQ(fast->cost_elements, brute->cost_elements)
+        << i << "x" << k << "x" << j;
+    EXPECT_LE(fast->memory_bytes,
+              0.9 * static_cast<double>(cluster.task_memory_bytes));
+  }
+}
+
+TEST(OptimizerTest, ResultIsFeasibleAndParallel) {
+  ClusterConfig cluster = ClusterConfig::Paper();
+  const MMProblem p = DenseProblem(70000, 70000, 70000, 1000, 0.5);
+  auto opt = OptimizeCuboid(p, cluster);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GE(opt->spec.num_cuboids(), cluster.total_slots());
+  EXPECT_LE(opt->spec.P, p.I());
+  EXPECT_LE(opt->spec.Q, p.J());
+  EXPECT_LE(opt->spec.R, p.K());
+  // No strictly cheaper feasible candidate in a local neighbourhood.
+  const double theta = 0.9 * static_cast<double>(cluster.task_memory_bytes);
+  for (int64_t dp = -2; dp <= 2; ++dp) {
+    for (int64_t dq = -2; dq <= 2; ++dq) {
+      for (int64_t dr = -2; dr <= 2; ++dr) {
+        CuboidSpec s{opt->spec.P + dp, opt->spec.Q + dq, opt->spec.R + dr};
+        if (s.P < 1 || s.Q < 1 || s.R < 1 || s.P > p.I() || s.Q > p.J() ||
+            s.R > p.K()) {
+          continue;
+        }
+        if (s.num_cuboids() < cluster.total_slots()) continue;
+        if (CuboidMemBytes(p, s) > theta) continue;
+        EXPECT_GE(CuboidCostElements(p, s), opt->cost_elements);
+      }
+    }
+  }
+}
+
+TEST(OptimizerTest, CommonLargeDimensionPrefersRSplits) {
+  // "Two matrices with a common large dimension" (Table 4): the optimum is
+  // (1, 1, R) — all partitioning along the k-axis.
+  ClusterConfig cluster = ClusterConfig::Paper();
+  OptimizerOptions options;
+  options.enforce_parallelism = false;  // Table 4 reports (1,1,18) < M·Tc
+  const MMProblem p = DenseProblem(10000, 500000, 10000, 1000, 0.5);
+  auto opt = OptimizeCuboid(p, cluster, options);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->spec.P, 1);
+  EXPECT_EQ(opt->spec.Q, 1);
+  EXPECT_GT(opt->spec.R, 8);
+}
+
+TEST(OptimizerTest, TwoLargeDimensionsPreferPQSplits) {
+  // "Two matrices with two large dimensions": the optimum has R = 1 and
+  // large P, Q (Table 4 reports (17, 24, 1) for 500K×1K×500K).
+  ClusterConfig cluster = ClusterConfig::Paper();
+  const MMProblem p = DenseProblem(500000, 1000, 500000, 1000, 0.5);
+  auto opt = OptimizeCuboid(p, cluster);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->spec.R, 1);
+  EXPECT_GT(opt->spec.P, 4);
+  EXPECT_GT(opt->spec.Q, 4);
+}
+
+TEST(OptimizerTest, MaxParallelismFallback) {
+  // I·J·K < M·Tc ⇒ (I, J, K), which works like RMM (Section 3.2).
+  ClusterConfig cluster = ClusterConfig::Paper();  // 90 slots
+  const MMProblem p = DenseProblem(4000, 4000, 4000, 1000);  // 64 voxels
+  auto opt = OptimizeCuboid(p, cluster);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_TRUE(opt->max_parallelism_fallback);
+  EXPECT_EQ(opt->spec.P, 4);
+  EXPECT_EQ(opt->spec.Q, 4);
+  EXPECT_EQ(opt->spec.R, 4);
+}
+
+TEST(OptimizerTest, InfeasibleReturnsOutOfMemory) {
+  ClusterConfig cluster = ClusterConfig::Paper();
+  cluster.task_memory_bytes = 1 * kMiB;  // even one voxel (24 MB) won't fit
+  const MMProblem p = DenseProblem(50000, 50000, 50000, 1000);
+  auto opt = OptimizeCuboid(p, cluster);
+  ASSERT_FALSE(opt.ok());
+  EXPECT_TRUE(opt.status().IsOutOfMemory());
+}
+
+TEST(OptimizerTest, ParallelismPruningRaisesTaskCount) {
+  ClusterConfig cluster = ClusterConfig::Paper();
+  const MMProblem p = DenseProblem(10000, 100000, 10000, 1000, 0.5);
+  OptimizerOptions pruned;
+  pruned.enforce_parallelism = true;
+  OptimizerOptions free;
+  free.enforce_parallelism = false;
+  auto with = OptimizeCuboid(p, cluster, pruned);
+  auto without = OptimizeCuboid(p, cluster, free);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_GE(with->spec.num_cuboids(), cluster.total_slots());
+  EXPECT_LE(without->cost_elements, with->cost_elements);
+}
+
+TEST(OptimizerTest, BiggerBudgetNeverCostsMore) {
+  ClusterConfig small = ClusterConfig::Paper();
+  ClusterConfig large = ClusterConfig::Paper();
+  large.task_memory_bytes = 4 * small.task_memory_bytes;
+  const MMProblem p = DenseProblem(60000, 60000, 60000, 1000, 0.5);
+  auto s = OptimizeCuboid(p, small);
+  auto l = OptimizeCuboid(p, large);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(l.ok());
+  EXPECT_LE(l->cost_elements, s->cost_elements);
+}
+
+TEST(OptimizerTest, ElasticToClusterSize) {
+  // The "elastic" property: parameters adapt to cluster resources.
+  const MMProblem p = DenseProblem(70000, 70000, 70000, 1000, 0.5);
+  ClusterConfig small = ClusterConfig::Paper();
+  small.num_nodes = 2;
+  ClusterConfig big = ClusterConfig::Paper();
+  big.num_nodes = 30;
+  auto on_small = OptimizeCuboid(p, small);
+  auto on_big = OptimizeCuboid(p, big);
+  ASSERT_TRUE(on_small.ok());
+  ASSERT_TRUE(on_big.ok());
+  EXPECT_GE(on_big->spec.num_cuboids(), big.total_slots());
+  EXPECT_LT(on_small->cost_elements, on_big->cost_elements);
+}
+
+}  // namespace
+}  // namespace distme::mm

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/partitioner.h"
+
+namespace distme::engine {
+namespace {
+
+TEST(PartitionerTest, RowSchemeGroupsByBlockRow) {
+  Partitioner p = Partitioner::Row(4);
+  // Blocks in the same block-row land in the same partition (Figure 1(a)).
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(p.PartitionOf({2, j}), p.PartitionOf({2, 0}));
+  }
+  EXPECT_NE(p.PartitionOf({0, 0}), p.PartitionOf({1, 0}));
+  EXPECT_EQ(p.PartitionOf({5, 0}), 1);  // 5 mod 4
+}
+
+TEST(PartitionerTest, ColumnSchemeGroupsByBlockColumn) {
+  Partitioner p = Partitioner::Column(4);
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(p.PartitionOf({i, 3}), p.PartitionOf({0, 3}));
+  }
+  EXPECT_NE(p.PartitionOf({0, 0}), p.PartitionOf({0, 1}));
+}
+
+TEST(PartitionerTest, HashSchemeSpreadsEvenly) {
+  Partitioner p = Partitioner::Hash(4);
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      ++counts[static_cast<size_t>(p.PartitionOf({i, j}))];
+    }
+  }
+  // 256 blocks over 4 partitions: each should get 64 ± 50%.
+  for (int64_t c : counts) {
+    EXPECT_GT(c, 32);
+    EXPECT_LT(c, 96);
+  }
+}
+
+TEST(PartitionerTest, HashIsDeterministic) {
+  Partitioner a = Partitioner::Hash(7);
+  Partitioner b = Partitioner::Hash(7);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.PartitionOf({i, i * 3}), b.PartitionOf({i, i * 3}));
+  }
+}
+
+TEST(PartitionerTest, GridSchemeKeepsTilesTogether) {
+  // 2×2-block tiles (Figure 1(d)).
+  Partitioner p = Partitioner::Grid(4, 2, 2);
+  EXPECT_EQ(p.PartitionOf({0, 0}), p.PartitionOf({1, 1}));
+  EXPECT_EQ(p.PartitionOf({0, 0}), p.PartitionOf({0, 1}));
+  EXPECT_EQ(p.PartitionOf({2, 2}), p.PartitionOf({3, 3}));
+  EXPECT_NE(p.PartitionOf({0, 0}), p.PartitionOf({0, 2}));
+}
+
+TEST(PartitionerTest, PartitionsWithinRange) {
+  for (const Partitioner& p :
+       {Partitioner::Row(5), Partitioner::Column(5), Partitioner::Hash(5),
+        Partitioner::Grid(5, 3, 2)}) {
+    for (int64_t i = 0; i < 12; ++i) {
+      for (int64_t j = 0; j < 12; ++j) {
+        const int64_t part = p.PartitionOf({i, j});
+        EXPECT_GE(part, 0);
+        EXPECT_LT(part, 5);
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, ToStringNames) {
+  EXPECT_EQ(Partitioner::Row(3).ToString(), "Row(3)");
+  EXPECT_EQ(Partitioner::Grid(4, 2, 3).ToString(), "Grid(4,2x3)");
+}
+
+}  // namespace
+}  // namespace distme::engine

@@ -1,0 +1,241 @@
+// Cross-cutting property tests: invariants of the cost model, optimizer,
+// simulator and engine that must hold over whole parameter sweeps, not just
+// hand-picked points.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "blas/local_mm.h"
+#include "engine/real_executor.h"
+#include "engine/sim_executor.h"
+#include "matrix/generator.h"
+#include "mm/methods.h"
+#include "mm/optimizer.h"
+
+namespace distme {
+namespace {
+
+using mm::MMProblem;
+
+MMProblem Dense(int64_t i, int64_t k, int64_t j, double sparsity = 1.0) {
+  MMProblem p = MMProblem::DenseSquareBlocks(i, k, j, 1000);
+  p.a.sparsity = sparsity;
+  p.b.sparsity = sparsity;
+  return p;
+}
+
+// ---- Optimizer properties over a shape sweep ----
+
+class OptimizerSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {
+};
+
+TEST_P(OptimizerSweep, OptimumIsFeasibleAndNoWorseThanEndpoints) {
+  const auto [i, k, j] = GetParam();
+  const MMProblem p = Dense(i, k, j, 0.5);
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  mm::OptimizerOptions options;
+  options.enforce_parallelism = false;
+  auto opt = mm::OptimizeCuboid(p, cluster, options);
+  ASSERT_TRUE(opt.ok());
+  const double theta = 0.9 * static_cast<double>(cluster.task_memory_bytes);
+  EXPECT_LE(opt->memory_bytes, theta);
+  // The optimum is at least as cheap as the three degenerate corners
+  // (BMM-like, CPMM-like, RMM-like) whenever those are feasible.
+  for (const mm::CuboidSpec corner :
+       {mm::CuboidSpec{p.I(), 1, 1}, mm::CuboidSpec{1, 1, p.K()},
+        mm::CuboidSpec{p.I(), p.J(), p.K()}}) {
+    if (mm::CuboidMemBytes(p, corner) > theta) continue;
+    EXPECT_LE(opt->cost_elements, mm::CuboidCostElements(p, corner))
+        << "corner (" << corner.P << "," << corner.Q << "," << corner.R
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OptimizerSweep,
+    ::testing::Values(std::make_tuple(50000, 50000, 50000),
+                      std::make_tuple(10000, 300000, 10000),
+                      std::make_tuple(200000, 2000, 200000),
+                      std::make_tuple(30000, 90000, 15000),
+                      std::make_tuple(5000, 1000000, 5000),
+                      std::make_tuple(120000, 40000, 8000)));
+
+// ---- Simulator monotonicity ----
+
+TEST(SimulatorProperties, MoreNodesNeverSlower) {
+  const MMProblem p = Dense(50000, 50000, 50000, 0.5);
+  double previous = 1e300;
+  for (const int nodes : {3, 9, 27}) {
+    ClusterConfig cluster = ClusterConfig::Paper();
+    cluster.num_nodes = nodes;
+    cluster.timeout_seconds = 1e9;
+    engine::SimExecutor executor(cluster);
+    auto opt = mm::OptimizeCuboid(p, cluster);
+    ASSERT_TRUE(opt.ok());
+    auto report = executor.Run(p, mm::CuboidMethod(opt->spec), {});
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(report->outcome.ok());
+    EXPECT_LT(report->elapsed_seconds, previous * 1.02) << nodes << " nodes";
+    previous = report->elapsed_seconds;
+  }
+}
+
+TEST(SimulatorProperties, SparserInputsNeverCostMoreComm) {
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  engine::SimExecutor executor(cluster);
+  double previous = 1e300;
+  for (const double sparsity : {1.0, 0.5, 0.1, 0.01}) {
+    MMProblem p = Dense(30000, 30000, 30000);
+    p.a.sparsity = sparsity;
+    p.a.stored_dense = sparsity >= 0.4;
+    auto report = executor.Run(p, mm::CpmmMethod(), {});
+    ASSERT_TRUE(report.ok());
+    EXPECT_LE(report->repartition_bytes, previous + 1.0) << sparsity;
+    previous = report->repartition_bytes;
+  }
+}
+
+TEST(SimulatorProperties, SameSpecSameReport) {
+  // The simulator is deterministic.
+  const MMProblem p = Dense(40000, 40000, 40000, 0.5);
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  engine::SimExecutor executor(cluster);
+  engine::SimOptions gpu;
+  gpu.mode = engine::ComputeMode::kGpuStreaming;
+  auto a = executor.Run(p, mm::CuboidMethod(mm::CuboidSpec{4, 5, 5}), gpu);
+  auto b = executor.Run(p, mm::CuboidMethod(mm::CuboidSpec{4, 5, 5}), gpu);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->elapsed_seconds, b->elapsed_seconds);
+  EXPECT_DOUBLE_EQ(a->repartition_bytes, b->repartition_bytes);
+  EXPECT_DOUBLE_EQ(a->gpu_utilization, b->gpu_utilization);
+}
+
+TEST(SimulatorProperties, CommMatchesAnalyticAcrossCuboidSweep) {
+  // Executor-accounted repartition/aggregation bytes must equal the Eq.(4)
+  // terms for every (P,Q,R), not just the optimum.
+  const MMProblem p = Dense(20000, 20000, 20000);
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  engine::SimExecutor executor(cluster);
+  const double a_bytes = p.a.StoredBytes();
+  const double c_bytes = p.C().StoredBytes();
+  for (int64_t pp = 1; pp <= 4; ++pp) {
+    for (int64_t qq = 1; qq <= 4; ++qq) {
+      for (int64_t rr = 1; rr <= 4; ++rr) {
+        auto report =
+            executor.Run(p, mm::CuboidMethod(mm::CuboidSpec{pp, qq, rr}), {});
+        ASSERT_TRUE(report.ok());
+        EXPECT_NEAR(report->repartition_bytes,
+                    static_cast<double>(qq) * a_bytes +
+                        static_cast<double>(pp) * a_bytes,
+                    0.02 * a_bytes)
+            << pp << qq << rr;
+        const double expected_agg =
+            rr > 1 ? static_cast<double>(rr) * c_bytes : 0.0;
+        EXPECT_NEAR(report->aggregation_bytes, expected_agg, 0.02 * c_bytes);
+      }
+    }
+  }
+}
+
+// ---- Real-execution sweep: sparsity × block size × method ----
+
+class RealSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, mm::MethodKind>> {
+};
+
+TEST_P(RealSweep, ProductMatchesReference) {
+  const auto [sparsity, block_size, kind] = GetParam();
+  const ClusterConfig cluster = ClusterConfig::Local(3, 2);
+  GeneratorOptions ga;
+  ga.rows = 48;
+  ga.cols = 40;
+  ga.block_size = block_size;
+  ga.sparsity = sparsity;
+  ga.seed = 1234;
+  GeneratorOptions gb;
+  gb.rows = 40;
+  gb.cols = 32;
+  gb.block_size = block_size;
+  gb.sparsity = 1.0;
+  gb.seed = 1235;
+  BlockGrid grid_a = GenerateUniform(ga);
+  BlockGrid grid_b = GenerateUniform(gb);
+  engine::DistributedMatrix a =
+      engine::DistributedMatrix::FromGridHashed(grid_a, 3);
+  engine::DistributedMatrix b =
+      engine::DistributedMatrix::FromGridHashed(grid_b, 3);
+  mm::MMProblem problem{a.Descriptor(), b.Descriptor()};
+
+  std::unique_ptr<mm::Method> method;
+  switch (kind) {
+    case mm::MethodKind::kBmm:
+      method = std::make_unique<mm::BmmMethod>();
+      break;
+    case mm::MethodKind::kCpmm:
+      method = std::make_unique<mm::CpmmMethod>();
+      break;
+    case mm::MethodKind::kRmm:
+      method = std::make_unique<mm::RmmMethod>();
+      break;
+    default: {
+      auto opt = mm::OptimizeCuboid(problem, cluster,
+                                    {.enforce_parallelism = false});
+      ASSERT_TRUE(opt.ok());
+      method = std::make_unique<mm::CuboidMethod>(opt->spec);
+    }
+  }
+  engine::RealExecutor executor(cluster);
+  auto run = executor.Run(a, b, *method, {});
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->report.outcome.ok());
+  auto expected = blas::LocalMultiply(grid_a, grid_b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
+                                    expected->ToDense()),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsityBlocksMethods, RealSweep,
+    ::testing::Combine(::testing::Values(1.0, 0.3, 0.05),
+                       ::testing::Values(8, 16),
+                       ::testing::Values(mm::MethodKind::kBmm,
+                                         mm::MethodKind::kCpmm,
+                                         mm::MethodKind::kRmm,
+                                         mm::MethodKind::kCuboid)));
+
+TEST(RealProperties, ManyConcurrentTasksAggregateCorrectly) {
+  // Stress the sharded aggregation path: RMM with T = I·J·K single-voxel
+  // tasks hammering the reducer from 8 worker threads.
+  const ClusterConfig cluster = ClusterConfig::Local(4, 2);
+  GeneratorOptions ga;
+  ga.rows = 64;
+  ga.cols = 64;
+  ga.block_size = 8;
+  ga.seed = 555;
+  GeneratorOptions gb = ga;
+  gb.seed = 556;
+  BlockGrid grid_a = GenerateUniform(ga);
+  BlockGrid grid_b = GenerateUniform(gb);
+  engine::DistributedMatrix a =
+      engine::DistributedMatrix::FromGridHashed(grid_a, 4);
+  engine::DistributedMatrix b =
+      engine::DistributedMatrix::FromGridHashed(grid_b, 4);
+  mm::MMProblem problem{a.Descriptor(), b.Descriptor()};
+  mm::RmmMethod rmm(problem.NumVoxels());  // one task per voxel: 512 tasks
+  engine::RealExecutor executor(cluster);
+  auto run = executor.Run(a, b, rmm, {});
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->report.outcome.ok());
+  EXPECT_EQ(run->report.num_tasks, 512);
+  auto expected = blas::LocalMultiply(grid_a, grid_b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
+                                    expected->ToDense()),
+            1e-9);
+}
+
+}  // namespace
+}  // namespace distme

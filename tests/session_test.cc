@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/gemm.h"
+#include "blas/local_mm.h"
+#include "core/session.h"
+
+namespace distme::core {
+namespace {
+
+Session::Options TestOptions() {
+  Session::Options options;
+  options.cluster = ClusterConfig::Local(2, 2);
+  // Small matrices rarely satisfy the parallelism pruning; relax it.
+  options.planner = std::make_shared<DistmePlanner>(
+      mm::OptimizerOptions{.enforce_parallelism = false});
+  return options;
+}
+
+GeneratorOptions Gen(int64_t rows, int64_t cols, double sparsity,
+                     uint64_t seed) {
+  GeneratorOptions g;
+  g.rows = rows;
+  g.cols = cols;
+  g.block_size = 8;
+  g.sparsity = sparsity;
+  g.seed = seed;
+  return g;
+}
+
+TEST(SessionTest, GenerateAndCollect) {
+  Session session(TestOptions());
+  auto m = session.Generate(Gen(30, 20, 1.0, 1));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 30);
+  EXPECT_EQ(m->cols(), 20);
+  // Generation matches the local generator exactly.
+  BlockGrid expected = GenerateUniform(Gen(30, 20, 1.0, 1));
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(m->Collect().ToDense(),
+                                        expected.ToDense(), 0.0));
+}
+
+TEST(SessionTest, MultiplyMatchesReference) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(32, 24, 1.0, 2));
+  auto b = session.Generate(Gen(24, 16, 1.0, 3));
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto c = session.Multiply(*a, *b);
+  ASSERT_TRUE(c.ok());
+  DenseMatrix expected =
+      blas::Multiply(a->Collect().ToDense(), b->Collect().ToDense());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c->Collect().ToDense(), expected), 1e-9);
+  // A report was recorded, and the planner chose a cuboid method.
+  ASSERT_EQ(session.history().size(), 1u);
+  EXPECT_TRUE(session.history()[0].outcome.ok());
+  EXPECT_NE(session.history()[0].method_name.find("CuboidMM"),
+            std::string::npos);
+}
+
+TEST(SessionTest, TransposeCorrect) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(20, 36, 0.5, 4));
+  ASSERT_TRUE(a.ok());
+  auto t = session.Transpose(*a);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows(), 36);
+  EXPECT_EQ(t->cols(), 20);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(t->Collect().ToDense(),
+                                    a->Collect().ToDense().Transpose()),
+            1e-15);
+}
+
+TEST(SessionTest, ElementWiseOps) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(16, 16, 1.0, 5));
+  auto b = session.Generate(Gen(16, 16, 1.0, 6));
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto sum = session.ElementWise(blas::ElementWiseOp::kAdd, *a, *b);
+  ASSERT_TRUE(sum.ok());
+  DenseMatrix da = a->Collect().ToDense();
+  DenseMatrix db = b->Collect().ToDense();
+  DenseMatrix ds = sum->Collect().ToDense();
+  for (int64_t r = 0; r < 16; ++r) {
+    for (int64_t c = 0; c < 16; ++c) {
+      EXPECT_NEAR(ds.At(r, c), da.At(r, c) + db.At(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(SessionTest, ElementWiseShapeMismatchRejected) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(16, 16, 1.0, 7));
+  auto b = session.Generate(Gen(16, 8, 1.0, 8));
+  EXPECT_FALSE(session.ElementWise(blas::ElementWiseOp::kAdd, *a, *b).ok());
+}
+
+TEST(SessionTest, ScaleMultipliesEveryElement) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(12, 12, 0.5, 9));
+  ASSERT_TRUE(a.ok());
+  auto scaled = session.Scale(*a, 2.5);
+  ASSERT_TRUE(scaled.ok());
+  DenseMatrix da = a->Collect().ToDense();
+  DenseMatrix ds = scaled->Collect().ToDense();
+  for (int64_t r = 0; r < 12; ++r) {
+    for (int64_t c = 0; c < 12; ++c) {
+      EXPECT_NEAR(ds.At(r, c), 2.5 * da.At(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(SessionTest, ChainedExpression) {
+  // (A × B)ᵀ ∘ C — a small pipeline through the public API.
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(16, 24, 1.0, 10));
+  auto b = session.Generate(Gen(24, 16, 1.0, 11));
+  auto ab = session.Multiply(*a, *b);
+  ASSERT_TRUE(ab.ok());
+  auto abt = session.Transpose(*ab);
+  ASSERT_TRUE(abt.ok());
+  auto c = session.Generate(Gen(16, 16, 1.0, 12));
+  auto result = session.ElementWise(blas::ElementWiseOp::kMul, *abt, *c);
+  ASSERT_TRUE(result.ok());
+  DenseMatrix expected = blas::Multiply(a->Collect().ToDense(),
+                                        b->Collect().ToDense())
+                             .Transpose();
+  DenseMatrix dc = c->Collect().ToDense();
+  DenseMatrix got = result->Collect().ToDense();
+  for (int64_t r = 0; r < 16; ++r) {
+    for (int64_t col = 0; col < 16; ++col) {
+      EXPECT_NEAR(got.At(r, col), expected.At(r, col) * dc.At(r, col), 1e-9);
+    }
+  }
+}
+
+TEST(SessionTest, FromGridRoundTrip) {
+  Session session(TestOptions());
+  BlockGrid grid = GenerateUniform(Gen(20, 20, 0.3, 13));
+  auto m = session.FromGrid(grid);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(m->Collect().ToDense(),
+                                        grid.ToDense(), 0.0));
+}
+
+TEST(SessionTest, MultiplyWithExplicitMethod) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(24, 24, 1.0, 14));
+  auto b = session.Generate(Gen(24, 24, 1.0, 15));
+  mm::RmmMethod rmm;
+  auto c = session.MultiplyWith(*a, *b, rmm);
+  ASSERT_TRUE(c.ok());
+  DenseMatrix expected =
+      blas::Multiply(a->Collect().ToDense(), b->Collect().ToDense());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c->Collect().ToDense(), expected), 1e-9);
+  EXPECT_EQ(session.history().back().method_name, "RMM");
+}
+
+}  // namespace
+}  // namespace distme::core
+
+namespace distme::core {
+namespace {
+
+TEST(SessionReductionsTest, RowAndColSums) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(24, 20, 0.5, 20));
+  ASSERT_TRUE(a.ok());
+  const DenseMatrix da = a->Collect().ToDense();
+
+  auto rows = session.RowSums(*a);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows(), 24);
+  EXPECT_EQ(rows->cols(), 1);
+  const DenseMatrix dr = rows->Collect().ToDense();
+  for (int64_t r = 0; r < 24; ++r) {
+    double expected = 0;
+    for (int64_t c = 0; c < 20; ++c) expected += da.At(r, c);
+    EXPECT_NEAR(dr.At(r, 0), expected, 1e-10);
+  }
+
+  auto cols = session.ColSums(*a);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->rows(), 1);
+  EXPECT_EQ(cols->cols(), 20);
+  const DenseMatrix dc = cols->Collect().ToDense();
+  for (int64_t c = 0; c < 20; ++c) {
+    double expected = 0;
+    for (int64_t r = 0; r < 24; ++r) expected += da.At(r, c);
+    EXPECT_NEAR(dc.At(0, c), expected, 1e-10);
+  }
+}
+
+TEST(SessionReductionsTest, SumAndFrobenius) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(16, 16, 0.3, 21));
+  ASSERT_TRUE(a.ok());
+  const DenseMatrix da = a->Collect().ToDense();
+  double expected_sum = 0;
+  double expected_sq = 0;
+  for (int64_t i = 0; i < da.num_elements(); ++i) {
+    expected_sum += da.data()[i];
+    expected_sq += da.data()[i] * da.data()[i];
+  }
+  auto sum = session.Sum(*a);
+  auto norm = session.FrobeniusNorm(*a);
+  ASSERT_TRUE(sum.ok() && norm.ok());
+  EXPECT_NEAR(*sum, expected_sum, 1e-9);
+  EXPECT_NEAR(*norm, std::sqrt(expected_sq), 1e-9);
+}
+
+TEST(SessionReductionsTest, RowSumsOfMatrixVectorProduct) {
+  // RowSums(A) == A × ones, a cheap cross-check of two code paths.
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(24, 16, 1.0, 22));
+  ASSERT_TRUE(a.ok());
+  GeneratorOptions ones_gen = Gen(16, 1, 1.0, 0);
+  BlockGrid ones_grid(BlockedShape{16, 1, 8});
+  for (int64_t bi = 0; bi < ones_grid.block_rows(); ++bi) {
+    DenseMatrix block(ones_grid.shape().BlockRowsAt(bi), 1);
+    block.Fill(1.0);
+    ASSERT_TRUE(ones_grid.Put({bi, 0}, Block::Dense(std::move(block))).ok());
+  }
+  auto ones = session.FromGrid(ones_grid);
+  ASSERT_TRUE(ones.ok());
+  auto product = session.Multiply(*a, *ones);
+  auto sums = session.RowSums(*a);
+  ASSERT_TRUE(product.ok() && sums.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(product->Collect().ToDense(),
+                                    sums->Collect().ToDense()),
+            1e-9);
+}
+
+}  // namespace
+}  // namespace distme::core
+
+namespace distme::core {
+namespace {
+
+TEST(SessionCheckpointTest, SaveLoadRoundTrip) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(28, 36, 0.4, 30));
+  ASSERT_TRUE(a.ok());
+  const std::string path = testing::TempDir() + "/checkpoint.dmx";
+  ASSERT_TRUE(session.Save(*a, path).ok());
+  auto restored = session.Load(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(DenseMatrix::ApproxEquals(restored->Collect().ToDense(),
+                                        a->Collect().ToDense(), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(SessionCheckpointTest, LoadMissingFails) {
+  Session session(TestOptions());
+  EXPECT_FALSE(session.Load("/nonexistent/checkpoint.dmx").ok());
+}
+
+TEST(SessionCheckpointTest, ComputeOnLoadedMatrix) {
+  Session session(TestOptions());
+  auto a = session.Generate(Gen(24, 24, 1.0, 31));
+  auto b = session.Generate(Gen(24, 24, 1.0, 32));
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::string path = testing::TempDir() + "/operand.dmx";
+  ASSERT_TRUE(session.Save(*a, path).ok());
+  auto loaded = session.Load(path);
+  ASSERT_TRUE(loaded.ok());
+  auto c1 = session.Multiply(*a, *b);
+  auto c2 = session.Multiply(*loaded, *b);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c1->Collect().ToDense(),
+                                    c2->Collect().ToDense()),
+            1e-9);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace distme::core

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "sim/timeline.h"
+
+namespace distme::sim {
+namespace {
+
+TEST(ResourceTimelineTest, GrantsInArrivalOrder) {
+  ResourceTimeline r;
+  EXPECT_DOUBLE_EQ(r.Schedule(0.0, 2.0), 0.0);  // busy [0,2]
+  EXPECT_DOUBLE_EQ(r.Schedule(0.0, 1.0), 2.0);  // waits, busy [2,3]
+  EXPECT_DOUBLE_EQ(r.Schedule(10.0, 1.0), 10.0);  // idle gap honoured
+  EXPECT_DOUBLE_EQ(r.available(), 11.0);
+}
+
+TEST(ResourceTimelineTest, Reset) {
+  ResourceTimeline r;
+  r.Schedule(0.0, 5.0);
+  r.Reset();
+  EXPECT_DOUBLE_EQ(r.available(), 0.0);
+}
+
+TEST(WaveSchedulerTest, SingleSlotIsSequential) {
+  WaveScheduler waves(1);
+  waves.Add(1.0);
+  waves.Add(2.0);
+  waves.Add(3.0);
+  EXPECT_DOUBLE_EQ(waves.Makespan(), 6.0);
+  EXPECT_EQ(waves.num_tasks(), 3);
+}
+
+TEST(WaveSchedulerTest, PerfectParallelism) {
+  WaveScheduler waves(4);
+  for (int i = 0; i < 4; ++i) waves.Add(2.5);
+  EXPECT_DOUBLE_EQ(waves.Makespan(), 2.5);
+}
+
+TEST(WaveSchedulerTest, WaveImbalance) {
+  // 5 equal tasks on 4 slots: one slot runs two → makespan 2 units.
+  WaveScheduler waves(4);
+  for (int i = 0; i < 5; ++i) waves.Add(1.0);
+  EXPECT_DOUBLE_EQ(waves.Makespan(), 2.0);
+}
+
+TEST(WaveSchedulerTest, GreedyEarliestSlot) {
+  WaveScheduler waves(2);
+  waves.Add(4.0);  // slot A busy until 4
+  waves.Add(1.0);  // slot B busy until 1
+  waves.Add(1.0);  // goes to B → until 2
+  waves.Add(1.0);  // goes to B → until 3
+  EXPECT_DOUBLE_EQ(waves.Makespan(), 4.0);
+}
+
+TEST(WaveSchedulerTest, LptOrderingImprovesSkewedLoad) {
+  // One giant task + many small: submitting the giant last wastes a wave;
+  // submitting it first (LPT) overlaps it with the small ones.
+  const std::vector<double> small(7, 1.0);
+  WaveScheduler plan_order(4);
+  for (double d : small) plan_order.Add(d);
+  plan_order.Add(5.0);  // giant last
+  WaveScheduler lpt(4);
+  lpt.Add(5.0);  // giant first
+  for (double d : small) lpt.Add(d);
+  EXPECT_LT(lpt.Makespan(), plan_order.Makespan());
+  EXPECT_DOUBLE_EQ(lpt.Makespan(), 5.0);
+}
+
+TEST(ShuffleTest, ScalesWithBytesAndNodes) {
+  const double t1 = ShuffleSeconds(1e9, 4, 1e9, 2e9, 1.0);
+  const double t2 = ShuffleSeconds(2e9, 4, 1e9, 2e9, 1.0);
+  const double t3 = ShuffleSeconds(1e9, 8, 1e9, 2e9, 1.0);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+  EXPECT_NEAR(t3, 0.5 * t1, 1e-12);
+}
+
+TEST(ShuffleTest, SlowestPipelineStageDominates) {
+  // Serialization slower than the NIC → serialization-bound.
+  const double ser_bound = ShuffleSeconds(1e9, 1, 10e9, 1e9, 1.0);
+  EXPECT_GE(ser_bound, 1.0);
+  // NIC slower → transfer-bound.
+  const double nic_bound = ShuffleSeconds(1e9, 1, 1e9, 10e9, 1.0);
+  EXPECT_GE(nic_bound, 1.0);
+}
+
+TEST(ShuffleTest, SerializationFactorInflates) {
+  const double base = ShuffleSeconds(1e9, 4, 1e9, 1e9, 1.0);
+  const double inflated = ShuffleSeconds(1e9, 4, 1e9, 1e9, 1.1);
+  EXPECT_NEAR(inflated, 1.1 * base, 1e-9);
+}
+
+TEST(ShuffleTest, ZeroBytesIsFree) {
+  EXPECT_DOUBLE_EQ(ShuffleSeconds(0, 4, 1e9, 1e9, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(PointToPointSeconds(0, 1e9), 0.0);
+}
+
+TEST(ShuffleTest, PointToPoint) {
+  EXPECT_DOUBLE_EQ(PointToPointSeconds(2e9, 1e9), 2.0);
+}
+
+}  // namespace
+}  // namespace distme::sim

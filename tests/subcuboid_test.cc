@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "gpumm/subcuboid.h"
+
+namespace distme::gpumm {
+namespace {
+
+SubcuboidProblem DenseCuboid(int64_t i, int64_t j, int64_t k,
+                             int64_t bs = 1000) {
+  SubcuboidProblem p;
+  p.i_blocks = i;
+  p.j_blocks = j;
+  p.k_blocks = k;
+  const double block_bytes = static_cast<double>(bs) * bs * 8;
+  p.a_bytes = static_cast<double>(i) * k * block_bytes;
+  p.b_bytes = static_cast<double>(k) * j * block_bytes;
+  p.c_bytes = static_cast<double>(i) * j * block_bytes;
+  p.flops = 2.0 * i * j * k * bs * bs * bs;
+  return p;
+}
+
+TEST(SubcuboidTest, TendsToOneOneR) {
+  // Section 4.2: the optimization tends to produce (1,1,R2) partitioning —
+  // C stays resident, only A/B stream in.
+  const SubcuboidProblem p = DenseCuboid(2, 3, 40);
+  auto opt = OptimizeSubcuboid(p, 1 * kGiB);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->spec.P, 1);
+  EXPECT_EQ(opt->spec.Q, 1);
+  EXPECT_GT(opt->spec.R, 1);
+  EXPECT_LE(opt->memory_bytes, 1.0 * kGiB);
+}
+
+TEST(SubcuboidTest, LargeCForcesPQSplits) {
+  // When C alone exceeds θg, P2/Q2 must grow (Section 4.2).
+  const SubcuboidProblem p = DenseCuboid(20, 20, 1);  // C = 3.2 GB
+  auto opt = OptimizeSubcuboid(p, 1 * kGiB);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GT(opt->spec.P * opt->spec.Q, 1);
+  EXPECT_LE(opt->memory_bytes, 1.0 * kGiB);
+}
+
+TEST(SubcuboidTest, CostOmitsR2OnC) {
+  // Eq. (6): the C term is not multiplied by R2.
+  const SubcuboidProblem p = DenseCuboid(2, 2, 8);
+  const double c1 = SubcuboidCostBytes(p, {1, 1, 2});
+  const double c2 = SubcuboidCostBytes(p, {1, 1, 8});
+  EXPECT_DOUBLE_EQ(c1, c2);
+  // But P2/Q2 do multiply the opposite operand.
+  EXPECT_GT(SubcuboidCostBytes(p, {2, 1, 2}), c1);
+  EXPECT_GT(SubcuboidCostBytes(p, {1, 2, 2}), c1);
+}
+
+TEST(SubcuboidTest, InfeasibleWhenBlockExceedsBudget) {
+  const SubcuboidProblem p = DenseCuboid(1, 1, 1);
+  auto opt = OptimizeSubcuboid(p, 1 * kMiB);  // one voxel is 24 MB
+  ASSERT_FALSE(opt.ok());
+  EXPECT_TRUE(opt.status().IsOutOfMemory());
+}
+
+TEST(SubcuboidTest, SingleVoxelCuboidIsTrivial) {
+  const SubcuboidProblem p = DenseCuboid(1, 1, 1);
+  auto opt = OptimizeSubcuboid(p, 1 * kGiB);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->spec.num_cuboids(), 1);
+  EXPECT_DOUBLE_EQ(opt->pcie_bytes, p.a_bytes + p.b_bytes + p.c_bytes);
+}
+
+TEST(SubcuboidTest, MatchesBruteForceOptimum) {
+  const SubcuboidProblem p = DenseCuboid(6, 7, 10);
+  const int64_t theta = 1 * kGiB;
+  auto opt = OptimizeSubcuboid(p, theta);
+  ASSERT_TRUE(opt.ok());
+  double best = -1;
+  for (int64_t p2 = 1; p2 <= p.i_blocks; ++p2) {
+    for (int64_t q2 = 1; q2 <= p.j_blocks; ++q2) {
+      for (int64_t r2 = 1; r2 <= p.k_blocks; ++r2) {
+        const mm::CuboidSpec s{p2, q2, r2};
+        if (SubcuboidMemBytes(p, s) > static_cast<double>(theta)) continue;
+        const double cost = SubcuboidCostBytes(p, s);
+        if (best < 0 || cost < best) best = cost;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(opt->pcie_bytes, best);
+}
+
+TEST(StreamingEstimateTest, OverlapBeatsBlockLevel) {
+  // The streaming executor overlaps H2D with kernels; block-level execution
+  // is strictly additive, so it must be slower for the same work.
+  const SubcuboidProblem p = DenseCuboid(4, 4, 16);
+  HardwareModel hw;
+  auto opt = OptimizeSubcuboid(p, 1 * kGiB);
+  ASSERT_TRUE(opt.ok());
+  const GpuTaskTime streamed = EstimateStreamingTime(p, *opt, hw, false);
+  const double block_bytes = 1000.0 * 1000 * 8;
+  const GpuTaskTime blocked = EstimateBlockLevelTime(
+      4 * 4 * 16, block_bytes, block_bytes, block_bytes, p.flops, hw, false);
+  EXPECT_LT(streamed.elapsed_seconds, blocked.elapsed_seconds);
+  // Block-level moves every operand per voxel; streaming reuses them.
+  EXPECT_LT(opt->pcie_bytes,
+            blocked.h2d_seconds * hw.pcie_bandwidth +
+                blocked.d2h_seconds * hw.pcie_bandwidth + 1.0);
+}
+
+TEST(StreamingEstimateTest, SharingSlowsDown) {
+  const SubcuboidProblem p = DenseCuboid(2, 2, 8);
+  HardwareModel hw;
+  auto opt = OptimizeSubcuboid(p, 1 * kGiB);
+  ASSERT_TRUE(opt.ok());
+  const GpuTaskTime alone = EstimateStreamingTime(p, *opt, hw, false, 1.0);
+  const GpuTaskTime shared = EstimateStreamingTime(p, *opt, hw, false, 10.0);
+  EXPECT_GT(shared.elapsed_seconds, alone.elapsed_seconds);
+}
+
+TEST(StreamingEstimateTest, SparseKernelsSlower) {
+  const SubcuboidProblem p = DenseCuboid(2, 2, 4);
+  HardwareModel hw;
+  auto opt = OptimizeSubcuboid(p, 1 * kGiB);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GT(EstimateStreamingTime(p, *opt, hw, true).kernel_seconds,
+            EstimateStreamingTime(p, *opt, hw, false).kernel_seconds);
+}
+
+}  // namespace
+}  // namespace distme::gpumm

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "systems/profiles.h"
+
+namespace distme::systems {
+namespace {
+
+using mm::MMProblem;
+
+MMProblem DenseProblem(int64_t i, int64_t k, int64_t j, double sparsity = 1.0) {
+  MMProblem p = MMProblem::DenseSquareBlocks(i, k, j, 1000);
+  p.a.sparsity = sparsity;
+  p.b.sparsity = sparsity;
+  return p;
+}
+
+const ClusterConfig kPaper = ClusterConfig::Paper();
+
+TEST(SystemsTest, Figure7aOrdering) {
+  // 40K×40K×40K dense: DistME(C) beats SystemML(C); MatFast(C) O.O.M.s.
+  const MMProblem p = DenseProblem(40000, 40000, 40000);
+  auto distme = RunMultiply(DistME(false), p, kPaper);
+  auto systemml = RunMultiply(SystemML(false), p, kPaper);
+  auto matfast = RunMultiply(MatFast(false), p, kPaper);
+  ASSERT_TRUE(distme.ok() && systemml.ok() && matfast.ok());
+  ASSERT_TRUE(distme->outcome.ok()) << distme->outcome;
+  ASSERT_TRUE(systemml->outcome.ok()) << systemml->outcome;
+  EXPECT_TRUE(matfast->outcome.IsOutOfMemory()) << matfast->outcome;
+  EXPECT_LT(distme->elapsed_seconds, systemml->elapsed_seconds);
+}
+
+TEST(SystemsTest, Figure7aGpuSpeedups) {
+  // GPU variants improve on CPU variants, and DistME(G) stays well ahead of
+  // SystemML(G). (The paper additionally reports a *larger relative*
+  // speedup for DistME than SystemML; in our substrate SystemML's CPU
+  // baseline is parallelism-starved, which inflates its relative gain —
+  // see EXPERIMENTS.md. The absolute ordering is the preserved result.)
+  const MMProblem p = DenseProblem(40000, 40000, 40000);
+  auto distme_c = RunMultiply(DistME(false), p, kPaper);
+  auto distme_g = RunMultiply(DistME(true), p, kPaper);
+  auto systemml_c = RunMultiply(SystemML(false), p, kPaper);
+  auto systemml_g = RunMultiply(SystemML(true), p, kPaper);
+  ASSERT_TRUE(distme_c->outcome.ok() && distme_g->outcome.ok());
+  ASSERT_TRUE(systemml_c->outcome.ok() && systemml_g->outcome.ok());
+  const double distme_speedup =
+      distme_c->elapsed_seconds / distme_g->elapsed_seconds;
+  const double systemml_speedup =
+      systemml_c->elapsed_seconds / systemml_g->elapsed_seconds;
+  EXPECT_GT(distme_speedup, 1.5);
+  EXPECT_GT(systemml_speedup, 1.5);
+  EXPECT_LT(distme_g->elapsed_seconds, systemml_g->elapsed_seconds);
+  EXPECT_LT(distme_c->elapsed_seconds, systemml_c->elapsed_seconds);
+}
+
+TEST(SystemsTest, Figure7cMatFastOomSystemMLPicksRmm) {
+  // N×1K×1M with huge |C|: MatFast's CPMM O.O.M.s at every size; SystemML
+  // falls back to RMM and survives at N = 1M.
+  const MMProblem p = DenseProblem(1000000, 1000, 1000000);
+  auto matfast = RunMultiply(MatFast(false), p, kPaper);
+  ASSERT_TRUE(matfast.ok());
+  EXPECT_TRUE(matfast->outcome.IsOutOfMemory()) << matfast->outcome;
+
+  ClusterConfig patient = kPaper;
+  patient.timeout_seconds = 1e9;  // Figure 7(c) is measured in minutes
+  auto systemml = RunMultiply(SystemML(false), p, patient);
+  ASSERT_TRUE(systemml.ok());
+  ASSERT_TRUE(systemml->outcome.ok()) << systemml->outcome;
+  EXPECT_EQ(systemml->method_name, "RMM");
+
+  auto distme = RunMultiply(DistME(false), p, patient);
+  ASSERT_TRUE(distme.ok());
+  ASSERT_TRUE(distme->outcome.ok()) << distme->outcome;
+  // Figure 7(c): DistME(C) wins (paper: 4.9×; our model reproduces
+  // DistME's absolute minutes but under-models the JVM collapse SystemML
+  // suffers at 10^6 RMM tasks — see EXPERIMENTS.md).
+  EXPECT_GT(systemml->elapsed_seconds / distme->elapsed_seconds, 1.25);
+}
+
+TEST(SystemsTest, Figure7cSystemMLEdcAtLargerN) {
+  // SystemML's RMM exceeds disk capacity at N = 1.5M (E.D.C.).
+  const MMProblem p = DenseProblem(1500000, 1000, 1000000);
+  ClusterConfig patient = kPaper;
+  patient.timeout_seconds = 1e9;
+  auto systemml = RunMultiply(SystemML(false), p, patient);
+  ASSERT_TRUE(systemml.ok());
+  EXPECT_TRUE(systemml->outcome.IsExceedsDiskCapacity()) << systemml->outcome;
+  auto distme = RunMultiply(DistME(false), p, patient);
+  ASSERT_TRUE(distme.ok());
+  EXPECT_TRUE(distme->outcome.ok()) << distme->outcome;
+}
+
+TEST(SystemsTest, Figure7dSparseDense) {
+  // 500K×1M×1K, sparse A: everyone runs; DistME(G) is fastest.
+  MMProblem p = DenseProblem(500000, 1000000, 1000);
+  p.a.sparsity = 1e-3;
+  p.a.stored_dense = false;
+  auto distme_g = RunMultiply(DistME(true), p, kPaper);
+  auto systemml_g = RunMultiply(SystemML(true), p, kPaper);
+  auto matfast_g = RunMultiply(MatFast(true), p, kPaper);
+  ASSERT_TRUE(distme_g.ok() && systemml_g.ok() && matfast_g.ok());
+  ASSERT_TRUE(distme_g->outcome.ok()) << distme_g->outcome;
+  ASSERT_TRUE(systemml_g->outcome.ok()) << systemml_g->outcome;
+  ASSERT_TRUE(matfast_g->outcome.ok()) << matfast_g->outcome;
+  EXPECT_LT(distme_g->elapsed_seconds, systemml_g->elapsed_seconds);
+  EXPECT_LT(distme_g->elapsed_seconds, matfast_g->elapsed_seconds);
+}
+
+TEST(SystemsTest, Table5CommonLargeDimension) {
+  // 5K×1M×5K: DistME(C) ≈3× faster than ScaLAPACK (995s vs 326s).
+  const MMProblem p = DenseProblem(5000, 1000000, 5000);
+  ClusterConfig patient = kPaper;
+  patient.timeout_seconds = 1e9;
+  auto scalapack = RunMultiply(ScaLAPACK(), p, patient);
+  auto scidb = RunMultiply(SciDB(), p, patient);
+  auto distme = RunMultiply(DistME(false), p, patient);
+  ASSERT_TRUE(scalapack.ok() && scidb.ok() && distme.ok());
+  ASSERT_TRUE(scalapack->outcome.ok()) << scalapack->outcome;
+  ASSERT_TRUE(distme->outcome.ok()) << distme->outcome;
+  // Paper: 3.05x. Our MPI model lacks some of ScaLAPACK's redistribution
+  // overheads, so the margin is smaller but the winner is the same.
+  EXPECT_GT(scalapack->elapsed_seconds / distme->elapsed_seconds, 1.2);
+  // SciDB is never faster than raw ScaLAPACK (it wraps it).
+  if (scidb->outcome.ok()) {
+    EXPECT_GE(scidb->elapsed_seconds, scalapack->elapsed_seconds);
+  }
+}
+
+TEST(SystemsTest, Table5HpcOomOnTwoLargeDimensions) {
+  // 500K×1K×500K: ScaLAPACK and SciDB O.O.M.; only DistME completes.
+  const MMProblem p = DenseProblem(500000, 1000, 500000);
+  ClusterConfig patient = kPaper;
+  patient.timeout_seconds = 1e9;
+  auto scalapack = RunMultiply(ScaLAPACK(), p, patient);
+  auto scidb = RunMultiply(SciDB(), p, patient);
+  auto distme = RunMultiply(DistME(false), p, patient);
+  ASSERT_TRUE(scalapack.ok() && scidb.ok() && distme.ok());
+  EXPECT_TRUE(scalapack->outcome.IsOutOfMemory()) << scalapack->outcome;
+  EXPECT_TRUE(scidb->outcome.IsOutOfMemory()) << scidb->outcome;
+  EXPECT_TRUE(distme->outcome.ok()) << distme->outcome;
+}
+
+TEST(SystemsTest, Table5SmallMatricesCompetitive) {
+  // 10K×10K×10K: the paper has ScaLAPACK (31s) slightly ahead of DistME(C)
+  // (42s) because of Spark job startup and HDFS input loading, which our
+  // substrate does not model; what must hold is that the two systems are
+  // within noise of each other at small scale (they diverge at 50K+).
+  const MMProblem p = DenseProblem(10000, 10000, 10000);
+  auto scalapack = RunMultiply(ScaLAPACK(), p, kPaper);
+  auto distme = RunMultiply(DistME(false), p, kPaper);
+  ASSERT_TRUE(scalapack.ok() && distme.ok());
+  ASSERT_TRUE(scalapack->outcome.ok() && distme->outcome.ok());
+  const double ratio = scalapack->elapsed_seconds / distme->elapsed_seconds;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(SystemsTest, SciDbRepartitionsMore) {
+  const MMProblem p = DenseProblem(20000, 20000, 20000);
+  auto scalapack = RunMultiply(ScaLAPACK(), p, kPaper);
+  auto scidb = RunMultiply(SciDB(), p, kPaper);
+  ASSERT_TRUE(scalapack.ok() && scidb.ok());
+  EXPECT_GT(scidb->repartition_bytes, scalapack->repartition_bytes);
+}
+
+TEST(SystemsTest, ProfileNames) {
+  EXPECT_EQ(DistME(true).name, "DistME(G)");
+  EXPECT_EQ(DistME(false).name, "DistME(C)");
+  EXPECT_EQ(SystemML(true).name, "SystemML(G)");
+  EXPECT_EQ(MatFast(false).name, "MatFast(C)");
+  EXPECT_EQ(DMac().name, "DMac");
+}
+
+}  // namespace
+}  // namespace distme::systems
+
+namespace distme::systems {
+namespace {
+
+// Direct tests of the planner policies on canonical shapes.
+TEST(PlannerPolicyTest, SystemMLObservedChoices) {
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  auto planner = SystemML(false).planner;
+  // Figure 7(a) general matrices → CPMM or RMM (broadcast infeasible).
+  {
+    auto method = planner->Choose(DenseProblem(40000, 40000, 40000), cluster);
+    ASSERT_TRUE(method.ok());
+    EXPECT_NE((*method)->kind(), mm::MethodKind::kBmm);
+  }
+  // Figure 7(c) huge |C| → RMM.
+  {
+    auto method =
+        planner->Choose(DenseProblem(1000000, 1000, 1000000), cluster);
+    ASSERT_TRUE(method.ok());
+    EXPECT_EQ((*method)->kind(), mm::MethodKind::kRmm);
+  }
+  // GNMF-style tall-times-thin with a tiny broadcastable side → BMM.
+  {
+    MMProblem p;
+    p.a = mm::MatrixDescriptor::Sparse(480000, 18000, 1000, 0.01);
+    p.b = mm::MatrixDescriptor::Dense(18000, 200, 1000);
+    auto method = planner->Choose(p, cluster);
+    ASSERT_TRUE(method.ok());
+    EXPECT_EQ((*method)->kind(), mm::MethodKind::kBmm);
+  }
+  // Tall-thin Gram matrix WᵀW: BMM would serialize on one task → CPMM.
+  {
+    MMProblem p;
+    p.a = mm::MatrixDescriptor::Dense(200, 480000, 1000);
+    p.b = mm::MatrixDescriptor::Dense(480000, 200, 1000);
+    auto method = planner->Choose(p, cluster);
+    ASSERT_TRUE(method.ok());
+    EXPECT_EQ((*method)->kind(), mm::MethodKind::kCpmm);
+  }
+}
+
+TEST(PlannerPolicyTest, MatFastDefaultsToCpmm) {
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  auto planner = MatFast(false).planner;
+  auto method = planner->Choose(DenseProblem(30000, 30000, 30000), cluster);
+  ASSERT_TRUE(method.ok());
+  EXPECT_EQ((*method)->kind(), mm::MethodKind::kCpmm);
+}
+
+TEST(ReportLabelTest, OutcomeLabels) {
+  engine::MMReport report;
+  report.outcome = Status::OK();
+  report.elapsed_seconds = 42.0;
+  EXPECT_EQ(report.OutcomeLabel(), "42.0s");
+  report.outcome = Status::OutOfMemory("x");
+  EXPECT_EQ(report.OutcomeLabel(), "O.O.M.");
+  report.outcome = Status::Timeout("x");
+  EXPECT_EQ(report.OutcomeLabel(), "T.O.");
+  report.outcome = Status::ExceedsDiskCapacity("x");
+  EXPECT_EQ(report.OutcomeLabel(), "E.D.C.");
+}
+
+}  // namespace
+}  // namespace distme::systems

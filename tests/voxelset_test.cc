@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "mm/plan.h"
+
+namespace distme::mm {
+namespace {
+
+using Key = std::tuple<int64_t, int64_t, int64_t>;
+
+std::vector<Key> Enumerate(const VoxelSet& set) {
+  std::vector<Key> out;
+  set.ForEach([&](Voxel v) { out.emplace_back(v.i, v.j, v.k); });
+  return out;
+}
+
+TEST(VoxelSetTest, BoxSizeAndBounds) {
+  const VoxelSet box = VoxelSet::Box(1, 4, 0, 2, 3, 7);
+  EXPECT_TRUE(box.is_box());
+  EXPECT_EQ(box.size(), 3 * 2 * 4);
+  EXPECT_EQ(box.i_count(), 3);
+  EXPECT_EQ(box.j_count(), 2);
+  EXPECT_EQ(box.k_count(), 4);
+  for (const auto& [i, j, k] : Enumerate(box)) {
+    EXPECT_GE(i, 1);
+    EXPECT_LT(i, 4);
+    EXPECT_GE(j, 0);
+    EXPECT_LT(j, 2);
+    EXPECT_GE(k, 3);
+    EXPECT_LT(k, 7);
+  }
+}
+
+TEST(VoxelSetTest, BoxEnumeratesEveryVoxelOnce) {
+  const VoxelSet box = VoxelSet::Box(0, 3, 1, 4, 2, 5);
+  const auto voxels = Enumerate(box);
+  const std::set<Key> unique(voxels.begin(), voxels.end());
+  EXPECT_EQ(static_cast<int64_t>(voxels.size()), box.size());
+  EXPECT_EQ(unique.size(), voxels.size());
+}
+
+TEST(VoxelSetTest, EmptyBox) {
+  const VoxelSet box = VoxelSet::Box(2, 2, 0, 5, 0, 5);
+  EXPECT_EQ(box.size(), 0);
+  EXPECT_TRUE(Enumerate(box).empty());
+}
+
+class StridedPartitionTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t,
+                                                 int64_t>> {};
+
+TEST_P(StridedPartitionTest, ResidueClassesPartitionTheSpace) {
+  // Property: the T strided sets {start = t, stride = T} partition the
+  // voxel space exactly — the invariant RMM's scatter relies on.
+  const auto [big_i, big_j, big_k, stride] = GetParam();
+  std::set<Key> seen;
+  int64_t total = 0;
+  for (int64_t start = 0; start < stride; ++start) {
+    const VoxelSet s =
+        VoxelSet::Strided(big_i, big_j, big_k, start, stride);
+    const auto voxels = Enumerate(s);
+    EXPECT_EQ(static_cast<int64_t>(voxels.size()), s.size());
+    total += s.size();
+    for (const Key& v : voxels) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate voxel";
+    }
+  }
+  EXPECT_EQ(total, big_i * big_j * big_k);
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), big_i * big_j * big_k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StridedPartitionTest,
+    ::testing::Values(std::make_tuple(4, 5, 6, 7),
+                      std::make_tuple(1, 1, 30, 4),
+                      std::make_tuple(10, 1, 1, 3),
+                      std::make_tuple(3, 3, 3, 27),
+                      std::make_tuple(2, 2, 2, 1)));
+
+TEST(VoxelSetTest, StridedDecodeIsRowMajor) {
+  // Linear index x = (i·J + j)·K + k.
+  const VoxelSet s = VoxelSet::Strided(2, 3, 4, 5, 100);  // just x = 5
+  const auto voxels = Enumerate(s);
+  ASSERT_EQ(voxels.size(), 1u);
+  EXPECT_EQ(voxels[0], Key(0, 1, 1));  // 5 = (0*3+1)*4 + 1
+}
+
+TEST(VoxelSetTest, StridedStartBeyondEndIsEmpty) {
+  const VoxelSet s = VoxelSet::Strided(2, 2, 2, 8, 3);
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_TRUE(Enumerate(s).empty());
+}
+
+TEST(VoxelSetTest, StridedVoxelsAreNonConsecutive) {
+  // With stride > 1 a set never contains two linearly-adjacent voxels —
+  // the "non-consecutive voxels" property of RMM (Section 3.1).
+  const int64_t stride = 7;
+  const VoxelSet s = VoxelSet::Strided(4, 4, 4, 2, stride);
+  std::vector<int64_t> linear;
+  s.ForEach([&](Voxel v) { linear.push_back((v.i * 4 + v.j) * 4 + v.k); });
+  for (size_t n = 1; n < linear.size(); ++n) {
+    EXPECT_EQ(linear[n] - linear[n - 1], stride);
+  }
+}
+
+}  // namespace
+}  // namespace distme::mm
