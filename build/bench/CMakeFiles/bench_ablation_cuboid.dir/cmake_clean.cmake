@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cuboid.dir/bench_ablation_cuboid.cc.o"
+  "CMakeFiles/bench_ablation_cuboid.dir/bench_ablation_cuboid.cc.o.d"
+  "bench_ablation_cuboid"
+  "bench_ablation_cuboid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cuboid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_common_dim.dir/bench_fig6_common_dim.cc.o"
+  "CMakeFiles/bench_fig6_common_dim.dir/bench_fig6_common_dim.cc.o.d"
+  "bench_fig6_common_dim"
+  "bench_fig6_common_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_common_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

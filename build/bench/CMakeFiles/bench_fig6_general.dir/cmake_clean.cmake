@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_general.dir/bench_fig6_general.cc.o"
+  "CMakeFiles/bench_fig6_general.dir/bench_fig6_general.cc.o.d"
+  "bench_fig6_general"
+  "bench_fig6_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_comm.dir/bench_fig7_comm.cc.o"
+  "CMakeFiles/bench_fig7_comm.dir/bench_fig7_comm.cc.o.d"
+  "bench_fig7_comm"
+  "bench_fig7_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ratios.dir/bench_fig7_ratios.cc.o"
+  "CMakeFiles/bench_fig7_ratios.dir/bench_fig7_ratios.cc.o.d"
+  "bench_fig7_ratios"
+  "bench_fig7_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

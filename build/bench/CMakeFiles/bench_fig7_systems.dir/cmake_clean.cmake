@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_systems.dir/bench_fig7_systems.cc.o"
+  "CMakeFiles/bench_fig7_systems.dir/bench_fig7_systems.cc.o.d"
+  "bench_fig7_systems"
+  "bench_fig7_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_factor_dim.dir/bench_fig8_factor_dim.cc.o"
+  "CMakeFiles/bench_fig8_factor_dim.dir/bench_fig8_factor_dim.cc.o.d"
+  "bench_fig8_factor_dim"
+  "bench_fig8_factor_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_factor_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

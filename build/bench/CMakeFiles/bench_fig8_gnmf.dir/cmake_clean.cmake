@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gnmf.dir/bench_fig8_gnmf.cc.o"
+  "CMakeFiles/bench_fig8_gnmf.dir/bench_fig8_gnmf.cc.o.d"
+  "bench_fig8_gnmf"
+  "bench_fig8_gnmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gnmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

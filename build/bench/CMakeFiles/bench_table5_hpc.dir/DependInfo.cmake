@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_hpc.cc" "bench/CMakeFiles/bench_table5_hpc.dir/bench_table5_hpc.cc.o" "gcc" "bench/CMakeFiles/bench_table5_hpc.dir/bench_table5_hpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/distme_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/distme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/distme_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpumm/CMakeFiles/distme_gpumm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/distme_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/distme_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/distme_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/distme_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/distme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/distme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hpc.dir/bench_table5_hpc.cc.o"
+  "CMakeFiles/bench_table5_hpc.dir/bench_table5_hpc.cc.o.d"
+  "bench_table5_hpc"
+  "bench_table5_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_real.dir/bench_validation_real.cc.o"
+  "CMakeFiles/bench_validation_real.dir/bench_validation_real.cc.o.d"
+  "bench_validation_real"
+  "bench_validation_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnmf_recommender.dir/gnmf_recommender.cpp.o"
+  "CMakeFiles/gnmf_recommender.dir/gnmf_recommender.cpp.o.d"
+  "gnmf_recommender"
+  "gnmf_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnmf_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

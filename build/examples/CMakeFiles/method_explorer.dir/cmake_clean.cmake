@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_explorer.dir/method_explorer.cpp.o"
+  "CMakeFiles/method_explorer.dir/method_explorer.cpp.o.d"
+  "method_explorer"
+  "method_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

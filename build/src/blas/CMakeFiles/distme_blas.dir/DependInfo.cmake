@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/block_ops.cc" "src/blas/CMakeFiles/distme_blas.dir/block_ops.cc.o" "gcc" "src/blas/CMakeFiles/distme_blas.dir/block_ops.cc.o.d"
+  "/root/repo/src/blas/cholesky.cc" "src/blas/CMakeFiles/distme_blas.dir/cholesky.cc.o" "gcc" "src/blas/CMakeFiles/distme_blas.dir/cholesky.cc.o.d"
+  "/root/repo/src/blas/gemm.cc" "src/blas/CMakeFiles/distme_blas.dir/gemm.cc.o" "gcc" "src/blas/CMakeFiles/distme_blas.dir/gemm.cc.o.d"
+  "/root/repo/src/blas/local_mm.cc" "src/blas/CMakeFiles/distme_blas.dir/local_mm.cc.o" "gcc" "src/blas/CMakeFiles/distme_blas.dir/local_mm.cc.o.d"
+  "/root/repo/src/blas/spmm.cc" "src/blas/CMakeFiles/distme_blas.dir/spmm.cc.o" "gcc" "src/blas/CMakeFiles/distme_blas.dir/spmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/distme_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/distme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_blas.dir/block_ops.cc.o"
+  "CMakeFiles/distme_blas.dir/block_ops.cc.o.d"
+  "CMakeFiles/distme_blas.dir/cholesky.cc.o"
+  "CMakeFiles/distme_blas.dir/cholesky.cc.o.d"
+  "CMakeFiles/distme_blas.dir/gemm.cc.o"
+  "CMakeFiles/distme_blas.dir/gemm.cc.o.d"
+  "CMakeFiles/distme_blas.dir/local_mm.cc.o"
+  "CMakeFiles/distme_blas.dir/local_mm.cc.o.d"
+  "CMakeFiles/distme_blas.dir/spmm.cc.o"
+  "CMakeFiles/distme_blas.dir/spmm.cc.o.d"
+  "libdistme_blas.a"
+  "libdistme_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdistme_blas.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_common.dir/logging.cc.o"
+  "CMakeFiles/distme_common.dir/logging.cc.o.d"
+  "CMakeFiles/distme_common.dir/random.cc.o"
+  "CMakeFiles/distme_common.dir/random.cc.o.d"
+  "CMakeFiles/distme_common.dir/status.cc.o"
+  "CMakeFiles/distme_common.dir/status.cc.o.d"
+  "CMakeFiles/distme_common.dir/units.cc.o"
+  "CMakeFiles/distme_common.dir/units.cc.o.d"
+  "libdistme_common.a"
+  "libdistme_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_core.dir/expr.cc.o"
+  "CMakeFiles/distme_core.dir/expr.cc.o.d"
+  "CMakeFiles/distme_core.dir/gnmf.cc.o"
+  "CMakeFiles/distme_core.dir/gnmf.cc.o.d"
+  "CMakeFiles/distme_core.dir/planner.cc.o"
+  "CMakeFiles/distme_core.dir/planner.cc.o.d"
+  "CMakeFiles/distme_core.dir/session.cc.o"
+  "CMakeFiles/distme_core.dir/session.cc.o.d"
+  "CMakeFiles/distme_core.dir/sim_query.cc.o"
+  "CMakeFiles/distme_core.dir/sim_query.cc.o.d"
+  "libdistme_core.a"
+  "libdistme_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

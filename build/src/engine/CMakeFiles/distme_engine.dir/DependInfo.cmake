@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/distributed_matrix.cc" "src/engine/CMakeFiles/distme_engine.dir/distributed_matrix.cc.o" "gcc" "src/engine/CMakeFiles/distme_engine.dir/distributed_matrix.cc.o.d"
+  "/root/repo/src/engine/partitioner.cc" "src/engine/CMakeFiles/distme_engine.dir/partitioner.cc.o" "gcc" "src/engine/CMakeFiles/distme_engine.dir/partitioner.cc.o.d"
+  "/root/repo/src/engine/real_executor.cc" "src/engine/CMakeFiles/distme_engine.dir/real_executor.cc.o" "gcc" "src/engine/CMakeFiles/distme_engine.dir/real_executor.cc.o.d"
+  "/root/repo/src/engine/report.cc" "src/engine/CMakeFiles/distme_engine.dir/report.cc.o" "gcc" "src/engine/CMakeFiles/distme_engine.dir/report.cc.o.d"
+  "/root/repo/src/engine/sim_executor.cc" "src/engine/CMakeFiles/distme_engine.dir/sim_executor.cc.o" "gcc" "src/engine/CMakeFiles/distme_engine.dir/sim_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/distme_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpumm/CMakeFiles/distme_gpumm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/distme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/distme_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/distme_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/distme_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/distme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_engine.dir/distributed_matrix.cc.o"
+  "CMakeFiles/distme_engine.dir/distributed_matrix.cc.o.d"
+  "CMakeFiles/distme_engine.dir/partitioner.cc.o"
+  "CMakeFiles/distme_engine.dir/partitioner.cc.o.d"
+  "CMakeFiles/distme_engine.dir/real_executor.cc.o"
+  "CMakeFiles/distme_engine.dir/real_executor.cc.o.d"
+  "CMakeFiles/distme_engine.dir/report.cc.o"
+  "CMakeFiles/distme_engine.dir/report.cc.o.d"
+  "CMakeFiles/distme_engine.dir/sim_executor.cc.o"
+  "CMakeFiles/distme_engine.dir/sim_executor.cc.o.d"
+  "libdistme_engine.a"
+  "libdistme_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_gpu.dir/device.cc.o"
+  "CMakeFiles/distme_gpu.dir/device.cc.o.d"
+  "libdistme_gpu.a"
+  "libdistme_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

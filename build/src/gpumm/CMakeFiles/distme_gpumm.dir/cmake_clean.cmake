@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_gpumm.dir/streaming.cc.o"
+  "CMakeFiles/distme_gpumm.dir/streaming.cc.o.d"
+  "CMakeFiles/distme_gpumm.dir/subcuboid.cc.o"
+  "CMakeFiles/distme_gpumm.dir/subcuboid.cc.o.d"
+  "libdistme_gpumm.a"
+  "libdistme_gpumm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_gpumm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

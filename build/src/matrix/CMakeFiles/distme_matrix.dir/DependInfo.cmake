@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/block.cc" "src/matrix/CMakeFiles/distme_matrix.dir/block.cc.o" "gcc" "src/matrix/CMakeFiles/distme_matrix.dir/block.cc.o.d"
+  "/root/repo/src/matrix/block_grid.cc" "src/matrix/CMakeFiles/distme_matrix.dir/block_grid.cc.o" "gcc" "src/matrix/CMakeFiles/distme_matrix.dir/block_grid.cc.o.d"
+  "/root/repo/src/matrix/dense_matrix.cc" "src/matrix/CMakeFiles/distme_matrix.dir/dense_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/distme_matrix.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/matrix/generator.cc" "src/matrix/CMakeFiles/distme_matrix.dir/generator.cc.o" "gcc" "src/matrix/CMakeFiles/distme_matrix.dir/generator.cc.o.d"
+  "/root/repo/src/matrix/io.cc" "src/matrix/CMakeFiles/distme_matrix.dir/io.cc.o" "gcc" "src/matrix/CMakeFiles/distme_matrix.dir/io.cc.o.d"
+  "/root/repo/src/matrix/serialize.cc" "src/matrix/CMakeFiles/distme_matrix.dir/serialize.cc.o" "gcc" "src/matrix/CMakeFiles/distme_matrix.dir/serialize.cc.o.d"
+  "/root/repo/src/matrix/sparse_matrix.cc" "src/matrix/CMakeFiles/distme_matrix.dir/sparse_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/distme_matrix.dir/sparse_matrix.cc.o.d"
+  "/root/repo/src/matrix/store.cc" "src/matrix/CMakeFiles/distme_matrix.dir/store.cc.o" "gcc" "src/matrix/CMakeFiles/distme_matrix.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/distme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_matrix.dir/block.cc.o"
+  "CMakeFiles/distme_matrix.dir/block.cc.o.d"
+  "CMakeFiles/distme_matrix.dir/block_grid.cc.o"
+  "CMakeFiles/distme_matrix.dir/block_grid.cc.o.d"
+  "CMakeFiles/distme_matrix.dir/dense_matrix.cc.o"
+  "CMakeFiles/distme_matrix.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/distme_matrix.dir/generator.cc.o"
+  "CMakeFiles/distme_matrix.dir/generator.cc.o.d"
+  "CMakeFiles/distme_matrix.dir/io.cc.o"
+  "CMakeFiles/distme_matrix.dir/io.cc.o.d"
+  "CMakeFiles/distme_matrix.dir/serialize.cc.o"
+  "CMakeFiles/distme_matrix.dir/serialize.cc.o.d"
+  "CMakeFiles/distme_matrix.dir/sparse_matrix.cc.o"
+  "CMakeFiles/distme_matrix.dir/sparse_matrix.cc.o.d"
+  "CMakeFiles/distme_matrix.dir/store.cc.o"
+  "CMakeFiles/distme_matrix.dir/store.cc.o.d"
+  "libdistme_matrix.a"
+  "libdistme_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

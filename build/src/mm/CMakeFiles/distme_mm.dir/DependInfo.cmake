@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/cost_model.cc" "src/mm/CMakeFiles/distme_mm.dir/cost_model.cc.o" "gcc" "src/mm/CMakeFiles/distme_mm.dir/cost_model.cc.o.d"
+  "/root/repo/src/mm/descriptor.cc" "src/mm/CMakeFiles/distme_mm.dir/descriptor.cc.o" "gcc" "src/mm/CMakeFiles/distme_mm.dir/descriptor.cc.o.d"
+  "/root/repo/src/mm/methods.cc" "src/mm/CMakeFiles/distme_mm.dir/methods.cc.o" "gcc" "src/mm/CMakeFiles/distme_mm.dir/methods.cc.o.d"
+  "/root/repo/src/mm/optimizer.cc" "src/mm/CMakeFiles/distme_mm.dir/optimizer.cc.o" "gcc" "src/mm/CMakeFiles/distme_mm.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/distme_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/distme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

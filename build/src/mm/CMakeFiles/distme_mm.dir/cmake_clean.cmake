@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_mm.dir/cost_model.cc.o"
+  "CMakeFiles/distme_mm.dir/cost_model.cc.o.d"
+  "CMakeFiles/distme_mm.dir/descriptor.cc.o"
+  "CMakeFiles/distme_mm.dir/descriptor.cc.o.d"
+  "CMakeFiles/distme_mm.dir/methods.cc.o"
+  "CMakeFiles/distme_mm.dir/methods.cc.o.d"
+  "CMakeFiles/distme_mm.dir/optimizer.cc.o"
+  "CMakeFiles/distme_mm.dir/optimizer.cc.o.d"
+  "libdistme_mm.a"
+  "libdistme_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

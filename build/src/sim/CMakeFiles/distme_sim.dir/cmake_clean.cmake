@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_sim.dir/timeline.cc.o"
+  "CMakeFiles/distme_sim.dir/timeline.cc.o.d"
+  "libdistme_sim.a"
+  "libdistme_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distme_systems.dir/profiles.cc.o"
+  "CMakeFiles/distme_systems.dir/profiles.cc.o.d"
+  "libdistme_systems.a"
+  "libdistme_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distme_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_test.dir/cholesky_test.cc.o"
+  "CMakeFiles/cholesky_test.dir/cholesky_test.cc.o.d"
+  "cholesky_test"
+  "cholesky_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

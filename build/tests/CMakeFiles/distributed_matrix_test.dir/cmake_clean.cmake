@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_matrix_test.dir/distributed_matrix_test.cc.o"
+  "CMakeFiles/distributed_matrix_test.dir/distributed_matrix_test.cc.o.d"
+  "distributed_matrix_test"
+  "distributed_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnmf_test.dir/gnmf_test.cc.o"
+  "CMakeFiles/gnmf_test.dir/gnmf_test.cc.o.d"
+  "gnmf_test"
+  "gnmf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

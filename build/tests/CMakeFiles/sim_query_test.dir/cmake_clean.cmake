@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_query_test.dir/sim_query_test.cc.o"
+  "CMakeFiles/sim_query_test.dir/sim_query_test.cc.o.d"
+  "sim_query_test"
+  "sim_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

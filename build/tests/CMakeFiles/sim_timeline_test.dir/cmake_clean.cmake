@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_timeline_test.dir/sim_timeline_test.cc.o"
+  "CMakeFiles/sim_timeline_test.dir/sim_timeline_test.cc.o.d"
+  "sim_timeline_test"
+  "sim_timeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subcuboid_test.dir/subcuboid_test.cc.o"
+  "CMakeFiles/subcuboid_test.dir/subcuboid_test.cc.o.d"
+  "subcuboid_test"
+  "subcuboid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subcuboid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

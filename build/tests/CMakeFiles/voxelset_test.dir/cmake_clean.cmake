@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voxelset_test.dir/voxelset_test.cc.o"
+  "CMakeFiles/voxelset_test.dir/voxelset_test.cc.o.d"
+  "voxelset_test"
+  "voxelset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voxelset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
