@@ -10,12 +10,14 @@
 #include "mm/methods.h"
 #include "mm/optimizer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   const ClusterConfig cluster = ClusterConfig::Paper();
   engine::SimExecutor executor(cluster);
   engine::SimOptions gpu;
   gpu.mode = engine::ComputeMode::kGpuStreaming;
+  obs.Wire(&gpu);
 
   mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(70000, 70000, 70000,
                                                      1000);

@@ -13,8 +13,9 @@
 #include "mm/methods.h"
 #include "mm/optimizer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
 
   bench::Banner("Extension 1 — multiple GPUs per node (40K^3 dense, "
                 "paper's future work)");
@@ -32,6 +33,7 @@ int main() {
       DISTME_CHECK_OK(opt.status());
       engine::SimOptions gpu;
       gpu.mode = engine::ComputeMode::kGpuStreaming;
+      obs.Wire(&gpu);
       auto report = executor.Run(p, mm::CuboidMethod(opt->spec), gpu);
       DISTME_CHECK_OK(report.status());
       if (devices == 1) base = report->steps.multiply_seconds;
@@ -61,6 +63,8 @@ int main() {
       engine::SimOptions plain;
       engine::SimOptions lpt;
       lpt.lpt_scheduling = true;
+      obs.Wire(&plain);
+      obs.Wire(&lpt);
       auto base = executor.Run(p, method, plain);
       auto balanced = executor.Run(p, method, lpt);
       DISTME_CHECK_OK(base.status());

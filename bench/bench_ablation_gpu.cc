@@ -11,8 +11,9 @@
 #include "mm/methods.h"
 #include "mm/optimizer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   const ClusterConfig cluster = ClusterConfig::Paper();
   engine::SimExecutor executor(cluster);
 
@@ -34,6 +35,7 @@ int main() {
     };
     for (const auto& [label, mode] : modes) {
       engine::SimOptions options;
+      obs.Wire(&options);
       options.mode = mode;
       auto report = executor.Run(p, method, options);
       DISTME_CHECK_OK(report.status());
@@ -97,6 +99,7 @@ int main() {
       c.gpu_task_memory_bytes = theta_g;
       engine::SimExecutor e(c);
       engine::SimOptions options;
+      obs.Wire(&options);
       options.mode = engine::ComputeMode::kGpuStreaming;
       auto report = e.Run(p, method, options);
       DISTME_CHECK_OK(report.status());

@@ -3,7 +3,8 @@
 
 #include "fig6_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  distme::bench::BenchObs obs(argc, argv);
   using distme::bench::Fig6Point;
   using distme::bench::PaperValue;
   const auto n = PaperValue::Num;
@@ -27,6 +28,6 @@ int main() {
   // pruning (R* = 9..176 < M·Tc); match that setting.
   distme::bench::RunFig6("(b)/(e)",
                          "common large dimension (10K x N x 10K)", points,
-                         /*prune_parallelism=*/false);
+                         /*prune_parallelism=*/false, &obs);
   return 0;
 }

@@ -3,7 +3,8 @@
 
 #include "fig6_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  distme::bench::BenchObs obs(argc, argv);
   using distme::bench::Fig6Point;
   using distme::bench::PaperValue;
   const auto n = PaperValue::Num;
@@ -24,6 +25,6 @@ int main() {
        n(116231), n(48786), oom(), n(5974)},
   };
   distme::bench::RunFig6("(a)/(d)", "two general matrices (N x N x N)",
-                         points);
+                         points, /*prune_parallelism=*/true, &obs);
   return 0;
 }

@@ -4,7 +4,8 @@
 
 #include "fig6_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  distme::bench::BenchObs obs(argc, argv);
   using distme::bench::Fig6Point;
   using distme::bench::PaperValue;
   const auto n = PaperValue::Num;
@@ -26,6 +27,6 @@ int main() {
        to(), oom(), oom(), n(1814)},
   };
   distme::bench::RunFig6("(c)/(f)", "two large dimensions (N x 1K x N)",
-                         points);
+                         points, /*prune_parallelism=*/true, &obs);
   return 0;
 }

@@ -7,8 +7,9 @@
 #include "bench_util.h"
 #include "systems/profiles.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   ClusterConfig cluster = ClusterConfig::Paper();
   cluster.timeout_seconds = 1e9;
 
@@ -39,9 +40,10 @@ int main() {
   bench::Banner("Figure 7(f) — shuffled data volume");
   bench::Table table({"input", "MatFast", "SystemML", "DistME",
                       "SystemML/DistME ratio (paper)"});
-  const systems::SystemProfile profiles[3] = {
+  systems::SystemProfile profiles[3] = {
       systems::MatFast(false), systems::SystemML(false),
       systems::DistME(false)};
+  for (auto& profile : profiles) obs.Wire(&profile.sim);
   for (const Point& pt : points) {
     std::vector<std::string> row = {pt.label};
     double values[3] = {0, 0, 0};

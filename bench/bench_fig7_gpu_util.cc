@@ -7,8 +7,9 @@
 #include "bench_util.h"
 #include "systems/profiles.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   ClusterConfig cluster = ClusterConfig::Paper();
   cluster.timeout_seconds = 1e9;
 
@@ -23,8 +24,9 @@ int main() {
     double dense_pct;
     double sparse_pct;
   };
-  const systems::SystemProfile profiles[3] = {
+  systems::SystemProfile profiles[3] = {
       systems::MatFast(true), systems::SystemML(true), systems::DistME(true)};
+  for (auto& profile : profiles) obs.Wire(&profile.sim);
   const PaperUtil paper[3] = {{72.8, 40.2}, {69.2, 39.4}, {98.4, 79.7}};
 
   bench::Banner("Figure 7(g) — GPU core utilization (local multiply step)");

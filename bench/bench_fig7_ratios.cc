@@ -11,9 +11,11 @@
 namespace distme {
 namespace {
 
-void PrintRatios(const char* label, const systems::SystemProfile& profile,
+void PrintRatios(const char* label, systems::SystemProfile profile,
                  const mm::MMProblem& problem, const ClusterConfig& cluster,
-                 bench::Table* table, const char* paper) {
+                 bench::Table* table, const char* paper,
+                 bench::BenchObs* obs) {
+  obs->Wire(&profile.sim);
   auto report = systems::RunMultiply(profile, problem, cluster);
   if (!report.ok() || !report->outcome.ok()) {
     table->AddRow({label,
@@ -36,8 +38,9 @@ void PrintRatios(const char* label, const systems::SystemProfile& profile,
 }  // namespace
 }  // namespace distme
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   ClusterConfig cluster = ClusterConfig::Paper();
   cluster.timeout_seconds = 1e9;
 
@@ -50,21 +53,21 @@ int main() {
   const mm::MMProblem cpu_problem =
       mm::MMProblem::DenseSquareBlocks(40000, 40000, 40000, 1000);
   PrintRatios("MatFast(C) 40K^3", systems::MatFast(false), cpu_problem,
-              cluster, &table, "2.6 / 77.7 / 19.7");
+              cluster, &table, "2.6 / 77.7 / 19.7", &obs);
   PrintRatios("SystemML(C) 40K^3", systems::SystemML(false), cpu_problem,
-              cluster, &table, "2.3 / 77.9 / 19.8");
+              cluster, &table, "2.3 / 77.9 / 19.8", &obs);
   PrintRatios("DistME(C) 40K^3", systems::DistME(false), cpu_problem,
-              cluster, &table, "5.5 / 90.8 / 3.7");
+              cluster, &table, "5.5 / 90.8 / 3.7", &obs);
 
   // GPU panel: 5K x 5M x 5K dense.
   const mm::MMProblem gpu_problem =
       mm::MMProblem::DenseSquareBlocks(5000, 5000000, 5000, 1000);
   PrintRatios("MatFast(G) 5Kx5Mx5K", systems::MatFast(true), gpu_problem,
-              cluster, &table, "4.6 / 58.3 / 37.1");
+              cluster, &table, "4.6 / 58.3 / 37.1", &obs);
   PrintRatios("SystemML(G) 5Kx5Mx5K", systems::SystemML(true), gpu_problem,
-              cluster, &table, "5.6 / 48.1 / 46.3");
+              cluster, &table, "5.6 / 48.1 / 46.3", &obs);
   PrintRatios("DistME(G) 5Kx5Mx5K", systems::DistME(true), gpu_problem,
-              cluster, &table, "27.2 / 54.3 / 18.5");
+              cluster, &table, "27.2 / 54.3 / 18.5", &obs);
   table.Print();
   return 0;
 }

@@ -23,15 +23,17 @@ struct SystemPoint {
   PaperValue paper[6];
 };
 
-void RunPanel(const char* title, const std::vector<SystemPoint>& points) {
+void RunPanel(const char* title, const std::vector<SystemPoint>& points,
+              bench::BenchObs* obs) {
   ClusterConfig cluster = ClusterConfig::Paper();
   // Figure 7 runs exceed Figure 6's 4000 s cap (values up to hours).
   cluster.timeout_seconds = 1e9;
 
-  const systems::SystemProfile profiles[6] = {
+  systems::SystemProfile profiles[6] = {
       systems::MatFast(false), systems::MatFast(true),
       systems::SystemML(false), systems::SystemML(true),
       systems::DistME(false),  systems::DistME(true)};
+  for (auto& profile : profiles) obs->Wire(&profile.sim);
 
   Banner(title);
   Table table({"input", "MatFast(C)", "MatFast(G)", "SystemML(C)",
@@ -65,8 +67,9 @@ mm::MMProblem SparseDense(int64_t i, int64_t k, int64_t j, double sparsity) {
 }  // namespace
 }  // namespace distme
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   using bench::PaperValue;
   const auto n = PaperValue::Num;
   const auto oom = PaperValue::Oom;
@@ -79,7 +82,8 @@ int main() {
             {"40K^3", Dense(40000, 40000, 40000),
              {oom(), oom(), n(2193), n(1839) /* approx */, n(863), n(156)}},
             {"50K^3", Dense(50000, 50000, 50000),
-             {oom(), oom(), edc(), edc(), n(1663), n(326)}}});
+             {oom(), oom(), edc(), edc(), n(1663), n(326)}}},
+           &obs);
 
   RunPanel(
       "Figure 7(b) — common large dimension (5K x N x 5K, dense)",
@@ -88,7 +92,8 @@ int main() {
        {"10M", Dense(5000, 10000000, 5000),
         {n(6428), n(2430), n(4207), n(3182), n(3639), n(1116)}},
        {"20M", Dense(5000, 20000000, 5000),
-        {edc(), edc(), edc(), edc(), n(7240), n(2121)}}});
+        {edc(), edc(), edc(), edc(), n(7240), n(2121)}}},
+           &obs);
 
   RunPanel("Figure 7(c) — two large dimensions (N x 1K x 1M, dense; paper "
            "values in minutes)",
@@ -98,7 +103,8 @@ int main() {
             {"1.5M", Dense(1500000, 1000, 1000000),
              {oom(), oom(), edc(), edc(), n(346 * 60), n(269 * 60)}},
             {"2M", Dense(2000000, 1000, 1000000),
-             {oom(), oom(), edc(), edc(), n(439 * 60), n(345 * 60)}}});
+             {oom(), oom(), edc(), edc(), n(439 * 60), n(345 * 60)}}},
+           &obs);
 
   RunPanel(
       "Figure 7(d) — sparse x dense (500K x 1M x 1K, varying sparsity)",
@@ -107,6 +113,7 @@ int main() {
        {"1e-3", SparseDense(500000, 1000000, 1000, 1e-3),
         {n(2756), n(2300), n(3131), n(2522), n(758), n(251)}},
        {"1e-2", SparseDense(500000, 1000000, 1000, 1e-2),
-        {none(), none(), none(), none(), n(910), n(341)}}});
+        {none(), none(), none(), none(), n(910), n(341)}}},
+           &obs);
   return 0;
 }

@@ -6,8 +6,9 @@
 #include "bench_util.h"
 #include "systems/profiles.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   const RatingDataset dataset = YahooMusic();
 
   bench::Banner("Figure 8(d) — GNMF on YahooMusic, varying factor dimension");
@@ -45,6 +46,7 @@ int main() {
       options.iterations = 10;
       options.cluster = ClusterConfig::Paper();
       options.cluster.timeout_seconds = 1e9;
+      obs.Wire(&options.sim);
       auto report = systems::RunGnmfSim(profiles[s], options);
       if (!report.ok()) {
         row.push_back(report.status().ToString());

@@ -26,7 +26,7 @@ core::GnmfSimOptions MakeOptions(const RatingDataset& dataset,
 
 void RunDataset(const char* figure, const RatingDataset& dataset,
                 double paper_distme_vs_matfast,
-                double paper_distme_vs_systemml) {
+                double paper_distme_vs_systemml, bench::BenchObs* obs) {
   bench::Banner(std::string("Figure 8") + figure + " — GNMF on " +
                 dataset.name + " (factor dim 200, 10 iterations)");
   std::printf("dataset: %lld ratings, %lld users, %lld items\n",
@@ -39,7 +39,8 @@ void RunDataset(const char* figure, const RatingDataset& dataset,
       systems::SystemML(false), systems::SystemML(true),
       systems::DMac(),         systems::DistME(false),
       systems::DistME(true)};
-  const core::GnmfSimOptions options = MakeOptions(dataset, 200);
+  core::GnmfSimOptions options = MakeOptions(dataset, 200);
+  obs->Wire(&options.sim);
 
   bench::Table table(
       {"system", "iter 1", "iter 5", "iter 10 (total)", "vs DistME(G)"});
@@ -80,9 +81,10 @@ void RunDataset(const char* figure, const RatingDataset& dataset,
 }  // namespace
 }  // namespace distme
 
-int main() {
-  distme::RunDataset("(a)", distme::MovieLens(), 1.56, 1.20);
-  distme::RunDataset("(b)", distme::Netflix(), 3.50, 1.70);
-  distme::RunDataset("(c)", distme::YahooMusic(), 3.45, 1.92);
+int main(int argc, char** argv) {
+  distme::bench::BenchObs obs(argc, argv);
+  distme::RunDataset("(a)", distme::MovieLens(), 1.56, 1.20, &obs);
+  distme::RunDataset("(b)", distme::Netflix(), 3.50, 1.70, &obs);
+  distme::RunDataset("(c)", distme::YahooMusic(), 3.45, 1.92, &obs);
   return 0;
 }

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "blas/block_ops.h"
 #include "blas/gemm.h"
 #include "blas/spmm.h"
@@ -107,4 +109,15 @@ BENCHMARK(BM_ElementWiseMul)->Arg(256)->Arg(512);
 }  // namespace
 }  // namespace distme::blas
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with the shared --trace-out= flag stripped out before
+// benchmark::Initialize (which rejects flags it does not recognize).
+int main(int argc, char** argv) {
+  distme::bench::BenchObs obs(argc, argv);
+  std::vector<char*> args = distme::bench::BenchObs::StripFlags(argc, argv);
+  int rest = static_cast<int>(args.size());
+  benchmark::Initialize(&rest, args.data());
+  if (benchmark::ReportUnrecognizedArguments(rest, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -53,7 +53,8 @@ void PrintForShape(const char* label, const mm::MMProblem& problem) {
 }  // namespace
 }  // namespace distme
 
-int main() {
+int main(int argc, char** argv) {
+  distme::bench::BenchObs obs(argc, argv);
   using distme::mm::MMProblem;
   distme::PrintForShape(
       "two general matrices (70K x 70K x 70K, sparsity 0.5)", [] {

@@ -39,8 +39,9 @@ const Row kRows[] = {
 }  // namespace
 }  // namespace distme
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   const ClusterConfig cluster = ClusterConfig::Paper();
   bench::Banner(
       "Table 4 — optimal CuboidMM parameters (M=9, Tc=10, θt=6GB, "

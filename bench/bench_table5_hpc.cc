@@ -6,8 +6,9 @@
 #include "bench_util.h"
 #include "systems/profiles.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   ClusterConfig cluster = ClusterConfig::Paper();
   cluster.timeout_seconds = 1e9;  // Table 5 reports runs up to 70 minutes
 
@@ -38,8 +39,9 @@ int main() {
 
   bench::Banner("Table 5 — comparison with ScaLAPACK and SciDB (CPU only)");
   bench::Table table({"type", "N", "ScaLAPACK", "SciDB", "DistME(C)"});
-  const systems::SystemProfile profiles[3] = {
+  systems::SystemProfile profiles[3] = {
       systems::ScaLAPACK(), systems::SciDB(), systems::DistME(false)};
+  for (auto& profile : profiles) obs.Wire(&profile.sim);
   for (const Row& row : rows) {
     std::vector<std::string> cells = {row.type, row.n_label};
     const bench::PaperValue* paper[3] = {&row.scalapack, &row.scidb,

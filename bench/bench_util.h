@@ -5,10 +5,14 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.h"
 #include "engine/report.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace distme::bench {
 
@@ -16,6 +20,74 @@ namespace distme::bench {
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// \brief Per-binary observability wiring, shared by every bench binary.
+///
+/// Parses `--trace-out=<path>` from argv; when present, the owned tracer is
+/// enabled and, on destruction, the Chrome trace-event JSON is written to
+/// `<path>` (load it in chrome://tracing or https://ui.perfetto.dev — one
+/// process track per simulated node, one thread track per task slot).
+/// Without the flag the tracer stays disabled and costs one branch per span.
+class BenchObs {
+ public:
+  BenchObs(int argc, char** argv) {
+    constexpr std::string_view kFlag = "--trace-out=";
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.substr(0, kFlag.size()) == kFlag) {
+        trace_out_ = std::string(arg.substr(kFlag.size()));
+      }
+    }
+    if (!trace_out_.empty()) tracer_.SetEnabled(true);
+  }
+
+  ~BenchObs() {
+    if (trace_out_.empty()) return;
+    const Status st = obs::WriteChromeTrace(tracer_, trace_out_);
+    if (st.ok()) {
+      std::printf("\ntrace written to %s (open in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  trace_out_.c_str());
+    } else {
+      std::printf("\ntrace write failed: %s\n", st.ToString().c_str());
+    }
+  }
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::Tracer* tracer() { return &tracer_; }
+  bool tracing() const { return !trace_out_.empty(); }
+
+  /// \brief Copies the obs sinks into an executor options struct (any type
+  /// with `metrics` / `tracer` members, i.e. RealOptions and SimOptions).
+  template <typename Options>
+  void Wire(Options* options) {
+    options->metrics = &metrics_;
+    options->tracer = &tracer_;
+  }
+
+  /// \brief argv with the obs flags removed, for delegating the rest to a
+  /// flag parser that rejects unknown flags (google-benchmark).
+  static std::vector<char*> StripFlags(int argc, char** argv) {
+    constexpr std::string_view kFlag = "--trace-out=";
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0 && std::string_view(argv[i]).substr(0, kFlag.size()) ==
+                       kFlag) {
+        continue;
+      }
+      args.push_back(argv[i]);
+    }
+    return args;
+  }
+
+ private:
+  std::string trace_out_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+};
 
 /// \brief A paper-reported cell: a number, a failure label, or absent.
 struct PaperValue {

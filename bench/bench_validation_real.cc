@@ -14,8 +14,9 @@
 #include "mm/methods.h"
 #include "mm/optimizer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distme;
+  bench::BenchObs obs(argc, argv);
   const ClusterConfig cluster = ClusterConfig::Local(3, 2);
 
   GeneratorOptions ga;
@@ -52,6 +53,7 @@ int main() {
   auto run = [&](const mm::Method& method, engine::ComputeMode mode) {
     engine::RealOptions options;
     options.mode = mode;
+    obs.Wire(&options);
     auto result = executor.Run(a, b, method, options);
     if (!result.ok() || !result->report.outcome.ok()) {
       table.AddRow({method.name(), engine::ComputeModeName(mode),

@@ -25,11 +25,12 @@ struct Fig6Point {
 
 inline void RunFig6(const char* figure, const char* shape_label,
                     const std::vector<Fig6Point>& points,
-                    bool prune_parallelism = true) {
+                    bool prune_parallelism = true, BenchObs* obs = nullptr) {
   const ClusterConfig cluster = ClusterConfig::Paper();
   engine::SimExecutor executor(cluster);
   engine::SimOptions gpu;
   gpu.mode = engine::ComputeMode::kGpuStreaming;
+  if (obs != nullptr) obs->Wire(&gpu);
 
   Banner(std::string("Figure 6 ") + figure + " — " + shape_label +
          " (sparsity 0.5, GPU on)");

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the observability-layer gates:
+#   1. the ROADMAP.md tier-1 line: configure, build, ctest
+#   2. a strict -Wall -Wextra -Werror build of the obs library
+#   3. an end-to-end trace: run a bench with --trace-out= and lint the JSON
+#
+# Usage: scripts/check_tier1.sh   (from the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo
+echo "== obs library under -Wall -Wextra -Werror =="
+cmake -B build-strict-obs -S . \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
+cmake --build build-strict-obs -j "$(nproc)" --target distme_obs
+
+echo
+echo "== emitted trace passes trace_lint =="
+trace_out="$(mktemp /tmp/distme_trace.XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+./build/bench/bench_validation_real --trace-out="$trace_out" >/dev/null
+python3 scripts/trace_lint.py "$trace_out"
+
+echo
+echo "check_tier1: all gates passed"

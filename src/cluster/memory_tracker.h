@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace distme {
 
@@ -19,9 +20,27 @@ class MemoryTracker {
   MemoryTracker(std::string label, int64_t budget_bytes)
       : label_(std::move(label)), budget_(budget_bytes) {}
 
+  ~MemoryTracker() {
+    // Return this tracker's live bytes so a shared used-gauge settles back
+    // to the other tasks' footprint.
+    if (used_gauge_ != nullptr && used_ > 0) used_gauge_->Add(-used_);
+  }
+
+  /// \brief Mirrors this tracker's accounting into shared instruments:
+  /// `used` aggregates live bytes across trackers, `peak` records the
+  /// largest single-tracker footprint, `oom_rejections` counts refused
+  /// allocations. Any pointer may be null.
+  void AttachMetrics(obs::Gauge* used, obs::Gauge* peak,
+                     obs::Counter* oom_rejections) {
+    used_gauge_ = used;
+    peak_gauge_ = peak;
+    oom_counter_ = oom_rejections;
+  }
+
   /// \brief Reserves `bytes`; fails with OutOfMemory if over budget.
   Status Allocate(int64_t bytes) {
     if (used_ + bytes > budget_) {
+      if (oom_counter_ != nullptr) oom_counter_->Add(1);
       return Status::OutOfMemory(label_ + ": requested " +
                                  std::to_string(bytes) + " B with " +
                                  std::to_string(budget_ - used_) +
@@ -29,11 +48,17 @@ class MemoryTracker {
     }
     used_ += bytes;
     peak_ = std::max(peak_, used_);
+    if (used_gauge_ != nullptr) used_gauge_->Add(bytes);
+    if (peak_gauge_ != nullptr) peak_gauge_->SetMax(peak_);
     return Status::OK();
   }
 
   /// \brief Releases `bytes` previously allocated.
-  void Free(int64_t bytes) { used_ = std::max<int64_t>(0, used_ - bytes); }
+  void Free(int64_t bytes) {
+    const int64_t released = std::min(used_, std::max<int64_t>(0, bytes));
+    used_ -= released;
+    if (used_gauge_ != nullptr && released > 0) used_gauge_->Add(-released);
+  }
 
   int64_t used() const { return used_; }
   int64_t peak() const { return peak_; }
@@ -45,6 +70,9 @@ class MemoryTracker {
   int64_t budget_;
   int64_t used_ = 0;
   int64_t peak_ = 0;
+  obs::Gauge* used_gauge_ = nullptr;
+  obs::Gauge* peak_gauge_ = nullptr;
+  obs::Counter* oom_counter_ = nullptr;
 };
 
 }  // namespace distme

@@ -1,13 +1,22 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace distme {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+int InitialLevel() {
+  return static_cast<int>(
+      ParseLogLevel(std::getenv("DISTME_LOG_LEVEL"), LogLevel::kWarning));
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -23,7 +32,31 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
+
+LogLevel ParseLogLevel(const char* text, LogLevel fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  if (text[1] == '\0' && text[0] >= '0' && text[0] <= '3') {
+    return static_cast<LogLevel>(text[0] - '0');
+  }
+  std::string lower;
+  for (const char* p = text; *p; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return fallback;
+}
+
+int LogThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -44,14 +77,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line
+            << " tid=" << LogThreadId() << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
+  // One fwrite of the complete line under the lock: concurrent task-thread
+  // logs can interleave only at line granularity, never mid-line.
+  std::string line = stream_.str();
+  line.push_back('\n');
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

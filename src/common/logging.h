@@ -10,8 +10,20 @@ namespace distme {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// \brief Sets the global minimum level that is actually emitted.
+///
+/// At startup the minimum level is taken from the `DISTME_LOG_LEVEL`
+/// environment variable when set (case-insensitive level name or 0–3);
+/// otherwise it defaults to Warning.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// \brief Parses "debug" / "info" / "warning" ("warn") / "error" or a digit
+/// 0–3, case-insensitively; returns `fallback` for null/unrecognized input.
+LogLevel ParseLogLevel(const char* text, LogLevel fallback);
+
+/// \brief Small dense id of the calling thread (0, 1, 2, ... in first-log
+/// order), used to tag log lines.
+int LogThreadId();
 
 namespace internal {
 

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "matrix/store.h"
+#include "obs/export.h"
 
 namespace distme::core {
 
@@ -55,12 +56,24 @@ Result<Matrix> Session::MultiplyWith(const Matrix& a, const Matrix& b,
                                      const mm::Method& method) {
   engine::RealOptions real = options_.real;
   real.mode = options_.mode;
+  real.metrics = &metrics_;
+  real.tracer = &tracer_;
   DISTME_ASSIGN_OR_RETURN(
       engine::RealRunResult run,
       executor_->Run(a.distributed(), b.distributed(), method, real));
   history_.push_back(run.report);
   DISTME_RETURN_NOT_OK(run.report.outcome);
   return Matrix(std::move(run.output));
+}
+
+Status Session::WriteTrace(const std::string& path) {
+  return obs::WriteChromeTrace(tracer_, path);
+}
+
+std::string Session::RunReportJson() const {
+  if (history_.empty()) return "{}";
+  const obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  return engine::RunReportJson(history_.back(), &snapshot);
 }
 
 Result<Matrix> Session::Transpose(const Matrix& a) {

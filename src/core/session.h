@@ -18,6 +18,8 @@
 #include "engine/report.h"
 #include "engine/sim_executor.h"
 #include "matrix/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace distme::core {
 
@@ -109,10 +111,30 @@ class Session {
   const std::vector<engine::MMReport>& history() const { return history_; }
   void ClearHistory() { history_.clear(); }
 
+  /// \brief The session-owned metrics registry; every executor run reports
+  /// into it (`distme.*` names — see DESIGN.md "Observability").
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// \brief The session-owned tracer. Disabled by default (spans cost one
+  /// relaxed-atomic branch); call EnableTracing() to start recording.
+  obs::Tracer& tracer() { return tracer_; }
+  void EnableTracing() { tracer_.SetEnabled(true); }
+
+  /// \brief Drains the tracer and writes Chrome trace-event JSON to `path`
+  /// (load in chrome://tracing or https://ui.perfetto.dev).
+  Status WriteTrace(const std::string& path);
+
+  /// \brief Structured JSON run report of the most recent multiplication,
+  /// including the full metrics snapshot. "{}" if nothing has run.
+  std::string RunReportJson() const;
+
  private:
   Options options_;
   std::unique_ptr<engine::RealExecutor> executor_;
   std::vector<engine::MMReport> history_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace distme::core

@@ -8,10 +8,13 @@
 
 #include "blas/block_ops.h"
 #include "cluster/memory_tracker.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "gpu/device.h"
 #include "gpumm/streaming.h"
 #include "matrix/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace distme::engine {
 
@@ -40,6 +43,19 @@ class TaskInputs : public gpumm::BlockSource {
   std::unordered_map<BlockIndex, Block, BlockIndexHash> a_;
   std::unordered_map<BlockIndex, Block, BlockIndexHash> b_;
 };
+
+// Label for the distme.task.retries{reason} counter.
+std::string RetryReason(const Status& status, bool injected) {
+  if (injected) return "injected_crash";
+  switch (status.code()) {
+    case StatusCode::kOutOfMemory:
+      return "out_of_memory";
+    case StatusCode::kTimeout:
+      return "timeout";
+    default:
+      return "error";
+  }
+}
 
 }  // namespace
 
@@ -82,18 +98,76 @@ class RealExecutor::Impl {
       mode = ComputeMode::kGpuBlock;
     }
 
-    // Materialize the plan.
+    // Observability: all per-run accounting lives in a metrics registry —
+    // either the caller's (typically session-owned, spanning many runs) or a
+    // private one. Counters are monotonic, so this run's contribution is the
+    // delta from the values captured here.
+    obs::MetricsRegistry run_metrics;
+    obs::MetricsRegistry* metrics =
+        options.metrics != nullptr ? options.metrics : &run_metrics;
+    obs::Tracer* tracer = options.tracer;
+
+    obs::Counter* repartition_bytes =
+        metrics->GetCounter("distme.shuffle.repartition_bytes");
+    obs::Counter* aggregation_bytes =
+        metrics->GetCounter("distme.shuffle.aggregation_bytes");
+    obs::Counter* remote_fetches =
+        metrics->GetCounter("distme.shuffle.remote_fetches");
+    obs::Counter* serialize_roundtrips =
+        metrics->GetCounter("distme.shuffle.serialize_roundtrips");
+    obs::Counter* task_attempts = metrics->GetCounter("distme.task.attempts");
+    obs::Counter* fetch_nanos =
+        metrics->GetCounter("distme.step.repartition_nanos");
+    obs::Counter* compute_nanos =
+        metrics->GetCounter("distme.step.multiply_nanos");
+    obs::Counter* agg_nanos =
+        metrics->GetCounter("distme.step.aggregation_nanos");
+    obs::Histogram* task_seconds =
+        metrics->GetHistogram("distme.task.seconds");
+    obs::Gauge* peak_memory =
+        metrics->GetGauge("distme.task.peak_memory_bytes");
+    obs::Gauge* used_memory =
+        metrics->GetGauge("distme.memory.task_used_bytes");
+    obs::Counter* oom_rejections =
+        metrics->GetCounter("distme.memory.oom_rejections");
+
+    const int64_t base_repartition_bytes = repartition_bytes->Value();
+    const int64_t base_aggregation_bytes = aggregation_bytes->Value();
+    const int64_t base_fetch_nanos = fetch_nanos->Value();
+    const int64_t base_compute_nanos = compute_nanos->Value();
+    const int64_t base_agg_nanos = agg_nanos->Value();
+    const int64_t base_retries =
+        metrics->Snapshot().TotalValue("distme.task.retries");
+    // Gauges describe the current run; the peak resets at each run start.
+    peak_memory->Set(0);
+
+    const int driver_pid = config_.num_nodes;  // trace track for the driver
+    if (tracer != nullptr && tracer->enabled()) {
+      for (int n = 0; n < config_.num_nodes; ++n) {
+        tracer->SetProcessName(n, "node" + std::to_string(n));
+      }
+      tracer->SetProcessName(driver_pid, "driver");
+    }
+
+    // Materialize the plan (the scheduler decision: task order + placement).
     std::vector<mm::LocalTask> tasks;
-    DISTME_RETURN_NOT_OK(method.ForEachTask(
-        problem, config_, [&tasks](const mm::LocalTask& t) {
-          tasks.push_back(t);
-          return Status::OK();
-        }));
-    if (options.lpt_scheduling) {
-      std::stable_sort(tasks.begin(), tasks.end(),
-                       [](const mm::LocalTask& l, const mm::LocalTask& r) {
-                         return l.voxels.size() > r.voxels.size();
-                       });
+    {
+      obs::Tracer::ScopedTrack track(driver_pid, 0);
+      obs::TraceSpan plan_span(tracer, "sched.plan", "sched");
+      DISTME_RETURN_NOT_OK(method.ForEachTask(
+          problem, config_, [&tasks](const mm::LocalTask& t) {
+            tasks.push_back(t);
+            return Status::OK();
+          }));
+      if (options.lpt_scheduling) {
+        std::stable_sort(tasks.begin(), tasks.end(),
+                         [](const mm::LocalTask& l, const mm::LocalTask& r) {
+                           return l.voxels.size() > r.voxels.size();
+                         });
+      }
+      plan_span.AddArg("method", std::string(method.name()));
+      plan_span.AddArg("tasks", static_cast<int64_t>(tasks.size()));
+      plan_span.AddArg("lpt", static_cast<int64_t>(options.lpt_scheduling));
     }
 
     const bool needs_agg = method.NeedsAggregation(problem);
@@ -109,17 +183,10 @@ class RealExecutor::Impl {
         agg_partials;
 
     std::atomic<int64_t> next_task{0};
-    std::atomic<int64_t> task_retries{0};
-    std::atomic<int64_t> repartition_bytes{0};
-    std::atomic<int64_t> aggregation_bytes{0};
-    std::atomic<int64_t> peak_memory{0};
     std::mutex failure_mutex;
     Status failure = Status::OK();
 
     Stopwatch total_clock;
-    std::atomic<int64_t> fetch_nanos{0};
-    std::atomic<int64_t> compute_nanos{0};
-    std::atomic<int64_t> agg_nanos{0};
 
     auto record_failure = [&](Status st) {
       std::lock_guard<std::mutex> lock(failure_mutex);
@@ -129,14 +196,21 @@ class RealExecutor::Impl {
     auto fetch = [&](const DistributedMatrix& m, BlockIndex idx, int node,
                      MemoryTracker* tracker) -> Result<Block> {
       bool crossed = false;
+      obs::TraceSpan span(tracer, "shuffle.fetch", "shuffle");
       DISTME_ASSIGN_OR_RETURN(Block blk, m.Get(idx, node, &crossed));
       if (crossed) {
         const int64_t wire = SerializedBlockBytes(blk);
-        repartition_bytes.fetch_add(wire, std::memory_order_relaxed);
+        repartition_bytes->Add(wire);
+        remote_fetches->Add(1);
+        span.AddArg("bytes", wire);
         if (options.serialize_transfers) {
           // Round-trip through the wire format, as a real shuffle would.
+          obs::TraceSpan ser_span(tracer, "shuffle.serialize", "shuffle");
+          serialize_roundtrips->Add(1);
           DISTME_ASSIGN_OR_RETURN(blk, DeserializeBlock(SerializeBlock(blk)));
         }
+      } else {
+        span.Cancel();  // node-local read, not a shuffle transfer
       }
       if (tracker != nullptr) {
         DISTME_RETURN_NOT_OK(tracker->Allocate(blk.SizeBytes()));
@@ -153,9 +227,13 @@ class RealExecutor::Impl {
       }
       const int reducer_node = output->NodeOf(idx);
       if (reducer_node != producer_node) {
-        aggregation_bytes.fetch_add(SerializedBlockBytes(block),
-                                    std::memory_order_relaxed);
+        const int64_t wire = SerializedBlockBytes(block);
+        aggregation_bytes->Add(wire);
+        obs::TraceSpan span(tracer, "shuffle.aggregate", "shuffle");
+        span.AddArg("bytes", wire);
+        span.AddArg("reducer", static_cast<int64_t>(reducer_node));
         if (options.serialize_transfers) {
+          serialize_roundtrips->Add(1);
           DISTME_ASSIGN_OR_RETURN(block,
                                   DeserializeBlock(SerializeBlock(block)));
         }
@@ -178,10 +256,12 @@ class RealExecutor::Impl {
       const int node = static_cast<int>(task.id % config_.num_nodes);
       MemoryTracker tracker("task " + std::to_string(task.id),
                             config_.task_memory_bytes);
+      tracker.AttachMetrics(used_memory, peak_memory, oom_rejections);
       MemoryTracker* tracker_ptr =
           options.enforce_task_memory ? &tracker : nullptr;
 
       Stopwatch fetch_clock;
+      obs::TraceSpan fetch_span(tracer, "task.fetch", "task");
       TaskInputs inputs;
       // Prefetch the task's input blocks. Box tasks fetch each distinct
       // block once (communication sharing); strided tasks fetch per voxel.
@@ -206,10 +286,9 @@ class RealExecutor::Impl {
         if (st.ok()) st = need_b(v.k, v.j);
         if (!st.ok()) fetch_status = std::move(st);
       });
+      fetch_span.End();
+      fetch_nanos->Add(static_cast<int64_t>(fetch_clock.ElapsedSeconds() * 1e9));
       DISTME_RETURN_NOT_OK(fetch_status);
-      fetch_nanos.fetch_add(
-          static_cast<int64_t>(fetch_clock.ElapsedSeconds() * 1e9),
-          std::memory_order_relaxed);
 
       // Outputs are buffered and committed atomically after the task
       // finishes, so a crashed attempt (fault injection) leaves no trace
@@ -221,12 +300,14 @@ class RealExecutor::Impl {
       };
 
       Stopwatch compute_clock;
+      obs::TraceSpan compute_span(tracer, "task.compute", "task");
       if (mode == ComputeMode::kGpuStreaming && task.voxels.is_box()) {
         gpu::Device* device = DeviceFor(node, task.id);
         DISTME_ASSIGN_OR_RETURN(
             gpumm::GpuCuboidResult gpu_result,
             gpumm::RunCuboidOnGpu(task.voxels, a.shape(), b.shape(), &inputs,
-                                  device, config_.gpu_task_memory_bytes));
+                                  device, config_.gpu_task_memory_bytes,
+                                  tracer));
         for (auto& [key, dense] : gpu_result.c_blocks) {
           DISTME_RETURN_NOT_OK(buffer_output({key.first, key.second},
                                              Block::Dense(std::move(dense))));
@@ -280,13 +361,9 @@ class RealExecutor::Impl {
         });
         DISTME_RETURN_NOT_OK(voxel_status);
       }
-      compute_nanos.fetch_add(
-          static_cast<int64_t>(compute_clock.ElapsedSeconds() * 1e9),
-          std::memory_order_relaxed);
-      peak_memory.store(
-          std::max(peak_memory.load(std::memory_order_relaxed),
-                   tracker.peak()),
-          std::memory_order_relaxed);
+      compute_span.End();
+      compute_nanos->Add(
+          static_cast<int64_t>(compute_clock.ElapsedSeconds() * 1e9));
 
       // Commit point: everything before this line is side-effect free.
       if (crash_before_commit) {
@@ -303,10 +380,19 @@ class RealExecutor::Impl {
     const int num_workers = static_cast<int>(
         std::min<int64_t>(config_.total_slots(),
                           static_cast<int64_t>(tasks.size())));
+    if (tracer != nullptr && tracer->enabled()) {
+      // Workers pull tasks for any node, so each (node, slot) track can host
+      // spans from any worker; name them all up front.
+      for (int n = 0; n < config_.num_nodes; ++n) {
+        for (int w = 0; w < std::max(num_workers, 1); ++w) {
+          tracer->SetThreadName(n, w, "slot" + std::to_string(w));
+        }
+      }
+    }
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(std::max(num_workers, 1)));
     for (int w = 0; w < std::max(num_workers, 1); ++w) {
-      workers.emplace_back([&]() {
+      workers.emplace_back([&, w]() {
         while (true) {
           const int64_t t = next_task.fetch_add(1);
           if (t >= static_cast<int64_t>(tasks.size())) break;
@@ -315,6 +401,10 @@ class RealExecutor::Impl {
             if (!failure.ok()) break;
           }
           const mm::LocalTask& task = tasks[static_cast<size_t>(t)];
+          const int node = static_cast<int>(task.id % config_.num_nodes);
+          // All spans opened under this worker (task body, shuffle
+          // transfers, GPU chunks) land on the (node, slot) track.
+          obs::Tracer::ScopedTrack track(node, w);
           // Attempt loop with deterministic fault injection: whether an
           // attempt crashes depends only on (task id, attempt number).
           Status st = Status::OK();
@@ -330,9 +420,25 @@ class RealExecutor::Impl {
               crash = static_cast<double>(h >> 11) * 0x1.0p-53 <
                       options.task_failure_rate;
             }
+            task_attempts->Add(1);
+            Stopwatch attempt_clock;
+            obs::TraceSpan attempt_span(tracer, "task.attempt", "task");
+            attempt_span.AddArg("task", task.id);
+            attempt_span.AddArg("attempt", static_cast<int64_t>(attempt));
+            attempt_span.AddArg("voxels", task.voxels.size());
             st = run_task(task, crash);
+            if (!st.ok()) attempt_span.AddArg("error", st.ToString());
+            attempt_span.End();
+            task_seconds->Observe(attempt_clock.ElapsedSeconds());
             if (st.ok()) break;
-            task_retries.fetch_add(1, std::memory_order_relaxed);
+            DISTME_LOG(Warning) << "task " << task.id << " attempt "
+                                << attempt << " failed ("
+                                << RetryReason(st, crash) << "): "
+                                << st.ToString();
+            metrics
+                ->GetCounter("distme.task.retries",
+                             {{"reason", RetryReason(st, crash)}})
+                ->Add(1);
           }
           if (!st.ok()) record_failure(std::move(st));
         }
@@ -344,7 +450,8 @@ class RealExecutor::Impl {
     result.report.method_name = method.name();
     result.report.mode = mode;
     result.report.num_tasks = static_cast<int64_t>(tasks.size());
-    result.report.task_retries = task_retries.load();
+    result.report.task_retries =
+        metrics->Snapshot().TotalValue("distme.task.retries") - base_retries;
 
     if (!failure.ok()) {
       result.report.outcome = failure;
@@ -354,29 +461,40 @@ class RealExecutor::Impl {
 
     // Aggregation finalize: move reduced partials into the output matrix.
     Stopwatch agg_clock;
-    if (needs_agg) {
-      for (size_t shard = 0; shard < kShards; ++shard) {
-        for (auto& [idx, block] : agg_partials[shard]) {
-          if (block.nnz() == 0) continue;
-          DISTME_RETURN_NOT_OK(output->Put(idx, std::move(block)));
+    {
+      obs::Tracer::ScopedTrack track(driver_pid, 0);
+      obs::TraceSpan agg_span(tracer, "aggregate.finalize", "shuffle");
+      if (needs_agg) {
+        for (size_t shard = 0; shard < kShards; ++shard) {
+          for (auto& [idx, block] : agg_partials[shard]) {
+            if (block.nnz() == 0) continue;
+            DISTME_RETURN_NOT_OK(output->Put(idx, std::move(block)));
+          }
+          agg_partials[shard].clear();
         }
-        agg_partials[shard].clear();
+      } else {
+        agg_span.Cancel();
       }
     }
-    agg_nanos.fetch_add(static_cast<int64_t>(agg_clock.ElapsedSeconds() * 1e9),
-                        std::memory_order_relaxed);
+    agg_nanos->Add(static_cast<int64_t>(agg_clock.ElapsedSeconds() * 1e9));
 
+    // The report's timings and byte counters are views over the registry —
+    // the registry is the source of truth, not hand-threaded accumulators.
     result.report.outcome = Status::OK();
     result.report.elapsed_seconds = total_clock.ElapsedSeconds();
-    result.report.steps.repartition_seconds = fetch_nanos.load() * 1e-9;
-    result.report.steps.multiply_seconds = compute_nanos.load() * 1e-9;
-    result.report.steps.aggregation_seconds = agg_nanos.load() * 1e-9;
-    result.report.repartition_bytes =
-        static_cast<double>(repartition_bytes.load());
-    result.report.aggregation_bytes =
-        static_cast<double>(aggregation_bytes.load());
+    result.report.steps.repartition_seconds =
+        static_cast<double>(fetch_nanos->Value() - base_fetch_nanos) * 1e-9;
+    result.report.steps.multiply_seconds =
+        static_cast<double>(compute_nanos->Value() - base_compute_nanos) *
+        1e-9;
+    result.report.steps.aggregation_seconds =
+        static_cast<double>(agg_nanos->Value() - base_agg_nanos) * 1e-9;
+    result.report.repartition_bytes = static_cast<double>(
+        repartition_bytes->Value() - base_repartition_bytes);
+    result.report.aggregation_bytes = static_cast<double>(
+        aggregation_bytes->Value() - base_aggregation_bytes);
     result.report.peak_task_memory_bytes =
-        static_cast<double>(peak_memory.load());
+        static_cast<double>(peak_memory->Value());
     if (config_.has_gpu && mode != ComputeMode::kCpu) {
       double pcie = 0;
       double kernel_busy = 0;
@@ -397,6 +515,10 @@ class RealExecutor::Impl {
             1.0,
             kernel_busy / (device_elapsed * static_cast<double>(num_devices)));
       }
+      metrics->GetGauge("distme.gpu.pcie_bytes")
+          ->Set(static_cast<int64_t>(pcie));
+      metrics->GetGauge("distme.gpu.utilization_permille")
+          ->Set(static_cast<int64_t>(result.report.gpu_utilization * 1000.0));
     }
     result.output = std::move(output);
     return result;

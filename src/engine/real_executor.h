@@ -14,6 +14,8 @@
 #include "engine/distributed_matrix.h"
 #include "engine/report.h"
 #include "mm/method.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace distme::engine {
 
@@ -38,6 +40,13 @@ struct RealOptions {
   /// Attempts per task before the job fails (Spark's spark.task.maxFailures
   /// defaults to 4).
   int max_task_attempts = 4;
+  /// Metrics registry the run reports into (e.g. the owning Session's).
+  /// When null, the executor uses a private per-run registry; either way the
+  /// MMReport counters are derived from registry instruments.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Trace-span sink. Null (the default) or a disabled tracer costs one
+  /// branch per would-be span. Track mapping: pid = node, tid = task slot.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// \brief Result of a real run: the product matrix plus the report.

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace distme::engine {
 
@@ -59,5 +60,12 @@ struct MMReport {
   /// \brief Short outcome label for bench tables: "123.4s" or "O.O.M." etc.
   std::string OutcomeLabel() const;
 };
+
+/// \brief Structured JSON run report: every MMReport field, plus — when a
+/// metrics snapshot is supplied — the full `distme.*` metric set, including
+/// the labeled `distme.task.retries{reason}` breakdown. This supersedes
+/// hand-formatting report fields in bench/table code.
+std::string RunReportJson(const MMReport& report,
+                          const obs::MetricsSnapshot* metrics = nullptr);
 
 }  // namespace distme::engine

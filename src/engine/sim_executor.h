@@ -11,6 +11,8 @@
 #include "common/result.h"
 #include "engine/report.h"
 #include "mm/method.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace distme::engine {
 
@@ -41,6 +43,12 @@ struct SimOptions {
   /// on load balancing across cuboids of different sizes/sparsities;
   /// shrinks the wave-imbalance tail when task durations are skewed.
   bool lpt_scheduling = false;
+  /// Optional metrics sink: per-run `distme.sim.*` counters/histograms.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional trace sink: the simulated three-step timeline is emitted as
+  /// spans (in simulated time, anchored at the call instant) plus a
+  /// real-time `sim.schedule` span for the wave-scheduling decision.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// \brief Simulates one distributed matrix multiplication.

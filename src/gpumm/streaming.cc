@@ -24,7 +24,8 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                                        const BlockedShape& a_shape,
                                        const BlockedShape& b_shape,
                                        BlockSource* source,
-                                       gpu::Device* device, int64_t theta_g) {
+                                       gpu::Device* device, int64_t theta_g,
+                                       obs::Tracer* tracer) {
   if (!box.is_box()) {
     return Status::Invalid(
         "cuboid-level GPU streaming requires a box voxel set "
@@ -32,6 +33,9 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
   }
   const gpu::DeviceStats before = device->stats();
   const double t_before = device->Synchronize();
+
+  obs::TraceSpan cuboid_span(tracer, "gpu.cuboid", "gpu");
+  cuboid_span.AddArg("voxels", box.size());
 
   // ---- Lines 1-5 of Algorithm 1: optimize and partition. --------------
   SubcuboidProblem sp;
@@ -93,18 +97,27 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
       for (int64_t ri = 0; ri < r2; ++ri) {
         const mm::SplitRange kr = mm::Split(sp.k_blocks, r2, ri);
 
+        obs::TraceSpan sub_span(tracer, "gpu.subcuboid", "gpu");
+        sub_span.AddArg("p", pi);
+        sub_span.AddArg("q", qi);
+        sub_span.AddArg("r", ri);
+
         // Line 12: copy A' of this subcuboid to BufA as one chunk.
         int64_t a_chunk_bytes = 0;
         std::vector<std::vector<Block>> a_blocks(
             static_cast<size_t>(ir.end - ir.start));
-        for (int64_t i = ir.start; i < ir.end; ++i) {
-          for (int64_t k = kr.start; k < kr.end; ++k) {
-            DISTME_ASSIGN_OR_RETURN(
-                Block blk, source->GetA(box.i0() + i, box.k0() + k));
-            a_chunk_bytes += blk.SizeBytes();
-            a_blocks[static_cast<size_t>(i - ir.start)].push_back(
-                std::move(blk));
+        {
+          obs::TraceSpan chunk_span(tracer, "gpu.h2d_chunk", "gpu");
+          for (int64_t i = ir.start; i < ir.end; ++i) {
+            for (int64_t k = kr.start; k < kr.end; ++k) {
+              DISTME_ASSIGN_OR_RETURN(
+                  Block blk, source->GetA(box.i0() + i, box.k0() + k));
+              a_chunk_bytes += blk.SizeBytes();
+              a_blocks[static_cast<size_t>(i - ir.start)].push_back(
+                  std::move(blk));
+            }
           }
+          chunk_span.AddArg("bytes", a_chunk_bytes);
         }
         DISTME_RETURN_NOT_OK(device->EnqueueH2D(streams[0], a_chunk_bytes));
 

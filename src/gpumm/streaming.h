@@ -13,6 +13,7 @@
 #include "matrix/block.h"
 #include "matrix/block_grid.h"
 #include "mm/plan.h"
+#include "obs/trace.h"
 
 namespace distme::gpumm {
 
@@ -63,10 +64,14 @@ struct GpuCuboidResult {
 ///
 /// `theta_g` is the per-task GPU memory budget θg used by the subcuboid
 /// optimizer and enforced when allocating the A/B/C buffers.
+///
+/// When `tracer` is non-null and enabled, a span is recorded per subcuboid
+/// and per streamed A chunk on the calling thread's current trace track.
 Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                                        const BlockedShape& a_shape,
                                        const BlockedShape& b_shape,
                                        BlockSource* source,
-                                       gpu::Device* device, int64_t theta_g);
+                                       gpu::Device* device, int64_t theta_g,
+                                       obs::Tracer* tracer = nullptr);
 
 }  // namespace distme::gpumm

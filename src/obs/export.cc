@@ -1,0 +1,238 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace distme::obs {
+
+void JsonWriter::Separate() {
+  if (pending_value_) {
+    pending_value_ = false;
+    return;
+  }
+  if (first_stack_.empty()) return;
+  if (first_stack_.back()) {
+    first_stack_.back() = false;
+  } else {
+    out_.push_back(',');
+  }
+}
+
+void JsonWriter::AppendQuoted(std::string_view s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_.append("\\\"");
+        break;
+      case '\\':
+        out_.append("\\\\");
+        break;
+      case '\n':
+        out_.append("\\n");
+        break;
+      case '\r':
+        out_.append("\\r");
+        break;
+      case '\t':
+        out_.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_.append(buf);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::Value(int64_t value) {
+  Separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_.append(buf);
+}
+
+void JsonWriter::Value(double value) {
+  Separate();
+  if (!std::isfinite(value)) {
+    out_.append("0");  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_.append(buf);
+}
+
+void JsonWriter::Value(bool value) {
+  Separate();
+  out_.append(value ? "true" : "false");
+}
+
+namespace {
+
+void AppendArgValue(const TraceArgValue& value, JsonWriter* w) {
+  switch (value.kind) {
+    case TraceArgValue::Kind::kInt:
+      w->Value(value.i);
+      break;
+    case TraceArgValue::Kind::kDouble:
+      w->Value(value.d);
+      break;
+    case TraceArgValue::Kind::kString:
+      w->Value(value.s);
+      break;
+  }
+}
+
+// Metadata event ("ph":"M") naming a process or thread track.
+void AppendMetadataEvent(const char* meta_name, int pid, int tid,
+                         const std::string& label, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name");
+  w->Value(meta_name);
+  w->Key("ph");
+  w->Value("M");
+  w->Key("ts");
+  w->Value(int64_t{0});
+  w->Key("pid");
+  w->Value(pid);
+  w->Key("tid");
+  w->Value(tid);
+  w->Key("args");
+  w->BeginObject();
+  w->Key("name");
+  w->Value(label);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer,
+                            const std::vector<TraceEvent>& events) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.Value("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& [pid, name] : tracer.process_names()) {
+    AppendMetadataEvent("process_name", pid, 0, name, &w);
+  }
+  for (const auto& [track, name] : tracer.thread_names()) {
+    AppendMetadataEvent("thread_name", track.first, track.second, name, &w);
+  }
+  for (const TraceEvent& event : events) {
+    w.BeginObject();
+    w.Key("name");
+    w.Value(event.name);
+    if (!event.category.empty()) {
+      w.Key("cat");
+      w.Value(event.category);
+    }
+    w.Key("ph");
+    w.Value("X");
+    w.Key("ts");
+    w.Value(event.ts_us);
+    w.Key("dur");
+    w.Value(event.dur_us);
+    w.Key("pid");
+    w.Value(event.pid);
+    w.Key("tid");
+    w.Value(event.tid);
+    if (!event.args.empty()) {
+      w.Key("args");
+      w.BeginObject();
+      for (const auto& [key, value] : event.args) {
+        w.Key(key);
+        AppendArgValue(value, &w);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteChromeTrace(Tracer& tracer, const std::string& path) {
+  const std::string json = ChromeTraceJson(tracer, tracer.Drain());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+void AppendMetricsJson(const MetricsSnapshot& snapshot, JsonWriter* writer) {
+  writer->BeginArray();
+  for (const MetricPoint& point : snapshot.points) {
+    writer->BeginObject();
+    writer->Key("name");
+    writer->Value(point.name);
+    if (!point.labels.empty()) {
+      writer->Key("labels");
+      writer->BeginObject();
+      for (const auto& [key, value] : point.labels) {
+        writer->Key(key);
+        writer->Value(value);
+      }
+      writer->EndObject();
+    }
+    switch (point.kind) {
+      case MetricKind::kCounter:
+        writer->Key("type");
+        writer->Value("counter");
+        writer->Key("value");
+        writer->Value(point.value);
+        break;
+      case MetricKind::kGauge:
+        writer->Key("type");
+        writer->Value("gauge");
+        writer->Key("value");
+        writer->Value(point.value);
+        break;
+      case MetricKind::kHistogram:
+        writer->Key("type");
+        writer->Value("histogram");
+        writer->Key("count");
+        writer->Value(point.value);
+        writer->Key("sum");
+        writer->Value(point.sum);
+        writer->Key("min");
+        writer->Value(point.min);
+        writer->Key("max");
+        writer->Value(point.max);
+        writer->Key("p50");
+        writer->Value(point.p50);
+        writer->Key("p95");
+        writer->Value(point.p95);
+        writer->Key("p99");
+        writer->Value(point.p99);
+        break;
+    }
+    writer->EndObject();
+  }
+  writer->EndArray();
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  JsonWriter writer;
+  AppendMetricsJson(snapshot, &writer);
+  return writer.str();
+}
+
+}  // namespace distme::obs

@@ -1,0 +1,70 @@
+// Exporters for the observability layer: Chrome trace-event JSON (loadable
+// in chrome://tracing or https://ui.perfetto.dev) and a structured JSON
+// rendering of a metrics snapshot, embedded by the engine's run report.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace distme::obs {
+
+/// \brief Minimal JSON string builder with correct escaping. Append-only;
+/// the caller provides structure via the Begin/End and Key helpers.
+class JsonWriter {
+ public:
+  void BeginObject() { Separate(); out_.push_back('{'); PushFirst(); }
+  void EndObject() { out_.push_back('}'); PopFirst(); }
+  void BeginArray() { Separate(); out_.push_back('['); PushFirst(); }
+  void EndArray() { out_.push_back(']'); PopFirst(); }
+
+  void Key(std::string_view key) {
+    Separate();
+    AppendQuoted(key);
+    out_.push_back(':');
+    pending_value_ = true;
+  }
+
+  void Value(std::string_view value) { Separate(); AppendQuoted(value); }
+  void Value(const char* value) { Value(std::string_view(value)); }
+  void Value(int64_t value);
+  void Value(int value) { Value(static_cast<int64_t>(value)); }
+  void Value(double value);
+  void Value(bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+  void PushFirst() { first_stack_.push_back(true); pending_value_ = false; }
+  void PopFirst() {
+    if (!first_stack_.empty()) first_stack_.pop_back();
+    pending_value_ = false;
+  }
+  void AppendQuoted(std::string_view s);
+
+  std::string out_;
+  std::vector<bool> first_stack_;
+  bool pending_value_ = false;
+};
+
+/// \brief Renders `events` (plus the tracer's track names) as a Chrome
+/// trace-event JSON document: {"traceEvents": [...], "displayTimeUnit":"ms"}.
+/// Every event carries the required keys `name`, `ph`, `ts`, `pid`, `tid`.
+std::string ChromeTraceJson(const Tracer& tracer,
+                            const std::vector<TraceEvent>& events);
+
+/// \brief Drains `tracer` and writes the Chrome trace JSON to `path`.
+Status WriteChromeTrace(Tracer& tracer, const std::string& path);
+
+/// \brief Appends `snapshot` to `writer` as a JSON array of metric points.
+void AppendMetricsJson(const MetricsSnapshot& snapshot, JsonWriter* writer);
+
+/// \brief Standalone JSON array of metric points.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+}  // namespace distme::obs

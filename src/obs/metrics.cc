@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace distme::obs {
+
+namespace {
+
+// Bucket 0 holds everything below 2^kMinExponent; the last bucket holds
+// everything at or above 2^(kMinExponent + kBuckets - 2).
+constexpr int kMinExponent = -30;
+
+std::string EntryKey(std::string_view name, const LabelSet& labels) {
+  std::string key(name);
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [k, v] : sorted) {
+    key.push_back('\x1f');
+    key.append(k);
+    key.push_back('=');
+    key.append(v);
+  }
+  return key;
+}
+
+// fetch_add for atomic<double> via CAS: portable pre-/post-P0020 compilers.
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current > value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::BucketFor(double value) {
+  if (!(value > 0.0)) return 0;
+  const int exponent = std::ilogb(value);
+  return std::clamp(exponent - kMinExponent + 1, 0, kBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int b) {
+  if (b <= 0) return 0.0;
+  return std::ldexp(1.0, kMinExponent + b - 1);
+}
+
+void Histogram::Observe(double value) {
+  buckets_[static_cast<size_t>(BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+  AtomicMaxDouble(&max_, value);
+  if (!has_min_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(value, std::memory_order_relaxed);
+  } else {
+    AtomicMinDouble(&min_, value);
+  }
+}
+
+double Histogram::Min() const {
+  return has_min_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  const int64_t total = Count();
+  if (total <= 0) return 0.0;
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const int64_t in_bucket =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lo = BucketLowerBound(b);
+      const double hi = b + 1 < kBuckets ? BucketLowerBound(b + 1)
+                                         : Max();
+      const double frac =
+          std::clamp((rank - static_cast<double>(cumulative)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      // Clamp interpolation into the observed range for tighter estimates.
+      const double estimate = lo + (hi - lo) * frac;
+      return std::clamp(estimate, Min(), Max());
+    }
+    cumulative += in_bucket;
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_min_.store(false, std::memory_order_relaxed);
+}
+
+const MetricPoint* MetricsSnapshot::Find(std::string_view name,
+                                         const LabelSet& labels) const {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const MetricPoint& point : points) {
+    if (point.name != name) continue;
+    LabelSet point_labels = point.labels;
+    std::sort(point_labels.begin(), point_labels.end());
+    if (point_labels == sorted) return &point;
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::TotalValue(std::string_view name) const {
+  int64_t total = 0;
+  for (const MetricPoint& point : points) {
+    if (point.name == name) total += point.value;
+  }
+  return total;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      const LabelSet& labels,
+                                                      MetricKind kind) {
+  const std::string key = EntryKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = labels;
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  index_.emplace(key, raw);
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const LabelSet& labels) {
+  return FindOrCreate(name, labels, MetricKind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 const LabelSet& labels) {
+  return FindOrCreate(name, labels, MetricKind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const LabelSet& labels) {
+  return FindOrCreate(name, labels, MetricKind::kHistogram)->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.points.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricPoint point;
+    point.name = entry->name;
+    point.labels = entry->labels;
+    point.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        point.value = entry->counter->Value();
+        break;
+      case MetricKind::kGauge:
+        point.value = entry->gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        point.value = entry->histogram->Count();
+        point.sum = entry->histogram->Sum();
+        point.min = entry->histogram->Min();
+        point.max = entry->histogram->Max();
+        point.p50 = entry->histogram->Percentile(50);
+        point.p95 = entry->histogram->Percentile(95);
+        point.p99 = entry->histogram->Percentile(99);
+        break;
+    }
+    snapshot.points.push_back(std::move(point));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        entry->counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry->gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry->histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace distme::obs

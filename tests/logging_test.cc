@@ -1,9 +1,37 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "common/logging.h"
 
 namespace distme {
 namespace {
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  const LogLevel fb = LogLevel::kWarning;
+  EXPECT_EQ(ParseLogLevel("debug", fb), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", fb), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning", fb), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn", fb), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error", fb), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("0", fb), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3", fb), LogLevel::kError);
+  // Unrecognized or missing input falls back (the DISTME_LOG_LEVEL default).
+  EXPECT_EQ(ParseLogLevel(nullptr, fb), fb);
+  EXPECT_EQ(ParseLogLevel("", fb), fb);
+  EXPECT_EQ(ParseLogLevel("verbose", fb), fb);
+  EXPECT_EQ(ParseLogLevel("42", fb), fb);
+}
+
+TEST(LoggingTest, LogThreadIdIsStablePerThreadAndUniqueAcross) {
+  const int mine = LogThreadId();
+  EXPECT_EQ(LogThreadId(), mine);
+  int other = -1;
+  std::thread t([&other] { other = LogThreadId(); });
+  t.join();
+  EXPECT_NE(other, mine);
+  EXPECT_GE(other, 0);
+}
 
 TEST(LoggingTest, LevelRoundTrip) {
   const LogLevel original = GetLogLevel();
