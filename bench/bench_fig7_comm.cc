@@ -1,8 +1,14 @@
 // Figure 7(f): shuffled data volume of MatFast, SystemML and DistME on four
 // representative inputs. Our raw bytes vs the paper's post-serialization
 // report — compare cross-system ratios.
+//
+// Doubles as the comm-matrix consistency check: for every run, the per-link
+// CommMatrix totals must match the report's shuffle bytes, and DistME's
+// measured volume must agree with its planner's Table-2 analytic cost.
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "systems/profiles.h"
@@ -44,16 +50,78 @@ int main(int argc, char** argv) {
       systems::MatFast(false), systems::SystemML(false),
       systems::DistME(false)};
   for (auto& profile : profiles) obs.Wire(&profile.sim);
+
+  bool consistent = true;
   for (const Point& pt : points) {
     std::vector<std::string> row = {pt.label};
     double values[3] = {0, 0, 0};
     for (int s = 0; s < 3; ++s) {
+      const obs::CommMatrixSnapshot comm_before = obs.comm()->Snapshot();
       auto report = systems::RunMultiply(profiles[s], pt.problem, cluster);
       if (!report.ok()) {
         row.push_back(report.status().ToString());
         continue;
       }
       values[s] = report->total_shuffle_bytes();
+      const std::string key_prefix = std::string("fig7f/") + pt.label + "/" +
+                                     profiles[s].name + "/";
+      obs.AddResult(key_prefix + "shuffle_bytes", values[s]);
+      if (report->outcome.ok()) {
+        obs.AddResult(key_prefix + "elapsed_seconds",
+                      report->elapsed_seconds);
+      }
+
+      // Comm-matrix consistency: the per-link spread must add back up to
+      // the report's shuffle totals (the spread rounds per node, hence the
+      // small absolute slack).
+      const obs::CommMatrixSnapshot comm =
+          obs.comm()->Snapshot().Delta(comm_before);
+      const double comm_total = static_cast<double>(comm.TotalBytes());
+      const double slack =
+          0.01 * values[s] +
+          static_cast<double>(report->num_tasks + 1) * cluster.num_nodes;
+      if (std::abs(comm_total - values[s]) > slack) {
+        std::printf("comm-model check FAILED: %s/%s comm matrix %s vs "
+                    "report %s\n",
+                    pt.label, profiles[s].name.c_str(),
+                    FormatBytes(comm_total).c_str(),
+                    FormatBytes(values[s]).c_str());
+        consistent = false;
+      }
+      if (s == 2) {  // DistME(C)
+        // DistME's measured volume vs its planner's Table-2 closed form.
+        auto method = profiles[s].planner->Choose(pt.problem, cluster);
+        if (method.ok()) {
+          auto cost = (*method)->Analytic(pt.problem, cluster);
+          if (cost.ok()) {
+            // Aggregation shuffle only happens when the method needs the
+            // aggregation step (Eq. 4's R·|C| term is charged even for
+            // R = 1, where C is written in place).
+            const double predicted =
+                (cost->repartition_elements +
+                 ((*method)->NeedsAggregation(pt.problem)
+                      ? cost->aggregation_elements
+                      : 0.0)) *
+                kElementBytes;
+            if (predicted > 0 && comm_total > 0 &&
+                (comm_total / predicted > 3.0 ||
+                 predicted / comm_total > 3.0)) {
+              std::printf("comm-model check FAILED: %s DistME comm %s vs "
+                          "Table-2 prediction %s\n",
+                          pt.label, FormatBytes(comm_total).c_str(),
+                          FormatBytes(predicted).c_str());
+              consistent = false;
+            }
+          }
+        }
+        std::printf("%s DistME comm: total %s | max link %s | "
+                    "%d active links | skew %.2f\n",
+                    pt.label,
+                    FormatBytes(comm_total).c_str(),
+                    FormatBytes(static_cast<double>(comm.MaxLinkBytes()))
+                        .c_str(),
+                    comm.ActiveLinks(), comm.SkewRatio());
+      }
       std::string cell = report->outcome.ok()
                              ? FormatBytes(values[s])
                              : report->OutcomeLabel();
@@ -75,5 +143,7 @@ int main(int argc, char** argv) {
     table.AddRow(row);
   }
   table.Print();
+  if (!consistent) return 1;
+  std::printf("\ncomm-model check: OK\n");
   return 0;
 }

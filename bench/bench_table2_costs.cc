@@ -14,7 +14,8 @@ namespace {
 using bench::Banner;
 using bench::Table;
 
-void PrintForShape(const char* label, const mm::MMProblem& problem) {
+void PrintForShape(const char* label, const mm::MMProblem& problem,
+                   bench::BenchObs* obs) {
   const ClusterConfig cluster = ClusterConfig::Paper();
   Banner(std::string("Table 2 — ") + label);
   std::printf("A: %lldx%lld, B: %lldx%lld, block %lld, I,J,K = %lld,%lld,%lld\n",
@@ -38,6 +39,12 @@ void PrintForShape(const char* label, const mm::MMProblem& problem) {
                   FormatCount(cost->aggregation_elements),
                   FormatBytes(cost->memory_per_task_bytes),
                   FormatCount(cost->max_tasks)});
+    const std::string key_prefix =
+        std::string("table2/") + label + "/" + method.name() + "/";
+    obs->AddResult(key_prefix + "comm_elements",
+                   cost->total_comm_elements());
+    obs->AddResult(key_prefix + "memory_per_task_bytes",
+                   cost->memory_per_task_bytes);
   };
   add(mm::BmmMethod());
   add(mm::CpmmMethod());
@@ -61,12 +68,13 @@ int main(int argc, char** argv) {
         MMProblem p = MMProblem::DenseSquareBlocks(70000, 70000, 70000, 1000);
         p.a.sparsity = p.b.sparsity = 0.5;
         return p;
-      }());
+      }(),
+      &obs);
   distme::PrintForShape(
       "common large dimension (10K x 1M x 10K)",
-      MMProblem::DenseSquareBlocks(10000, 1000000, 10000, 1000));
+      MMProblem::DenseSquareBlocks(10000, 1000000, 10000, 1000), &obs);
   distme::PrintForShape(
       "two large dimensions (250K x 1K x 250K)",
-      MMProblem::DenseSquareBlocks(250000, 1000, 250000, 1000));
+      MMProblem::DenseSquareBlocks(250000, 1000, 250000, 1000), &obs);
   return 0;
 }

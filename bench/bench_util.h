@@ -6,10 +6,12 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
 #include "engine/report.h"
+#include "obs/comm_matrix.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -23,33 +25,60 @@ inline void Banner(const std::string& title) {
 
 /// \brief Per-binary observability wiring, shared by every bench binary.
 ///
-/// Parses `--trace-out=<path>` from argv; when present, the owned tracer is
-/// enabled and, on destruction, the Chrome trace-event JSON is written to
-/// `<path>` (load it in chrome://tracing or https://ui.perfetto.dev — one
-/// process track per simulated node, one thread track per task slot).
-/// Without the flag the tracer stays disabled and costs one branch per span.
+/// Parses three flags from argv:
+///   --trace-out=<path>    enable the owned tracer; on destruction the
+///                         Chrome trace-event JSON is written to <path>
+///                         (load in chrome://tracing or ui.perfetto.dev —
+///                         one process track per simulated node, one thread
+///                         track per task slot);
+///   --metrics-out=<path>  on destruction, dump the owned metrics registry
+///                         as a JSON array of metric points;
+///   --bench-json=<path>   on destruction, write the results registered via
+///                         AddResult() as machine-readable JSON (consumed
+///                         by scripts/bench_baseline.py).
+/// Without the flags the tracer stays disabled (one branch per span) and
+/// nothing is written.
 class BenchObs {
  public:
-  BenchObs(int argc, char** argv) {
-    constexpr std::string_view kFlag = "--trace-out=";
+  BenchObs(int argc, char** argv) : bench_name_(BaseName(argc, argv)) {
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
-      if (arg.substr(0, kFlag.size()) == kFlag) {
-        trace_out_ = std::string(arg.substr(kFlag.size()));
-      }
+      MatchFlag(arg, "--trace-out=", &trace_out_);
+      MatchFlag(arg, "--metrics-out=", &metrics_out_);
+      MatchFlag(arg, "--bench-json=", &bench_json_out_);
     }
     if (!trace_out_.empty()) tracer_.SetEnabled(true);
   }
 
   ~BenchObs() {
-    if (trace_out_.empty()) return;
-    const Status st = obs::WriteChromeTrace(tracer_, trace_out_);
-    if (st.ok()) {
-      std::printf("\ntrace written to %s (open in chrome://tracing or "
-                  "ui.perfetto.dev)\n",
-                  trace_out_.c_str());
-    } else {
-      std::printf("\ntrace write failed: %s\n", st.ToString().c_str());
+    if (!trace_out_.empty()) {
+      const Status st = obs::WriteChromeTrace(tracer_, trace_out_);
+      if (st.ok()) {
+        std::printf("\ntrace written to %s (open in chrome://tracing or "
+                    "ui.perfetto.dev)\n",
+                    trace_out_.c_str());
+      } else {
+        std::printf("\ntrace write failed: %s\n", st.ToString().c_str());
+      }
+    }
+    if (!metrics_out_.empty()) {
+      const Status st = obs::WriteTextFile(
+          metrics_out_, obs::MetricsJson(metrics_.Snapshot()));
+      if (st.ok()) {
+        std::printf("\nmetrics written to %s\n", metrics_out_.c_str());
+      } else {
+        std::printf("\nmetrics write failed: %s\n", st.ToString().c_str());
+      }
+    }
+    if (!bench_json_out_.empty()) {
+      const Status st = obs::WriteTextFile(bench_json_out_, ResultsJson());
+      if (st.ok()) {
+        std::printf("\nbench results written to %s\n",
+                    bench_json_out_.c_str());
+      } else {
+        std::printf("\nbench results write failed: %s\n",
+                    st.ToString().c_str());
+      }
     }
   }
 
@@ -58,24 +87,51 @@ class BenchObs {
 
   obs::MetricsRegistry* metrics() { return &metrics_; }
   obs::Tracer* tracer() { return &tracer_; }
+  obs::CommMatrix* comm() { return &comm_; }
   bool tracing() const { return !trace_out_.empty(); }
 
+  /// \brief Registers one named measurement for --bench-json output. Keys
+  /// should be stable across runs (they become baseline-comparison keys).
+  void AddResult(const std::string& key, double value) {
+    results_.emplace_back(key, value);
+  }
+
+  /// \brief {"bench": <name>, "results": {key: value, ...}}.
+  std::string ResultsJson() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.Value(bench_name_);
+    w.Key("results");
+    w.BeginObject();
+    for (const auto& [key, value] : results_) {
+      w.Key(key);
+      w.Value(value);
+    }
+    w.EndObject();
+    w.EndObject();
+    return w.str();
+  }
+
   /// \brief Copies the obs sinks into an executor options struct (any type
-  /// with `metrics` / `tracer` members, i.e. RealOptions and SimOptions).
+  /// with `metrics` / `tracer` / `comm` members, i.e. RealOptions and
+  /// SimOptions).
   template <typename Options>
   void Wire(Options* options) {
     options->metrics = &metrics_;
     options->tracer = &tracer_;
+    options->comm = &comm_;
   }
 
   /// \brief argv with the obs flags removed, for delegating the rest to a
   /// flag parser that rejects unknown flags (google-benchmark).
   static std::vector<char*> StripFlags(int argc, char** argv) {
-    constexpr std::string_view kFlag = "--trace-out=";
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
-      if (i > 0 && std::string_view(argv[i]).substr(0, kFlag.size()) ==
-                       kFlag) {
+      const std::string_view arg = argv[i];
+      if (i > 0 && (IsFlag(arg, "--trace-out=") ||
+                    IsFlag(arg, "--metrics-out=") ||
+                    IsFlag(arg, "--bench-json="))) {
         continue;
       }
       args.push_back(argv[i]);
@@ -84,9 +140,32 @@ class BenchObs {
   }
 
  private:
+  static bool IsFlag(std::string_view arg, std::string_view flag) {
+    return arg.substr(0, flag.size()) == flag;
+  }
+
+  static void MatchFlag(std::string_view arg, std::string_view flag,
+                        std::string* out) {
+    if (IsFlag(arg, flag)) *out = std::string(arg.substr(flag.size()));
+  }
+
+  static std::string BaseName(int argc, char** argv) {
+    if (argc < 1 || argv[0] == nullptr) return "bench";
+    const std::string_view path = argv[0];
+    const size_t slash = path.find_last_of('/');
+    return std::string(slash == std::string_view::npos
+                           ? path
+                           : path.substr(slash + 1));
+  }
+
+  std::string bench_name_;
   std::string trace_out_;
+  std::string metrics_out_;
+  std::string bench_json_out_;
+  std::vector<std::pair<std::string, double>> results_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  obs::CommMatrix comm_;
 };
 
 /// \brief A paper-reported cell: a number, a failure label, or absent.

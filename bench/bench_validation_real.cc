@@ -65,6 +65,13 @@ int main(int argc, char** argv) {
     const bool correct = DenseMatrix::ApproxEquals(
         result->output->Collect().ToDense(), reference->ToDense(), 1e-9);
     auto sim_report = sim.Run(problem, method, {});
+    const std::string key_prefix = std::string("validation/") +
+                                   method.name() + "/" +
+                                   engine::ComputeModeName(mode) + "/";
+    obs.AddResult(key_prefix + "shuffle_bytes",
+                  result->report.total_shuffle_bytes());
+    obs.AddResult(key_prefix + "num_tasks",
+                  static_cast<double>(result->report.num_tasks));
     char wall[32];
     std::snprintf(wall, sizeof(wall), "%.1fms",
                   result->report.elapsed_seconds * 1e3);

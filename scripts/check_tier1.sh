@@ -3,11 +3,21 @@
 #   1. the ROADMAP.md tier-1 line: configure, build, ctest
 #   2. a strict -Wall -Wextra -Werror build of the obs library
 #   3. an end-to-end trace: run a bench with --trace-out= and lint the JSON
+#   4. with --bench: the perf-regression baseline check (deterministic
+#      bench outputs vs BENCH_BASELINE.json, >15% drift fails)
 #
-# Usage: scripts/check_tier1.sh   (from the repo root)
+# Usage: scripts/check_tier1.sh [--bench]   (from the repo root)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_bench_check=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench_check=1 ;;
+    *) echo "check_tier1: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
@@ -26,6 +36,12 @@ trace_out="$(mktemp /tmp/distme_trace.XXXXXX.json)"
 trap 'rm -f "$trace_out"' EXIT
 ./build/bench/bench_validation_real --trace-out="$trace_out" >/dev/null
 python3 scripts/trace_lint.py "$trace_out"
+
+if [[ "$run_bench_check" -eq 1 ]]; then
+  echo
+  echo "== bench baseline (perf-regression) check =="
+  python3 scripts/bench_baseline.py --check
+fi
 
 echo
 echo "check_tier1: all gates passed"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The one-command gate: build + ctest + strict obs build + trace lint +
+# bench-baseline (perf-regression) check. This is the command CI runs and the
+# command to run locally before sending a change.
+#
+# Usage: scripts/ci.sh   (from anywhere inside the repo)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec scripts/check_tier1.sh --bench

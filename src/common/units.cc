@@ -27,7 +27,11 @@ std::string FormatBytes(double bytes) {
 
 std::string FormatSeconds(double seconds) {
   char buf[64];
-  if (seconds < 120.0) {
+  if (seconds > 0 && seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds > 0 && seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
     std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
   } else if (seconds < 7200.0) {
     std::snprintf(buf, sizeof(buf), "%.1fm", seconds / 60.0);

@@ -58,12 +58,43 @@ Result<Matrix> Session::MultiplyWith(const Matrix& a, const Matrix& b,
   real.mode = options_.mode;
   real.metrics = &metrics_;
   real.tracer = &tracer_;
+  real.comm = &comm_;
+  // Explain bracketing: snapshot before the run so the report can attribute
+  // to this run only its delta of the session-cumulative instruments.
+  obs::MetricsSnapshot before;
+  obs::CommMatrixSnapshot comm_before;
+  if (options_.collect_explain) {
+    before = metrics_.Snapshot();
+    comm_before = comm_.Snapshot();
+  }
   DISTME_ASSIGN_OR_RETURN(
       engine::RealRunResult run,
       executor_->Run(a.distributed(), b.distributed(), method, real));
   history_.push_back(run.report);
+  if (options_.collect_explain) {
+    const obs::MetricsSnapshot after = metrics_.Snapshot();
+    const obs::CommMatrixSnapshot comm_delta =
+        comm_.Snapshot().Delta(comm_before);
+    engine::ExplainObsInputs inputs;
+    inputs.before = &before;
+    inputs.after = &after;
+    inputs.comm_delta = &comm_delta;
+    const mm::MMProblem problem{a.Descriptor(), b.Descriptor()};
+    Result<engine::ExplainReport> explain = engine::BuildExplainReport(
+        run.report, method, problem, options_.cluster, inputs);
+    if (explain.ok()) last_explain_ = std::move(*explain);
+  }
   DISTME_RETURN_NOT_OK(run.report.outcome);
   return Matrix(std::move(run.output));
+}
+
+Result<engine::ExplainReport> Session::ExplainLastRun() const {
+  if (!last_explain_.has_value()) {
+    return Status::Invalid(
+        "no explain report: nothing has run, or Options::collect_explain is "
+        "off");
+  }
+  return *last_explain_;
 }
 
 Status Session::WriteTrace(const std::string& path) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,10 +15,12 @@
 #include "common/result.h"
 #include "core/planner.h"
 #include "engine/distributed_matrix.h"
+#include "engine/explain.h"
 #include "engine/real_executor.h"
 #include "engine/report.h"
 #include "engine/sim_executor.h"
 #include "matrix/generator.h"
+#include "obs/comm_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -58,6 +61,10 @@ class Session {
     /// Method-selection policy; defaults to DistME's CuboidMM optimizer.
     std::shared_ptr<Planner> planner;
     engine::RealOptions real;
+    /// Build an ExplainReport (predicted vs measured, straggler stats) for
+    /// every multiplication. Costs two registry snapshots per run; turn off
+    /// for overhead-sensitive micro-benchmarks.
+    bool collect_explain = true;
   };
 
   explicit Session(Options options);
@@ -129,12 +136,25 @@ class Session {
   /// including the full metrics snapshot. "{}" if nothing has run.
   std::string RunReportJson() const;
 
+  /// \brief Stage-level explain report of the most recent multiplication:
+  /// predicted Table-2 bytes vs measured, per-stage timings, straggler
+  /// percentiles, and the run's comm matrix. Errors if nothing has run or
+  /// Options::collect_explain is off.
+  Result<engine::ExplainReport> ExplainLastRun() const;
+
+  /// \brief The session-owned communication matrix; every run's shuffle
+  /// traffic accumulates here (per-run views come via ExplainLastRun()).
+  obs::CommMatrix& comm() { return comm_; }
+  const obs::CommMatrix& comm() const { return comm_; }
+
  private:
   Options options_;
   std::unique_ptr<engine::RealExecutor> executor_;
   std::vector<engine::MMReport> history_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  obs::CommMatrix comm_;
+  std::optional<engine::ExplainReport> last_explain_;
 };
 
 }  // namespace distme::core

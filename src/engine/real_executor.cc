@@ -131,13 +131,23 @@ class RealExecutor::Impl {
     obs::Counter* oom_rejections =
         metrics->GetCounter("distme.memory.oom_rejections");
 
-    const int64_t base_repartition_bytes = repartition_bytes->Value();
-    const int64_t base_aggregation_bytes = aggregation_bytes->Value();
-    const int64_t base_fetch_nanos = fetch_nanos->Value();
-    const int64_t base_compute_nanos = compute_nanos->Value();
-    const int64_t base_agg_nanos = agg_nanos->Value();
-    const int64_t base_retries =
-        metrics->Snapshot().TotalValue("distme.task.retries");
+    // One consistent cut over the whole registry (a single lock acquisition)
+    // rather than per-instrument reads: when two Sessions share a process,
+    // interleaved reads would attribute another run's traffic to this one.
+    const obs::MetricsSnapshot base = metrics->Snapshot();
+    const int64_t base_repartition_bytes =
+        base.TotalValue("distme.shuffle.repartition_bytes");
+    const int64_t base_aggregation_bytes =
+        base.TotalValue("distme.shuffle.aggregation_bytes");
+    const int64_t base_fetch_nanos =
+        base.TotalValue("distme.step.repartition_nanos");
+    const int64_t base_compute_nanos =
+        base.TotalValue("distme.step.multiply_nanos");
+    const int64_t base_agg_nanos =
+        base.TotalValue("distme.step.aggregation_nanos");
+    const int64_t base_retries = base.TotalValue("distme.task.retries");
+    obs::CommMatrixSnapshot comm_base;
+    if (options.comm != nullptr) comm_base = options.comm->Snapshot();
     // Gauges describe the current run; the peak resets at each run start.
     peak_memory->Set(0);
 
@@ -202,6 +212,10 @@ class RealExecutor::Impl {
         const int64_t wire = SerializedBlockBytes(blk);
         repartition_bytes->Add(wire);
         remote_fetches->Add(1);
+        if (options.comm != nullptr) {
+          options.comm->Record(obs::CommStage::kRepartition, m.NodeOf(idx),
+                               node, wire);
+        }
         span.AddArg("bytes", wire);
         if (options.serialize_transfers) {
           // Round-trip through the wire format, as a real shuffle would.
@@ -229,6 +243,10 @@ class RealExecutor::Impl {
       if (reducer_node != producer_node) {
         const int64_t wire = SerializedBlockBytes(block);
         aggregation_bytes->Add(wire);
+        if (options.comm != nullptr) {
+          options.comm->Record(obs::CommStage::kAggregation, producer_node,
+                               reducer_node, wire);
+        }
         obs::TraceSpan span(tracer, "shuffle.aggregate", "shuffle");
         span.AddArg("bytes", wire);
         span.AddArg("reducer", static_cast<int64_t>(reducer_node));
@@ -450,10 +468,10 @@ class RealExecutor::Impl {
     result.report.method_name = method.name();
     result.report.mode = mode;
     result.report.num_tasks = static_cast<int64_t>(tasks.size());
-    result.report.task_retries =
-        metrics->Snapshot().TotalValue("distme.task.retries") - base_retries;
 
     if (!failure.ok()) {
+      result.report.task_retries =
+          metrics->Snapshot().TotalValue("distme.task.retries") - base_retries;
       result.report.outcome = failure;
       result.output = std::move(output);
       return result;
@@ -478,23 +496,48 @@ class RealExecutor::Impl {
     }
     agg_nanos->Add(static_cast<int64_t>(agg_clock.ElapsedSeconds() * 1e9));
 
+    // Per-link summary gauges, derived from this run's comm-matrix delta.
+    if (options.comm != nullptr) {
+      const obs::CommMatrixSnapshot comm_delta =
+          options.comm->Snapshot().Delta(comm_base);
+      metrics->GetGauge("distme.comm.max_link_bytes")
+          ->Set(comm_delta.MaxLinkBytes());
+      metrics->GetGauge("distme.comm.skew_permille")
+          ->Set(static_cast<int64_t>(comm_delta.SkewRatio() * 1000.0));
+      metrics->GetGauge("distme.comm.active_links")
+          ->Set(comm_delta.ActiveLinks());
+    }
+
     // The report's timings and byte counters are views over the registry —
     // the registry is the source of truth, not hand-threaded accumulators.
+    // As with `base`, one snapshot gives a consistent cut for the deltas.
+    const obs::MetricsSnapshot final_cut = metrics->Snapshot();
     result.report.outcome = Status::OK();
     result.report.elapsed_seconds = total_clock.ElapsedSeconds();
+    result.report.task_retries =
+        final_cut.TotalValue("distme.task.retries") - base_retries;
     result.report.steps.repartition_seconds =
-        static_cast<double>(fetch_nanos->Value() - base_fetch_nanos) * 1e-9;
+        static_cast<double>(
+            final_cut.TotalValue("distme.step.repartition_nanos") -
+            base_fetch_nanos) *
+        1e-9;
     result.report.steps.multiply_seconds =
-        static_cast<double>(compute_nanos->Value() - base_compute_nanos) *
+        static_cast<double>(final_cut.TotalValue("distme.step.multiply_nanos") -
+                            base_compute_nanos) *
         1e-9;
     result.report.steps.aggregation_seconds =
-        static_cast<double>(agg_nanos->Value() - base_agg_nanos) * 1e-9;
+        static_cast<double>(
+            final_cut.TotalValue("distme.step.aggregation_nanos") -
+            base_agg_nanos) *
+        1e-9;
     result.report.repartition_bytes = static_cast<double>(
-        repartition_bytes->Value() - base_repartition_bytes);
+        final_cut.TotalValue("distme.shuffle.repartition_bytes") -
+        base_repartition_bytes);
     result.report.aggregation_bytes = static_cast<double>(
-        aggregation_bytes->Value() - base_aggregation_bytes);
-    result.report.peak_task_memory_bytes =
-        static_cast<double>(peak_memory->Value());
+        final_cut.TotalValue("distme.shuffle.aggregation_bytes") -
+        base_aggregation_bytes);
+    result.report.peak_task_memory_bytes = static_cast<double>(
+        final_cut.TotalValue("distme.task.peak_memory_bytes"));
     if (config_.has_gpu && mode != ComputeMode::kCpu) {
       double pcie = 0;
       double kernel_busy = 0;

@@ -14,6 +14,7 @@
 #include "engine/distributed_matrix.h"
 #include "engine/report.h"
 #include "mm/method.h"
+#include "obs/comm_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -47,6 +48,10 @@ struct RealOptions {
   /// Trace-span sink. Null (the default) or a disabled tracer costs one
   /// branch per would-be span. Track mapping: pid = node, tid = task slot.
   obs::Tracer* tracer = nullptr;
+  /// Per-link shuffle accounting: every remote block fetch (repartition) and
+  /// cross-node aggregation emit is recorded with its true (src, dst)
+  /// endpoints. Null (the default) costs one branch per transfer.
+  obs::CommMatrix* comm = nullptr;
 };
 
 /// \brief Result of a real run: the product matrix plus the report.

@@ -96,7 +96,22 @@ Result<MMReport> SimExecutor::Run(const mm::MMProblem& problem,
   // they can optionally be dispatched longest-first (LPT).
   std::vector<double> task_durations;
 
+  obs::CommMatrixSnapshot comm_base;
+  if (options.comm != nullptr) comm_base = options.comm->Snapshot();
+
   double repartition_bytes = method.ExtraRepartitionBytes(problem);
+  // Layout-conversion repartition (ExtraRepartitionBytes) is an all-to-all
+  // re-shuffle: spread it evenly over every (src, dst) pair.
+  if (options.comm != nullptr && repartition_bytes > 0) {
+    const int n = config_.num_nodes;
+    const int64_t per_pair = std::llround(
+        repartition_bytes / (static_cast<double>(n) * static_cast<double>(n)));
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < n; ++dst) {
+        options.comm->Record(obs::CommStage::kRepartition, src, dst, per_pair);
+      }
+    }
+  }
   double aggregation_bytes = 0;
   double broadcast_bytes_per_node = 0;  // node-shared broadcast residency
   double peak_task_memory = 0;
@@ -162,6 +177,27 @@ Result<MMReport> SimExecutor::Run(const mm::MMProblem& problem,
         (q.a_in_bytes + q.b_in_bytes) * options.repartition_factor;
     if (task.b_broadcast) broadcast_bytes_per_node = q.b_in_bytes;
     if (task.a_broadcast) broadcast_bytes_per_node = q.a_in_bytes;
+    if (options.comm != nullptr) {
+      // Inputs converge on the task's node from uniform-hash block homes;
+      // aggregation output fans out toward the hash-partitioned reducers.
+      const int n = config_.num_nodes;
+      const int task_node = static_cast<int>(task.id % n);
+      const int64_t in_per_src = std::llround(
+          (q.a_in_bytes + q.b_in_bytes) * options.repartition_factor /
+          static_cast<double>(n));
+      for (int src = 0; src < n; ++src) {
+        options.comm->Record(obs::CommStage::kRepartition, src, task_node,
+                             in_per_src);
+      }
+      if (method.NeedsAggregation(problem)) {
+        const int64_t out_per_dst =
+            std::llround(q.c_out_bytes / static_cast<double>(n));
+        for (int dst = 0; dst < n; ++dst) {
+          options.comm->Record(obs::CommStage::kAggregation, task_node, dst,
+                               out_per_dst);
+        }
+      }
+    }
 
     // ---- Memory accounting. ----
     double task_memory;
@@ -377,6 +413,15 @@ Result<MMReport> SimExecutor::Run(const mm::MMProblem& problem,
     }
     obs::Histogram* h = m->GetHistogram("distme.sim.task_seconds");
     for (double d : task_durations) h->Observe(d);
+    if (options.comm != nullptr) {
+      const obs::CommMatrixSnapshot comm_delta =
+          options.comm->Snapshot().Delta(comm_base);
+      m->GetGauge("distme.comm.max_link_bytes")
+          ->Set(comm_delta.MaxLinkBytes());
+      m->GetGauge("distme.comm.skew_permille")
+          ->Set(static_cast<int64_t>(comm_delta.SkewRatio() * 1000.0));
+      m->GetGauge("distme.comm.active_links")->Set(comm_delta.ActiveLinks());
+    }
   }
   if (options.tracer != nullptr && options.tracer->enabled()) {
     // The simulated three-step timeline as spans: simulated durations,

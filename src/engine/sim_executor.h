@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "engine/report.h"
 #include "mm/method.h"
+#include "obs/comm_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,6 +50,12 @@ struct SimOptions {
   /// spans (in simulated time, anchored at the call instant) plus a
   /// real-time `sim.schedule` span for the wave-scheduling decision.
   obs::Tracer* tracer = nullptr;
+  /// Optional per-link shuffle accounting. The simulator has no real
+  /// endpoints, so each task's modelled transfer volume is spread over the
+  /// uniform-hash block homes: inputs arrive at the task's node (id % N)
+  /// from all N sources, aggregation output leaves it toward all N
+  /// reducers. Totals match the report's shuffle bytes (± rounding).
+  obs::CommMatrix* comm = nullptr;
 };
 
 /// \brief Simulates one distributed matrix multiplication.

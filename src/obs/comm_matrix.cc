@@ -1,0 +1,239 @@
+#include "obs/comm_matrix.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/units.h"
+#include "obs/export.h"
+
+namespace distme::obs {
+
+const char* CommStageName(CommStage stage) {
+  switch (stage) {
+    case CommStage::kRepartition:
+      return "repartition";
+    case CommStage::kAggregation:
+      return "aggregation";
+  }
+  return "?";
+}
+
+CommMatrix::CommMatrix()
+    : cells_(new std::atomic<int64_t>[kNumCommStages * kMaxNodes *
+                                      kMaxNodes]) {
+  Reset();
+}
+
+void CommMatrix::Record(CommStage stage, int src, int dst, int64_t bytes) {
+  if (bytes <= 0 || src < 0 || dst < 0) return;
+  src %= kMaxNodes;
+  dst %= kMaxNodes;
+  cells_[CellIndex(stage, src, dst)].fetch_add(bytes,
+                                               std::memory_order_relaxed);
+  const int hi = src > dst ? src : dst;
+  int current = max_node_.load(std::memory_order_relaxed);
+  while (current < hi &&
+         !max_node_.compare_exchange_weak(current, hi,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+CommMatrixSnapshot CommMatrix::Snapshot() const {
+  CommMatrixSnapshot snapshot;
+  snapshot.num_nodes = num_nodes();
+  const int n = snapshot.num_nodes;
+  for (int s = 0; s < kNumCommStages; ++s) {
+    snapshot.cells[static_cast<size_t>(s)].resize(
+        static_cast<size_t>(n) * static_cast<size_t>(n));
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < n; ++dst) {
+        snapshot.cells[static_cast<size_t>(s)]
+                      [static_cast<size_t>(src) * static_cast<size_t>(n) +
+                       static_cast<size_t>(dst)] =
+            cells_[CellIndex(static_cast<CommStage>(s), src, dst)].load(
+                std::memory_order_relaxed);
+      }
+    }
+  }
+  return snapshot;
+}
+
+void CommMatrix::Reset() {
+  for (size_t i = 0;
+       i < static_cast<size_t>(kNumCommStages) * kMaxNodes * kMaxNodes; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t CommMatrixSnapshot::Bytes(CommStage stage, int src, int dst) const {
+  if (src < 0 || dst < 0 || src >= num_nodes || dst >= num_nodes) return 0;
+  return cells[static_cast<size_t>(stage)]
+              [static_cast<size_t>(src) * static_cast<size_t>(num_nodes) +
+               static_cast<size_t>(dst)];
+}
+
+int64_t CommMatrixSnapshot::LinkBytes(int src, int dst) const {
+  return Bytes(CommStage::kRepartition, src, dst) +
+         Bytes(CommStage::kAggregation, src, dst);
+}
+
+int64_t CommMatrixSnapshot::TotalBytes(CommStage stage) const {
+  int64_t total = 0;
+  for (int64_t cell : cells[static_cast<size_t>(stage)]) total += cell;
+  return total;
+}
+
+int64_t CommMatrixSnapshot::TotalBytes() const {
+  return TotalBytes(CommStage::kRepartition) +
+         TotalBytes(CommStage::kAggregation);
+}
+
+int64_t CommMatrixSnapshot::MaxLinkBytes() const {
+  int64_t max = 0;
+  for (int src = 0; src < num_nodes; ++src) {
+    for (int dst = 0; dst < num_nodes; ++dst) {
+      if (src == dst) continue;
+      max = std::max(max, LinkBytes(src, dst));
+    }
+  }
+  return max;
+}
+
+double CommMatrixSnapshot::MeanLinkBytes() const {
+  if (num_nodes < 2) return 0.0;
+  int64_t off_diagonal = 0;
+  for (int src = 0; src < num_nodes; ++src) {
+    for (int dst = 0; dst < num_nodes; ++dst) {
+      if (src != dst) off_diagonal += LinkBytes(src, dst);
+    }
+  }
+  return static_cast<double>(off_diagonal) /
+         (static_cast<double>(num_nodes) * (num_nodes - 1));
+}
+
+int CommMatrixSnapshot::ActiveLinks() const {
+  int active = 0;
+  for (int src = 0; src < num_nodes; ++src) {
+    for (int dst = 0; dst < num_nodes; ++dst) {
+      active += src != dst && LinkBytes(src, dst) > 0;
+    }
+  }
+  return active;
+}
+
+double CommMatrixSnapshot::SkewRatio() const {
+  const double mean = MeanLinkBytes();
+  if (mean <= 0.0) return 0.0;
+  return static_cast<double>(MaxLinkBytes()) / mean;
+}
+
+CommMatrixSnapshot CommMatrixSnapshot::Delta(
+    const CommMatrixSnapshot& before) const {
+  CommMatrixSnapshot delta = *this;
+  for (int s = 0; s < kNumCommStages; ++s) {
+    for (int src = 0; src < before.num_nodes; ++src) {
+      for (int dst = 0; dst < before.num_nodes; ++dst) {
+        if (src >= num_nodes || dst >= num_nodes) continue;
+        delta.cells[static_cast<size_t>(s)]
+                   [static_cast<size_t>(src) *
+                        static_cast<size_t>(num_nodes) +
+                    static_cast<size_t>(dst)] -=
+            before.cells[static_cast<size_t>(s)]
+                        [static_cast<size_t>(src) *
+                             static_cast<size_t>(before.num_nodes) +
+                         static_cast<size_t>(dst)];
+      }
+    }
+  }
+  return delta;
+}
+
+std::string CommMatrixSnapshot::ToTable() const {
+  std::string out;
+  char buf[128];
+  if (empty()) return "comm matrix: no traffic recorded\n";
+  for (int s = 0; s < kNumCommStages; ++s) {
+    const auto stage = static_cast<CommStage>(s);
+    if (TotalBytes(stage) == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s (src \\ dst):\n",
+                  CommStageName(stage));
+    out += buf;
+    out += "         ";
+    for (int dst = 0; dst < num_nodes; ++dst) {
+      std::snprintf(buf, sizeof(buf), "%12s",
+                    ("node" + std::to_string(dst)).c_str());
+      out += buf;
+    }
+    out += "         total\n";
+    for (int src = 0; src < num_nodes; ++src) {
+      std::snprintf(buf, sizeof(buf), "  node%-3d", src);
+      out += buf;
+      int64_t row_total = 0;
+      for (int dst = 0; dst < num_nodes; ++dst) {
+        const int64_t b = Bytes(stage, src, dst);
+        row_total += b;
+        std::snprintf(buf, sizeof(buf), "%12s",
+                      b == 0 ? "-"
+                             : FormatBytes(static_cast<double>(b)).c_str());
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "%14s\n",
+                    FormatBytes(static_cast<double>(row_total)).c_str());
+      out += buf;
+    }
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "total %s | max link %s | %d active links | skew %.2f\n",
+      FormatBytes(static_cast<double>(TotalBytes())).c_str(),
+      FormatBytes(static_cast<double>(MaxLinkBytes())).c_str(), ActiveLinks(),
+      SkewRatio());
+  out += buf;
+  return out;
+}
+
+void CommMatrixSnapshot::AppendJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("num_nodes");
+  writer->Value(num_nodes);
+  writer->Key("total_bytes");
+  writer->Value(TotalBytes());
+  writer->Key("max_link_bytes");
+  writer->Value(MaxLinkBytes());
+  writer->Key("mean_link_bytes");
+  writer->Value(MeanLinkBytes());
+  writer->Key("active_links");
+  writer->Value(ActiveLinks());
+  writer->Key("skew_ratio");
+  writer->Value(SkewRatio());
+  writer->Key("stages");
+  writer->BeginObject();
+  for (int s = 0; s < kNumCommStages; ++s) {
+    const auto stage = static_cast<CommStage>(s);
+    writer->Key(CommStageName(stage));
+    writer->BeginObject();
+    writer->Key("total_bytes");
+    writer->Value(TotalBytes(stage));
+    writer->Key("bytes");
+    writer->BeginArray();  // row-major [src][dst]
+    for (int src = 0; src < num_nodes; ++src) {
+      writer->BeginArray();
+      for (int dst = 0; dst < num_nodes; ++dst) {
+        writer->Value(Bytes(stage, src, dst));
+      }
+      writer->EndArray();
+    }
+    writer->EndArray();
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string CommMatrixSnapshot::ToJson() const {
+  JsonWriter writer;
+  AppendJson(&writer);
+  return writer.str();
+}
+
+}  // namespace distme::obs

@@ -1,0 +1,117 @@
+// CommMatrix: per-(source node, destination node, stage) byte accounting for
+// shuffle traffic. DistME's evaluation is driven by *where bytes move*
+// (CuboidMM wins on shuffle volume — paper §4, Fig. 7), so both executors
+// feed one of these: RealExecutor records every remote block fetch and
+// aggregation emit with its true endpoints; SimExecutor spreads each task's
+// modelled transfer volume over the uniform-hash block homes.
+//
+// Recording is lock-free (a relaxed atomic add into a dense grid), so task
+// threads can hammer it without coordination. Analysis happens on immutable
+// snapshots: totals, per-link max, and the skew ratio (max link over mean
+// off-diagonal link — 1.0 for perfectly balanced all-to-all, N·(N−1) when a
+// single link carries everything).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace distme::obs {
+
+class JsonWriter;
+
+/// \brief Which of the paper's communication steps a transfer belongs to.
+enum class CommStage { kRepartition = 0, kAggregation = 1 };
+
+inline constexpr int kNumCommStages = 2;
+
+const char* CommStageName(CommStage stage);
+
+/// \brief An immutable copy of a CommMatrix, restricted to the nodes that
+/// actually appeared. Supports per-run deltas via `Delta()`.
+struct CommMatrixSnapshot {
+  int num_nodes = 0;
+  /// cells[stage][src * num_nodes + dst], bytes.
+  std::array<std::vector<int64_t>, kNumCommStages> cells;
+
+  bool empty() const { return num_nodes == 0; }
+
+  /// \brief Bytes moved src → dst in `stage` (0 for out-of-range nodes).
+  int64_t Bytes(CommStage stage, int src, int dst) const;
+  /// \brief Bytes moved src → dst summed over stages.
+  int64_t LinkBytes(int src, int dst) const;
+
+  int64_t TotalBytes() const;
+  int64_t TotalBytes(CommStage stage) const;
+
+  /// \brief The heaviest network link (off-diagonal; diagonal cells are
+  /// node-local traffic and never contend for a NIC).
+  int64_t MaxLinkBytes() const;
+  /// \brief Off-diagonal total divided by the N·(N−1) possible links.
+  double MeanLinkBytes() const;
+  /// \brief Links (off-diagonal) that moved at least one byte.
+  int ActiveLinks() const;
+  /// \brief Max link over mean link: 1.0 = balanced all-to-all, higher =
+  /// skewed (a straggling link). 0 when nothing crossed the network.
+  double SkewRatio() const;
+
+  /// \brief Cell-wise `this − before`, for per-run extraction from a
+  /// long-lived (session- or bench-owned) matrix. `before` may be smaller
+  /// (earlier runs saw fewer nodes); missing cells count as zero.
+  CommMatrixSnapshot Delta(const CommMatrixSnapshot& before) const;
+
+  /// \brief Aligned text rendering: one src → dst grid per stage with
+  /// row/column totals, plus the summary line (total / max link / skew).
+  std::string ToTable() const;
+
+  /// \brief Appends {"num_nodes":…, "total_bytes":…, …, "stages":{…}}.
+  void AppendJson(JsonWriter* writer) const;
+  std::string ToJson() const;
+};
+
+/// \brief Thread-safe recorder of per-link shuffle traffic.
+///
+/// The grid is allocated once at a fixed capacity; node ids at or above
+/// `kMaxNodes` fold modulo the capacity (clusters in this repo are ≤ tens of
+/// nodes, so folding never triggers in practice). Record() is a relaxed
+/// atomic add — safe from any number of task threads.
+class CommMatrix {
+ public:
+  static constexpr int kMaxNodes = 64;
+
+  CommMatrix();
+
+  CommMatrix(const CommMatrix&) = delete;
+  CommMatrix& operator=(const CommMatrix&) = delete;
+
+  /// \brief Accounts `bytes` moved src → dst during `stage`. Negative or
+  /// zero byte counts are ignored.
+  void Record(CommStage stage, int src, int dst, int64_t bytes);
+
+  /// \brief Highest node id seen so far plus one (0 before any Record).
+  int num_nodes() const {
+    return max_node_.load(std::memory_order_relaxed) + 1;
+  }
+
+  CommMatrixSnapshot Snapshot() const;
+
+  /// \brief Zeroes every cell (the observed node set is kept).
+  void Reset();
+
+ private:
+  static size_t CellIndex(CommStage stage, int src, int dst) {
+    return (static_cast<size_t>(stage) * kMaxNodes +
+            static_cast<size_t>(src)) *
+               kMaxNodes +
+           static_cast<size_t>(dst);
+  }
+
+  std::unique_ptr<std::atomic<int64_t>[]> cells_;
+  std::atomic<int> max_node_{-1};
+};
+
+}  // namespace distme::obs

@@ -164,15 +164,18 @@ std::string ChromeTraceJson(const Tracer& tracer,
 }
 
 Status WriteChromeTrace(Tracer& tracer, const std::string& path) {
-  const std::string json = ChromeTraceJson(tracer, tracer.Drain());
+  return WriteTextFile(path, ChromeTraceJson(tracer, tracer.Drain()));
+}
+
+Status WriteTextFile(const std::string& path, std::string_view content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IOError("cannot open trace output file: " + path);
+    return Status::IOError("cannot open output file: " + path);
   }
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
   const int close_rc = std::fclose(f);
-  if (written != json.size() || close_rc != 0) {
-    return Status::IOError("short write to trace output file: " + path);
+  if (written != content.size() || close_rc != 0) {
+    return Status::IOError("short write to output file: " + path);
   }
   return Status::OK();
 }

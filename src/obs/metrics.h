@@ -79,6 +79,11 @@ class Histogram {
   /// \brief Lower bound of bucket `b` (0 for the first bucket).
   static double BucketLowerBound(int b);
 
+  /// \brief Observation count currently in bucket `b`.
+  int64_t BucketCount(int b) const {
+    return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+
  private:
   static int BucketFor(double value);
 
@@ -106,7 +111,32 @@ struct MetricPoint {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  /// Histogram-only per-bucket counts (size Histogram::kBuckets), so two
+  /// snapshots of a cumulative histogram can be subtracted into exact
+  /// per-run bucket counts (see HistogramDelta).
+  std::vector<int64_t> buckets;
 };
+
+/// \brief Statistics of the observations made *between* two snapshots of
+/// the same histogram. Count and sum are exact; min/max/percentiles are
+/// bucket-interpolated (accurate within one power of two), since cumulative
+/// extremes cannot be attributed to a single run.
+struct HistogramDeltaStats {
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// \brief Per-run histogram statistics from the bucket-level difference of
+/// `after` minus `before`. `before == nullptr` means "empty histogram"
+/// (first run against a fresh registry). Both points must come from
+/// snapshots of the same instrument; non-histogram points yield {}.
+HistogramDeltaStats HistogramDelta(const MetricPoint& after,
+                                   const MetricPoint* before);
 
 /// \brief A consistent-enough copy of every registered instrument.
 struct MetricsSnapshot {

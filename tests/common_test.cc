@@ -124,6 +124,9 @@ TEST(UnitsTest, FormatBytes) {
 }
 
 TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.0), "0.0s");
+  EXPECT_EQ(FormatSeconds(0.0000452), "45.2us");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.3ms");
   EXPECT_EQ(FormatSeconds(12.34), "12.3s");
   EXPECT_EQ(FormatSeconds(600.0), "10.0m");
   EXPECT_EQ(FormatSeconds(7200.0), "2.00h");

@@ -1,0 +1,349 @@
+// Tests for the communication/skew profiler (CommMatrix), per-run histogram
+// deltas, and the stage-level ExplainReport (Session::ExplainLastRun).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "engine/explain.h"
+#include "engine/real_executor.h"
+#include "engine/sim_executor.h"
+#include "matrix/generator.h"
+#include "mm/methods.h"
+#include "obs/comm_matrix.h"
+#include "obs/metrics.h"
+
+namespace distme {
+namespace {
+
+using obs::CommMatrix;
+using obs::CommMatrixSnapshot;
+using obs::CommStage;
+
+// --- CommMatrix ------------------------------------------------------------
+
+TEST(CommMatrixTest, ConcurrentRecordingIsExact) {
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 20000;
+  constexpr int kNodes = 4;
+
+  CommMatrix comm;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&comm, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        const int src = (t + i) % kNodes;
+        const int dst = (t + 3 * i) % kNodes;
+        comm.Record(i % 2 == 0 ? CommStage::kRepartition
+                               : CommStage::kAggregation,
+                    src, dst, 10);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const CommMatrixSnapshot snap = comm.Snapshot();
+  EXPECT_EQ(snap.num_nodes, kNodes);
+  EXPECT_EQ(snap.TotalBytes(),
+            static_cast<int64_t>(kThreads) * kRecords * 10);
+  EXPECT_EQ(snap.TotalBytes(CommStage::kRepartition) +
+                snap.TotalBytes(CommStage::kAggregation),
+            snap.TotalBytes());
+}
+
+TEST(CommMatrixTest, SkewRatioSeparatesBalancedFromConcentrated) {
+  // Balanced all-to-all: every off-diagonal link carries the same bytes.
+  CommMatrix balanced;
+  for (int src = 0; src < 4; ++src) {
+    for (int dst = 0; dst < 4; ++dst) {
+      if (src != dst) {
+        balanced.Record(CommStage::kRepartition, src, dst, 1000);
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(balanced.Snapshot().SkewRatio(), 1.0);
+
+  // One link carries everything: skew = N·(N−1) = 12.
+  CommMatrix concentrated;
+  concentrated.Record(CommStage::kRepartition, 0, 3, 12000);
+  EXPECT_DOUBLE_EQ(concentrated.Snapshot().SkewRatio(), 12.0);
+
+  // Nothing recorded: no skew to report.
+  CommMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.Snapshot().SkewRatio(), 0.0);
+}
+
+TEST(CommMatrixTest, IgnoresNonPositiveAndTracksNodeSet) {
+  CommMatrix comm;
+  EXPECT_EQ(comm.num_nodes(), 0);
+  comm.Record(CommStage::kRepartition, 0, 1, 0);
+  comm.Record(CommStage::kRepartition, 0, 1, -5);
+  EXPECT_EQ(comm.Snapshot().TotalBytes(), 0);
+  comm.Record(CommStage::kAggregation, 2, 0, 7);
+  EXPECT_EQ(comm.num_nodes(), 3);
+  EXPECT_EQ(comm.Snapshot().Bytes(CommStage::kAggregation, 2, 0), 7);
+}
+
+TEST(CommMatrixTest, DeltaIsolatesOneRun) {
+  CommMatrix comm;
+  comm.Record(CommStage::kRepartition, 0, 1, 100);
+  const CommMatrixSnapshot before = comm.Snapshot();
+  comm.Record(CommStage::kRepartition, 0, 1, 40);
+  comm.Record(CommStage::kAggregation, 1, 2, 60);  // widens the node set
+  const CommMatrixSnapshot delta = comm.Snapshot().Delta(before);
+  EXPECT_EQ(delta.Bytes(CommStage::kRepartition, 0, 1), 40);
+  EXPECT_EQ(delta.Bytes(CommStage::kAggregation, 1, 2), 60);
+  EXPECT_EQ(delta.TotalBytes(), 100);
+}
+
+TEST(CommMatrixTest, TableAndJsonRenderings) {
+  CommMatrix comm;
+  comm.Record(CommStage::kRepartition, 0, 1, 4096);
+  comm.Record(CommStage::kAggregation, 1, 0, 1024);
+  const CommMatrixSnapshot snap = comm.Snapshot();
+  const std::string table = snap.ToTable();
+  EXPECT_NE(table.find("repartition"), std::string::npos);
+  EXPECT_NE(table.find("aggregation"), std::string::npos);
+  EXPECT_NE(table.find("skew"), std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"skew_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_link_bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+}
+
+// --- Imbalanced Grid partitioning → skewed links ---------------------------
+
+TEST(CommMatrixTest, GridPartitioningOnOneNodeProducesSkewedLinks) {
+  // A Grid partitioner whose tile covers the whole block grid homes every
+  // block on node 0, so all repartition traffic flows out of node 0 while
+  // most (src, dst) pairs stay silent — high skew by construction.
+  const ClusterConfig cluster = ClusterConfig::Local(3, 2);
+  GeneratorOptions g;
+  g.rows = 64;
+  g.cols = 48;
+  g.block_size = 8;
+  g.sparsity = 1.0;
+  g.seed = 31;
+  engine::DistributedMatrix a = engine::DistributedMatrix::FromGrid(
+      GenerateUniform(g), 3, engine::Partitioner::Grid(3, 100, 100));
+  g.rows = 48;
+  g.cols = 32;
+  g.seed = 32;
+  engine::DistributedMatrix b = engine::DistributedMatrix::FromGrid(
+      GenerateUniform(g), 3, engine::Partitioner::Grid(3, 100, 100));
+
+  CommMatrix comm;
+  engine::RealExecutor executor(cluster);
+  engine::RealOptions options;
+  options.comm = &comm;
+  // BMM has no aggregation step, so the matrix records repartition only.
+  auto result = executor.Run(a, b, mm::BmmMethod(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->report.outcome.ok());
+
+  const CommMatrixSnapshot snap = comm.Snapshot();
+  ASSERT_GT(snap.TotalBytes(), 0);
+  // Every byte originates on node 0 (the only block home).
+  for (int src = 1; src < snap.num_nodes; ++src) {
+    for (int dst = 0; dst < snap.num_nodes; ++dst) {
+      EXPECT_EQ(snap.Bytes(CommStage::kRepartition, src, dst), 0)
+          << "unexpected traffic " << src << " -> " << dst;
+    }
+  }
+  // At most 2 of the 6 possible links are active → max ≥ total/2 while the
+  // mean divides by all 6, so the skew ratio is at least 3 (allow margin).
+  EXPECT_GE(snap.SkewRatio(), 2.0);
+  EXPECT_LE(snap.ActiveLinks(), 2);
+}
+
+// --- SimExecutor comm accounting -------------------------------------------
+
+TEST(SimCommTest, CommMatrixTotalsMatchTheReport) {
+  const ClusterConfig cluster = ClusterConfig::Local(4, 2);
+  engine::SimExecutor sim(cluster);
+  const mm::MMProblem problem =
+      mm::MMProblem::DenseSquareBlocks(512, 512, 512, 64);
+
+  std::vector<std::unique_ptr<mm::Method>> methods;
+  methods.push_back(std::make_unique<mm::CpmmMethod>());
+  methods.push_back(std::make_unique<mm::BmmMethod>());
+  methods.push_back(std::make_unique<mm::RmmMethod>());
+  for (const auto& method : methods) {
+    CommMatrix comm;
+    obs::MetricsRegistry metrics;
+    engine::SimOptions options;
+    options.comm = &comm;
+    options.metrics = &metrics;
+    auto report = sim.Run(problem, *method, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    const CommMatrixSnapshot snap = comm.Snapshot();
+    // The per-link spread rounds per node per task; totals must still add
+    // back up to the report's shuffle bytes.
+    const double slack =
+        0.01 * report->total_shuffle_bytes() +
+        static_cast<double>(report->num_tasks + 1) * cluster.num_nodes;
+    EXPECT_NEAR(static_cast<double>(snap.TotalBytes()),
+                report->total_shuffle_bytes(), slack)
+        << method->name();
+    EXPECT_NEAR(static_cast<double>(snap.TotalBytes(CommStage::kRepartition)),
+                report->repartition_bytes, slack)
+        << method->name();
+    // Summary gauges were published into the registry.
+    const obs::MetricsSnapshot ms = metrics.Snapshot();
+    EXPECT_NE(ms.Find("distme.comm.max_link_bytes"), nullptr);
+    EXPECT_NE(ms.Find("distme.comm.skew_permille"), nullptr);
+  }
+}
+
+// --- HistogramDelta --------------------------------------------------------
+
+TEST(HistogramDeltaTest, DeltaCountsAndPercentilesAreBucketAccurate) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("distme.test.delta");
+  h->Observe(1.0);
+  h->Observe(2.0);
+  const obs::MetricsSnapshot before = registry.Snapshot();
+  for (int i = 0; i < 100; ++i) h->Observe(4.0);
+  for (int i = 0; i < 5; ++i) h->Observe(64.0);
+  const obs::MetricsSnapshot after = registry.Snapshot();
+
+  const obs::MetricPoint* after_point = after.Find("distme.test.delta");
+  ASSERT_NE(after_point, nullptr);
+  const obs::HistogramDeltaStats delta =
+      obs::HistogramDelta(*after_point, before.Find("distme.test.delta"));
+  EXPECT_EQ(delta.count, 105);
+  EXPECT_DOUBLE_EQ(delta.sum, 100 * 4.0 + 5 * 64.0);
+  // 4.0 lands in the [4, 8) bucket; both p50 and p95 fall inside it.
+  EXPECT_GE(delta.p50, 4.0);
+  EXPECT_LE(delta.p50, 8.0);
+  EXPECT_GE(delta.p95, 4.0);
+  EXPECT_LE(delta.p95, 8.0);
+  // Extremes are bucket bounds tightened by the cumulative min/max.
+  EXPECT_DOUBLE_EQ(delta.min, 4.0);
+  EXPECT_DOUBLE_EQ(delta.max, 64.0);
+
+  // A null `before` means "since the histogram was created".
+  const obs::HistogramDeltaStats full =
+      obs::HistogramDelta(*after_point, nullptr);
+  EXPECT_EQ(full.count, 107);
+}
+
+// --- ExplainReport / Session::ExplainLastRun -------------------------------
+
+Result<core::Matrix> SessionMatrix(core::Session* session, int64_t rows,
+                                   int64_t cols, uint64_t seed) {
+  GeneratorOptions g;
+  g.rows = rows;
+  g.cols = cols;
+  g.block_size = 8;
+  g.sparsity = 1.0;
+  g.seed = seed;
+  return session->Generate(g);
+}
+
+TEST(ExplainTest, ExplainLastRunReportsPredictedVsMeasured) {
+  core::Session::Options options;
+  options.cluster = ClusterConfig::Local(3, 2);
+  core::Session session(options);
+  auto a = SessionMatrix(&session, 48, 40, 41);
+  auto b = SessionMatrix(&session, 40, 32, 42);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  auto c = session.Multiply(*a, *b);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+
+  auto explain = session.ExplainLastRun();
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  // The default planner is DistME's optimizer → a CuboidMM plan.
+  EXPECT_NE(explain->method_name.find("CuboidMM"), std::string::npos);
+  EXPECT_EQ(explain->outcome, "OK");
+  ASSERT_EQ(explain->stages.size(), 3u);
+  EXPECT_EQ(explain->stages[0].stage, "repartition");
+  EXPECT_EQ(explain->stages[1].stage, "multiply");
+  EXPECT_EQ(explain->stages[2].stage, "aggregation");
+  EXPECT_TRUE(explain->stages[0].has_prediction);
+  EXPECT_GT(explain->predicted_total_bytes(), 0.0);
+  EXPECT_GT(explain->measured_total_bytes(), 0.0);
+  EXPECT_GT(explain->tasks.count, 0);
+  EXPECT_GT(explain->tasks.p95_seconds, 0.0);
+  EXPECT_GE(explain->tasks.max_seconds, explain->tasks.p95_seconds);
+  EXPECT_FALSE(explain->comm.empty());
+  EXPECT_GT(explain->comm.TotalBytes(), 0);
+
+  const std::string table = explain->ToTable();
+  EXPECT_NE(table.find("repartition"), std::string::npos);
+  EXPECT_NE(table.find("straggler"), std::string::npos);
+
+  const std::string json = explain->ToJson();
+  for (const char* key :
+       {"\"predicted_total_bytes\"", "\"measured_total_bytes\"",
+        "\"p95_seconds\"", "\"straggler_ratio\"", "\"stages\"", "\"comm\"",
+        "\"skew_ratio\"", "\"measured_peak_task_memory_bytes\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ExplainTest, SecondRunIsExplainedByItsOwnDelta) {
+  core::Session::Options options;
+  options.cluster = ClusterConfig::Local(3, 2);
+  core::Session session(options);
+  auto a = SessionMatrix(&session, 48, 40, 51);
+  auto b = SessionMatrix(&session, 40, 32, 52);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  ASSERT_TRUE(session.Multiply(*a, *b).ok());
+  auto first = session.ExplainLastRun();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(session.Multiply(*a, *b).ok());
+  auto second = session.ExplainLastRun();
+  ASSERT_TRUE(second.ok());
+
+  // Per-run extraction: the second explain covers one run, not the
+  // session-cumulative instruments (identical input → similar volume).
+  EXPECT_EQ(second->tasks.count, first->tasks.count);
+  EXPECT_NEAR(second->comm.TotalBytes(),
+              static_cast<double>(first->comm.TotalBytes()),
+              0.5 * static_cast<double>(first->comm.TotalBytes()) + 1.0);
+}
+
+TEST(ExplainTest, CollectExplainOffMeansNoReport) {
+  core::Session::Options options;
+  options.cluster = ClusterConfig::Local(2, 2);
+  options.collect_explain = false;
+  core::Session session(options);
+  auto a = SessionMatrix(&session, 32, 24, 61);
+  auto b = SessionMatrix(&session, 24, 16, 62);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(session.Multiply(*a, *b).ok());
+  EXPECT_FALSE(session.ExplainLastRun().ok());
+}
+
+TEST(ExplainTest, BuildFromSimReport) {
+  // Explain also works over a simulated run (no registry bracketing at all).
+  const ClusterConfig cluster = ClusterConfig::Local(4, 2);
+  engine::SimExecutor sim(cluster);
+  const mm::MMProblem problem =
+      mm::MMProblem::DenseSquareBlocks(512, 512, 512, 64);
+  const mm::CpmmMethod method;
+  auto report = sim.Run(problem, method, {});
+  ASSERT_TRUE(report.ok());
+
+  auto explain =
+      engine::BuildExplainReport(*report, method, problem, cluster);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_EQ(explain->method_name, "CPMM");
+  EXPECT_GT(explain->predicted_total_bytes(), 0.0);
+  EXPECT_GT(explain->measured_total_bytes(), 0.0);
+  // Without snapshots the task count falls back to the report's.
+  EXPECT_EQ(explain->tasks.count, report->num_tasks);
+  EXPECT_TRUE(explain->comm.empty());
+}
+
+}  // namespace
+}  // namespace distme
