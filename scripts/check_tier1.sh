@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the observability-layer gates:
+# Tier-1 verification plus the correctness gates:
 #   1. the ROADMAP.md tier-1 line: configure, build, ctest
-#   2. a strict -Wall -Wextra -Werror build of the obs library
+#   2. a strict whole-tree -Werror build (error discipline: every dropped
+#      Status/Result fails here, via the class-level [[nodiscard]])
 #   3. an end-to-end trace: run a bench with --trace-out= and lint the JSON
-#   4. with --bench: the perf-regression baseline check (deterministic
+#   4. with --lint: distme-lint over src/ tests/ bench/ plus the linter's own
+#      fixture suite (see scripts/distme_lint.py)
+#   5. with --bench: the perf-regression baseline check (deterministic
 #      bench outputs vs BENCH_BASELINE.json, >15% drift fails)
 #
-# Usage: scripts/check_tier1.sh [--bench]   (from the repo root)
+# Usage: scripts/check_tier1.sh [--bench] [--lint]   (from the repo root)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench_check=0
+run_lint=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench_check=1 ;;
+    --lint) run_lint=1 ;;
     *) echo "check_tier1: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -25,10 +30,9 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 echo
-echo "== obs library under -Wall -Wextra -Werror =="
-cmake -B build-strict-obs -S . \
-  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
-cmake --build build-strict-obs -j "$(nproc)" --target distme_obs
+echo "== whole tree under -Wall -Wextra -Werror =="
+cmake -B build-strict -S . -DDISTME_WERROR=ON >/dev/null
+cmake --build build-strict -j "$(nproc)"
 
 echo
 echo "== emitted trace passes trace_lint =="
@@ -36,6 +40,15 @@ trace_out="$(mktemp /tmp/distme_trace.XXXXXX.json)"
 trap 'rm -f "$trace_out"' EXIT
 ./build/bench/bench_validation_real --trace-out="$trace_out" >/dev/null
 python3 scripts/trace_lint.py "$trace_out"
+
+if [[ "$run_lint" -eq 1 ]]; then
+  echo
+  echo "== distme-lint: repo invariants =="
+  python3 scripts/distme_lint.py src/ tests/ bench/
+  echo
+  echo "== distme-lint fixture suite =="
+  python3 scripts/distme_lint_test.py
+fi
 
 if [[ "$run_bench_check" -eq 1 ]]; then
   echo

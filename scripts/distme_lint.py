@@ -1,0 +1,339 @@
+#!/usr/bin/env python3
+"""distme-lint: fast, AST-free checker for DistME repo invariants.
+
+Usage: distme_lint.py [--list-rules] <path> [<path> ...]
+
+Paths may be files or directories (directories are walked for .h/.cc files).
+Prints one `path:line: [rule] message` per finding and exits nonzero if any
+finding is produced. Rules (see DESIGN.md "Correctness tooling"):
+
+  pragma-once        every header starts its code with `#pragma once`
+  concurrency        raw std::mutex/std::thread/... only inside the engine,
+                     obs, and gpu wrappers (CONCURRENCY_ALLOW below); library
+                     code must go through those layers
+  naked-new          no naked `new` / C allocation in src/ — wrap in
+                     make_unique/make_shared or a smart-pointer constructor
+  no-cout            no std::cout in library code (src/, tests/) — use
+                     DISTME_LOG; bench/ and examples/ are exempt
+  include-order      self-include first in a .cc, then <system> includes,
+                     then "project" includes; a header never includes itself
+  nodiscard-status   every Status/Result-returning declaration in a src/
+                     header carries [[nodiscard]]
+
+Suppressing a finding: append `// distme-lint: allow(<rule>)` to the line, or
+add the file to the rule's allowlist below with a one-line justification.
+Suppressions are themselves part of the reviewed diff, so every escape hatch
+is visible in code review.
+"""
+
+import os
+import re
+import sys
+
+# --- allowlists ------------------------------------------------------------
+
+# Files allowed to use raw concurrency primitives. Everything else must use
+# the engine/obs wrappers (task slots, registries, tracers) so that the TSan
+# stress suite exercises every lock in the system.
+CONCURRENCY_ALLOW = (
+    "src/engine/",            # RealExecutor task slots, DistributedMatrix stores
+    "src/obs/",               # MetricsRegistry, Tracer (lock-free + registration lock)
+    "src/gpu/",               # software-GPU stream/event simulation
+    "src/common/logging.cc",  # the per-line stderr write lock
+    "tests/",                 # tests may spawn threads freely
+    "bench/",                 # benches may spawn threads freely
+)
+
+# Files allowed to use naked new/delete. Keep this list short and justified.
+NAKED_NEW_ALLOW = (
+    "src/common/status.h",   # manual State block: Status must stay one pointer wide
+    "src/common/status.cc",  # same State block, allocation on the error path only
+)
+
+CONCURRENCY_TOKENS = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|thread|jthread|"
+    r"condition_variable|condition_variable_any)\b"
+)
+CONCURRENCY_INCLUDES = re.compile(
+    r'#\s*include\s*<(thread|mutex|shared_mutex|condition_variable)>'
+)
+NAKED_NEW = re.compile(r"\bnew\b\s*[\(A-Za-z_:<]")
+WRAPPED_NEW = re.compile(
+    r"(make_unique|make_shared|unique_ptr\s*<[^;]*?>\s*\(\s*new|"
+    r"shared_ptr\s*<[^;]*?>\s*\(\s*new)"
+)
+C_ALLOC = re.compile(r"\b(malloc|calloc|realloc|free)\s*\(")
+COUT = re.compile(r"std::cout\b")
+INCLUDE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
+# A declaration returning Status/Result: the type, whitespace, a function
+# name, and an open paren. Deliberately does not match constructors
+# (`Status(...)`), reference returns (`Status& operator=`), or fields.
+NODISCARD_DECL = re.compile(
+    r"^\s*(\[\[nodiscard\]\]\s+)?(virtual\s+)?(static\s+)?"
+    r"(Status|Result<[^();]*>)\s+~?[A-Za-z_]\w*\s*\("
+)
+SUPPRESS = re.compile(r"//\s*distme-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+
+def strip_code(line):
+    """Removes string/char literals and // comments (crudely, no AST)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append('""' if quote == '"' else "''")
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class File:
+    """One source file, pre-processed for the rules: raw lines, code-only
+    lines (comments and literals blanked), and per-line suppressions."""
+
+    def __init__(self, path):
+        self.path = path
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.raw = f.read().splitlines()
+        self.suppressed = {}  # line number (1-based) -> set of rule names
+        for idx, line in enumerate(self.raw, start=1):
+            m = SUPPRESS.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",")}
+                self.suppressed[idx] = rules
+        self.code = self._strip_all()
+
+    def _strip_all(self):
+        code = []
+        in_block = False
+        for line in self.raw:
+            if in_block:
+                end = line.find("*/")
+                if end < 0:
+                    code.append("")
+                    continue
+                line = " " * (end + 2) + line[end + 2:]
+                in_block = False
+            line = strip_code(line)
+            # Strip /* ... */ spans that open on this line.
+            while True:
+                start = line.find("/*")
+                if start < 0:
+                    break
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    line = line[:start]
+                    in_block = True
+                    break
+                line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+            code.append(line)
+        return code
+
+    def allows(self, lineno, rule):
+        return rule in self.suppressed.get(lineno, set())
+
+
+def norm(path):
+    return os.path.relpath(path).replace(os.sep, "/")
+
+
+def in_any(path, prefixes):
+    return any(path.startswith(p) or ("/" + p) in path for p in prefixes)
+
+
+# --- rules -----------------------------------------------------------------
+
+def rule_pragma_once(f, rel, report):
+    if not rel.endswith(".h"):
+        return
+    for lineno, line in enumerate(f.code, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        if re.match(r"#\s*pragma\s+once", text):
+            return
+        report(lineno, "pragma-once",
+               "header must start with `#pragma once` before any code")
+        return
+    report(1, "pragma-once", "header is empty or has no `#pragma once`")
+
+
+def rule_concurrency(f, rel, report):
+    if in_any(rel, CONCURRENCY_ALLOW):
+        return
+    for lineno, line in enumerate(f.code, start=1):
+        m = CONCURRENCY_TOKENS.search(line) or CONCURRENCY_INCLUDES.search(line)
+        if m and not f.allows(lineno, "concurrency"):
+            report(lineno, "concurrency",
+                   f"raw `{m.group(0)}` outside the concurrency allowlist "
+                   "(use the engine/obs wrappers, or extend "
+                   "CONCURRENCY_ALLOW with a justification)")
+
+
+def rule_naked_new(f, rel, report):
+    if not in_any(rel, ("src/",)):
+        return
+    if in_any(rel, NAKED_NEW_ALLOW):
+        return
+    for lineno, line in enumerate(f.code, start=1):
+        if f.allows(lineno, "naked-new"):
+            continue
+        m = C_ALLOC.search(line)
+        if m:
+            report(lineno, "naked-new",
+                   f"C allocation `{m.group(1)}()` in library code "
+                   "(use containers or smart pointers)")
+            continue
+        if NAKED_NEW.search(line) and not WRAPPED_NEW.search(line):
+            report(lineno, "naked-new",
+                   "naked `new` in library code (use std::make_unique / "
+                   "std::make_shared, or wrap in a smart-pointer constructor "
+                   "on the same line)")
+
+
+def rule_no_cout(f, rel, report):
+    if in_any(rel, ("bench/", "examples/")):
+        return
+    for lineno, line in enumerate(f.code, start=1):
+        if COUT.search(line) and not f.allows(lineno, "no-cout"):
+            report(lineno, "no-cout",
+                   "std::cout in library code (use DISTME_LOG, or return the "
+                   "string to the caller)")
+
+
+def rule_include_order(f, rel, report):
+    # Parse from the raw lines (the literal-stripper blanks "..." targets),
+    # but only where the stripped line still starts a preprocessor directive
+    # — this skips includes that live inside comments.
+    includes = []  # (lineno, kind, target) where kind is '<' or '"'
+    for lineno, line in enumerate(f.raw, start=1):
+        m = INCLUDE.match(line)
+        if m and f.code[lineno - 1].lstrip().startswith("#"):
+            includes.append((lineno, m.group(1), m.group(2)))
+    if not includes:
+        return
+
+    stem = os.path.splitext(os.path.basename(rel))[0]
+    if rel.endswith(".h"):
+        for lineno, kind, target in includes:
+            if kind == '"' and os.path.splitext(os.path.basename(target))[0] == stem \
+                    and not f.allows(lineno, "include-order"):
+                report(lineno, "include-order", f'header includes itself ("{target}")')
+        return
+
+    # .cc: the self-include (same stem) must be the very first include.
+    self_pos = None
+    for pos, (lineno, kind, target) in enumerate(includes):
+        if kind == '"' and os.path.splitext(os.path.basename(target))[0] == stem:
+            self_pos = pos
+            break
+    if self_pos is not None and self_pos != 0:
+        lineno = includes[self_pos][0]
+        if not f.allows(lineno, "include-order"):
+            report(lineno, "include-order",
+                   f'self-include "{includes[self_pos][2]}" must be the first '
+                   "include of the .cc")
+
+    # After the optional self-include: <system> block before "project" block.
+    rest = includes[1:] if self_pos == 0 else includes
+    seen_quote = False
+    for lineno, kind, target in rest:
+        if kind == '"':
+            seen_quote = True
+        elif seen_quote and not f.allows(lineno, "include-order"):
+            report(lineno, "include-order",
+                   f"<{target}> after a project include — order is: "
+                   'self-include, <system> block, "project" block')
+
+
+def rule_nodiscard_status(f, rel, report):
+    if not (rel.startswith("src/") and rel.endswith(".h")):
+        return
+    for lineno, line in enumerate(f.code, start=1):
+        m = NODISCARD_DECL.match(line)
+        if not m or "(" not in line:
+            continue
+        if m.group(1) is None and not f.allows(lineno, "nodiscard-status"):
+            report(lineno, "nodiscard-status",
+                   "Status/Result-returning declaration without [[nodiscard]]")
+
+
+RULES = [
+    rule_pragma_once,
+    rule_concurrency,
+    rule_naked_new,
+    rule_no_cout,
+    rule_include_order,
+    rule_nodiscard_status,
+]
+
+RULE_NAMES = [
+    "pragma-once", "concurrency", "naked-new", "no-cout", "include-order",
+    "nodiscard-status",
+]
+
+
+def collect(paths):
+    exts = (".h", ".hpp", ".cc", ".cpp")
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if not d.startswith((".", "build")))
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(exts))
+        elif path.endswith(exts):
+            files.append(path)
+    return files
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--list-rules"]
+    if len(args) != len(argv) - 1:
+        print("\n".join(RULE_NAMES))
+        return 0
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    findings = 0
+    for path in collect(args):
+        rel = norm(path)
+        try:
+            f = File(path)
+        except OSError as e:
+            print(f"{rel}:0: [io] unreadable: {e}", file=sys.stderr)
+            findings += 1
+            continue
+
+        def report(lineno, rule, message):
+            nonlocal findings
+            findings += 1
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+
+        for rule in RULES:
+            rule(f, rel, report)
+
+    if findings:
+        print(f"distme-lint: {findings} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Fixture tests for distme_lint.py: every rule gets at least one violating
+snippet (lint must exit nonzero and name the rule) and one clean counterpart
+(lint must exit 0). Run directly or via check_tier1.sh --lint:
+
+    python3 scripts/distme_lint_test.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+LINT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "distme_lint.py")
+
+
+class LintFixtureTest(unittest.TestCase):
+    def run_lint(self, files):
+        """Writes {relpath: content} into a temp tree, lints it from its
+        root, and returns (exit_code, stdout)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for rel, content in files.items():
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(content)
+                paths.append(rel)
+            proc = subprocess.run(
+                [sys.executable, LINT] + sorted(paths),
+                cwd=tmp, capture_output=True, text=True)
+            return proc.returncode, proc.stdout
+
+    def assert_flags(self, rule, files):
+        code, out = self.run_lint(files)
+        self.assertNotEqual(code, 0, f"{rule}: expected a finding\n{out}")
+        self.assertIn(f"[{rule}]", out, f"{rule}: wrong rule fired\n{out}")
+
+    def assert_clean(self, files):
+        code, out = self.run_lint(files)
+        self.assertEqual(code, 0, f"expected clean\n{out}")
+
+    # --- pragma-once ------------------------------------------------------
+
+    def test_header_without_pragma_once(self):
+        self.assert_flags("pragma-once", {
+            "src/core/foo.h": "namespace x {}\n"})
+
+    def test_header_with_pragma_once_after_comment_is_clean(self):
+        self.assert_clean({
+            "src/core/foo.h": "// A header.\n#pragma once\nnamespace x {}\n"})
+
+    # --- concurrency ------------------------------------------------------
+
+    def test_mutex_outside_allowlist(self):
+        self.assert_flags("concurrency", {
+            "src/matrix/foo.cc": "#include <mutex>\nstd::mutex m;\n"})
+
+    def test_thread_include_outside_allowlist(self):
+        self.assert_flags("concurrency", {
+            "src/core/foo.cc": "#include <thread>\n"})
+
+    def test_mutex_in_engine_is_allowed(self):
+        self.assert_clean({
+            "src/engine/foo.cc": "#include <mutex>\nstd::mutex m;\n"})
+
+    def test_mutex_in_tests_is_allowed(self):
+        self.assert_clean({
+            "tests/foo_test.cc": "#include <thread>\nstd::thread t;\n"})
+
+    def test_inline_suppression(self):
+        self.assert_clean({
+            "src/matrix/foo.cc":
+                "std::mutex m;  // distme-lint: allow(concurrency)\n"})
+
+    # --- naked-new --------------------------------------------------------
+
+    def test_naked_new(self):
+        self.assert_flags("naked-new", {
+            "src/core/foo.cc": "int* p = new int[3];\n"})
+
+    def test_malloc(self):
+        self.assert_flags("naked-new", {
+            "src/core/foo.cc": "void* p = malloc(16);\n"})
+
+    def test_wrapped_new_is_clean(self):
+        self.assert_clean({
+            "src/core/foo.cc":
+                "auto a = std::make_unique<int[]>(3);\n"
+                "auto b = std::shared_ptr<Foo>(new Foo());\n"
+                "auto c = std::unique_ptr<Foo>(new Foo());\n"})
+
+    def test_new_in_comment_is_clean(self):
+        self.assert_clean({
+            "src/core/foo.cc":
+                "// Returns the transpose as a new matrix.\n"
+                "/* also: new Foo() in a block comment */\n"})
+
+    def test_new_outside_src_is_clean(self):
+        self.assert_clean({
+            "tests/foo_test.cc": "int* p = new int[3];\n"})
+
+    # --- no-cout ----------------------------------------------------------
+
+    def test_cout_in_src(self):
+        self.assert_flags("no-cout", {
+            "src/core/foo.cc": '#include <iostream>\nvoid f() { std::cout << 1; }\n'})
+
+    def test_cout_in_tests(self):
+        self.assert_flags("no-cout", {
+            "tests/foo_test.cc": "void f() { std::cout << 1; }\n"})
+
+    def test_cout_in_bench_is_clean(self):
+        self.assert_clean({
+            "bench/foo.cc": "void f() { std::cout << 1; }\n"})
+
+    def test_cout_in_string_literal_is_clean(self):
+        self.assert_clean({
+            "src/core/foo.cc": 'const char* kDoc = "use std::cout";\n'})
+
+    # --- include-order ----------------------------------------------------
+
+    def test_system_include_after_project_include(self):
+        self.assert_flags("include-order", {
+            "src/core/foo.cc":
+                '#include "core/foo.h"\n'
+                '#include "core/bar.h"\n'
+                "#include <vector>\n"})
+
+    def test_self_include_not_first(self):
+        self.assert_flags("include-order", {
+            "src/core/foo.cc":
+                "#include <vector>\n"
+                '#include "core/foo.h"\n'})
+
+    def test_canonical_order_is_clean(self):
+        self.assert_clean({
+            "src/core/foo.cc":
+                '#include "core/foo.h"\n'
+                "#include <string>\n"
+                "#include <vector>\n"
+                '#include "core/bar.h"\n'})
+
+    def test_header_including_itself(self):
+        self.assert_flags("include-order", {
+            "src/core/foo.h": '#pragma once\n#include "core/foo.h"\n'})
+
+    # --- nodiscard-status -------------------------------------------------
+
+    def test_status_api_without_nodiscard(self):
+        self.assert_flags("nodiscard-status", {
+            "src/core/foo.h": "#pragma once\nStatus Save(int x);\n"})
+
+    def test_result_api_without_nodiscard(self):
+        self.assert_flags("nodiscard-status", {
+            "src/core/foo.h":
+                "#pragma once\nResult<Block> Load(const std::string& p);\n"})
+
+    def test_annotated_api_is_clean(self):
+        self.assert_clean({
+            "src/core/foo.h":
+                "#pragma once\n"
+                "[[nodiscard]] Status Save(int x);\n"
+                "[[nodiscard]] virtual Result<int> Choose() = 0;\n"
+                "[[nodiscard]] static Status OK();\n"})
+
+    def test_constructor_field_and_reference_are_clean(self):
+        self.assert_clean({
+            "src/core/foo.h":
+                "#pragma once\n"
+                "struct R {\n"
+                "  Status(StatusCode code, std::string msg);\n"
+                "  Status& operator=(const Status& other);\n"
+                "  Status outcome;\n"
+                "};\n"})
+
+    def test_cc_files_are_exempt(self):
+        # Definitions inherit the attribute from the header declaration.
+        self.assert_clean({
+            "src/core/foo.cc": "Status Save(int x) { return Status::OK(); }\n"})
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -14,10 +14,10 @@ namespace distme::blas {
 ///
 /// `acc` must be A.rows() × B.cols(). Mirrors the paper's use of
 /// cublasDgemm for dense and cusparseDcsrmm for sparse blocks.
-Status MultiplyAccumulate(const Block& a, const Block& b, DenseMatrix* acc);
+[[nodiscard]] Status MultiplyAccumulate(const Block& a, const Block& b, DenseMatrix* acc);
 
 /// \brief Returns A_block * B_block as a dense block.
-Result<Block> MultiplyBlocks(const Block& a, const Block& b);
+[[nodiscard]] Result<Block> MultiplyBlocks(const Block& a, const Block& b);
 
 /// \brief Element-wise binary op codes supported by the engine.
 enum class ElementWiseOp { kAdd, kSub, kMul, kDiv };
@@ -26,11 +26,11 @@ enum class ElementWiseOp { kAdd, kSub, kMul, kDiv };
 ///
 /// Division guards against zero denominators with +epsilon, matching the
 /// standard GNMF update implementations.
-Result<Block> ElementWise(ElementWiseOp op, const Block& a, const Block& b,
+[[nodiscard]] Result<Block> ElementWise(ElementWiseOp op, const Block& a, const Block& b,
                           double epsilon = 0.0);
 
 /// \brief Adds two blocks (the aggregation-step reducer).
-Result<Block> AddBlocks(const Block& a, const Block& b);
+[[nodiscard]] Result<Block> AddBlocks(const Block& a, const Block& b);
 
 /// \brief Block transpose.
 Block TransposeBlock(const Block& block);

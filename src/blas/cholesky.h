@@ -13,19 +13,19 @@ namespace distme::blas {
 /// \brief Factors a symmetric positive-definite matrix A = L·Lᵀ.
 /// Returns the lower-triangular L; fails with Invalid if A is not SPD
 /// (within numerical tolerance) or not square.
-Result<DenseMatrix> Cholesky(const DenseMatrix& a);
+[[nodiscard]] Result<DenseMatrix> Cholesky(const DenseMatrix& a);
 
 /// \brief Solves L·y = b for lower-triangular L (forward substitution).
 /// b may have multiple columns.
-Result<DenseMatrix> SolveLowerTriangular(const DenseMatrix& l,
+[[nodiscard]] Result<DenseMatrix> SolveLowerTriangular(const DenseMatrix& l,
                                          const DenseMatrix& b);
 
 /// \brief Solves Lᵀ·x = y for lower-triangular L (back substitution).
-Result<DenseMatrix> SolveUpperTriangularFromLower(const DenseMatrix& l,
+[[nodiscard]] Result<DenseMatrix> SolveUpperTriangularFromLower(const DenseMatrix& l,
                                                   const DenseMatrix& y);
 
 /// \brief Solves the SPD system A·x = b via Cholesky (A = L·Lᵀ, then the
 /// two triangular solves).
-Result<DenseMatrix> CholeskySolve(const DenseMatrix& a, const DenseMatrix& b);
+[[nodiscard]] Result<DenseMatrix> CholeskySolve(const DenseMatrix& a, const DenseMatrix& b);
 
 }  // namespace distme::blas

@@ -12,7 +12,7 @@ namespace distme::blas {
 ///
 /// Requires equal block sizes and A.cols == B.rows. Output blocks that end
 /// up all-zero are omitted from the grid.
-Result<BlockGrid> LocalMultiply(const BlockGrid& a, const BlockGrid& b);
+[[nodiscard]] Result<BlockGrid> LocalMultiply(const BlockGrid& a, const BlockGrid& b);
 
 /// \brief Blocked transpose.
 BlockGrid LocalTranspose(const BlockGrid& m);

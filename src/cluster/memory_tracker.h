@@ -38,7 +38,7 @@ class MemoryTracker {
   }
 
   /// \brief Reserves `bytes`; fails with OutOfMemory if over budget.
-  Status Allocate(int64_t bytes) {
+  [[nodiscard]] Status Allocate(int64_t bytes) {
     if (used_ + bytes > budget_) {
       if (oom_counter_ != nullptr) oom_counter_->Add(1);
       return Status::OutOfMemory(label_ + ": requested " +

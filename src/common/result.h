@@ -2,7 +2,6 @@
 
 #pragma once
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
@@ -14,49 +13,66 @@ namespace distme {
 ///
 /// Mirrors arrow::Result. A default-constructed Result is an Internal error;
 /// construct from a T or from a non-OK Status.
+///
+/// The class is `[[nodiscard]]`: dropping a returned Result fails the strict
+/// (-Werror) build. value()/ValueOrDie() on an error Result abort with the
+/// status message in every build type (no NDEBUG-dependent UB).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result() : status_(Status::Internal("uninitialized Result")) {}
 
   /// \brief Implicit construction from a value.
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
 
-  /// \brief Implicit construction from an error status.
+  /// \brief Implicit construction from an error status. Constructing from an
+  /// OK status (a programming error: there is no value to hold) degrades to
+  /// an Internal error rather than leaving an ok()-but-empty Result.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without a value");
+    }
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  /// \brief Access the value; undefined if !ok().
-  const T& ValueOrDie() const& {
-    assert(ok());
+  /// \brief Access the value; aborts with the status message if !ok().
+  [[nodiscard]] const T& value() const& {
+    CheckHasValue();
     return *value_;
   }
-  T& ValueOrDie() & {
-    assert(ok());
+  [[nodiscard]] T& value() & {
+    CheckHasValue();
     return *value_;
   }
-  T ValueOrDie() && {
-    assert(ok());
+  [[nodiscard]] T value() && {
+    CheckHasValue();
     return std::move(*value_);
   }
 
-  const T& operator*() const& { return ValueOrDie(); }
-  T& operator*() & { return ValueOrDie(); }
-  const T* operator->() const { return &ValueOrDie(); }
-  T* operator->() { return &ValueOrDie(); }
+  /// \brief Legacy spelling of value(); same checked behavior.
+  [[nodiscard]] const T& ValueOrDie() const& { return value(); }
+  [[nodiscard]] T& ValueOrDie() & { return value(); }
+  [[nodiscard]] T ValueOrDie() && { return std::move(*this).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
 
   /// \brief Moves the value into `out` or returns the error.
-  Status Value(T* out) && {
+  [[nodiscard]] Status Value(T* out) && {
     if (!ok()) return status_;
     *out = std::move(*value_);
     return Status::OK();
   }
 
  private:
+  void CheckHasValue() const {
+    if (!ok()) internal::DieOnBadResultAccess(status_);
+  }
+
   Status status_;
   std::optional<T> value_;
 };

@@ -59,5 +59,11 @@ void DieOnBadStatus(const Status& st, const char* file, int line) {
   std::abort();
 }
 
+void DieOnBadResultAccess(const Status& st) {
+  std::fprintf(stderr, "Result::value() called on an error Result: %s\n",
+               st.ToString().c_str());
+  std::abort();
+}
+
 }  // namespace internal
 }  // namespace distme

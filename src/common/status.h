@@ -36,7 +36,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// `Status::OK()` is cheap (no allocation). Error statuses allocate a small
 /// state block. Copyable and movable.
-class Status {
+///
+/// The class is `[[nodiscard]]`: a call site that drops a returned Status
+/// fails the strict (-Werror) build. Intentional discards must say so with
+/// DISTME_IGNORE_ERROR(expr).
+class [[nodiscard]] Status {
  public:
   Status() noexcept : state_(nullptr) {}
   ~Status() { delete state_; }
@@ -59,46 +63,58 @@ class Status {
   }
 
   /// \brief A successful status.
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
 
-  static Status Invalid(std::string msg) {
+  [[nodiscard]] static Status Invalid(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfMemory(std::string msg) {
+  [[nodiscard]] static Status OutOfMemory(std::string msg) {
     return Status(StatusCode::kOutOfMemory, std::move(msg));
   }
-  static Status Timeout(std::string msg) {
+  [[nodiscard]] static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
-  static Status ExceedsDiskCapacity(std::string msg) {
+  [[nodiscard]] static Status ExceedsDiskCapacity(std::string msg) {
     return Status(StatusCode::kExceedsDiskCapacity, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status KeyError(std::string msg) {
+  [[nodiscard]] static Status KeyError(std::string msg) {
     return Status(StatusCode::kKeyError, std::move(msg));
   }
 
-  bool ok() const { return state_ == nullptr; }
-  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
-  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
-  bool IsExceedsDiskCapacity() const {
+  [[nodiscard]] bool ok() const { return state_ == nullptr; }
+  [[nodiscard]] bool IsOutOfMemory() const {
+    return code() == StatusCode::kOutOfMemory;
+  }
+  [[nodiscard]] bool IsTimeout() const {
+    return code() == StatusCode::kTimeout;
+  }
+  [[nodiscard]] bool IsExceedsDiskCapacity() const {
     return code() == StatusCode::kExceedsDiskCapacity;
   }
-  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  [[nodiscard]] bool IsInvalid() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
 
-  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
-  const std::string& message() const;
+  [[nodiscard]] StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  [[nodiscard]] const std::string& message() const;
 
   /// \brief "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
+
+  /// \brief Marks a deliberate discard (pairs with the class-level
+  /// [[nodiscard]]): logs nothing, simply consumes the value.
+  void IgnoreError() const {}
 
  private:
   struct State {
@@ -128,6 +144,13 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
     }                                                               \
   } while (0)
 
+/// \brief Documents an intentional discard of a Status/Result expression;
+/// the only sanctioned way to silence the [[nodiscard]] diagnostic.
+#define DISTME_IGNORE_ERROR(expr) static_cast<void>(expr)
+
 namespace distme::internal {
 [[noreturn]] void DieOnBadStatus(const Status& st, const char* file, int line);
+
+/// \brief Aborts with the status message; backs Result<T>::value() on error.
+[[noreturn]] void DieOnBadResultAccess(const Status& st);
 }  // namespace distme::internal

@@ -79,7 +79,7 @@ struct EvalStats {
 /// Shared subexpressions (by node identity) are computed once — e.g. in the
 /// GNMF update, Wᵀ feeds both WᵀV and WᵀW but is transposed a single time,
 /// the dependency exploitation DMac/MatFast perform (Section 7).
-Result<Matrix> Evaluate(Session* session, const Expr::Ptr& expr,
+[[nodiscard]] Result<Matrix> Evaluate(Session* session, const Expr::Ptr& expr,
                         EvalStats* stats = nullptr);
 
 /// \brief Rewrites maximal multiplication chains in `expr` into the

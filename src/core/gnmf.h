@@ -34,7 +34,7 @@ struct GnmfResult {
 
 /// \brief Runs GNMF on an actual distributed matrix through `session`.
 /// Multiplication reports accumulate in session->history().
-Result<GnmfResult> RunGnmf(Session* session, const Matrix& v,
+[[nodiscard]] Result<GnmfResult> RunGnmf(Session* session, const Matrix& v,
                            const GnmfOptions& options);
 
 /// \brief GNMF built as expression DAGs (core/expr.h): within one iteration
@@ -47,7 +47,7 @@ struct GnmfEvalStats {
   int64_t nodes_reused = 0;
   int64_t multiplications = 0;
 };
-Result<GnmfResult> RunGnmfExpr(Session* session, const Matrix& v,
+[[nodiscard]] Result<GnmfResult> RunGnmfExpr(Session* session, const Matrix& v,
                                const GnmfOptions& options,
                                GnmfEvalStats* stats = nullptr);
 
@@ -79,7 +79,7 @@ struct GnmfSimReport {
 
 /// \brief Simulates `iterations` GNMF iterations with `planner` choosing the
 /// method for each of the six multiplications per iteration.
-Result<GnmfSimReport> SimulateGnmf(const Planner& planner,
+[[nodiscard]] Result<GnmfSimReport> SimulateGnmf(const Planner& planner,
                                    const GnmfSimOptions& options);
 
 }  // namespace distme::core

@@ -21,7 +21,7 @@ class Planner {
   virtual std::string name() const = 0;
 
   /// \brief Returns the method to execute `problem` with on `cluster`.
-  virtual Result<std::unique_ptr<mm::Method>> Choose(
+  [[nodiscard]] virtual Result<std::unique_ptr<mm::Method>> Choose(
       const mm::MMProblem& problem, const ClusterConfig& cluster) const = 0;
 };
 
@@ -33,7 +33,7 @@ class DistmePlanner : public Planner {
       : options_(options) {}
 
   std::string name() const override { return "DistME"; }
-  Result<std::unique_ptr<mm::Method>> Choose(
+  [[nodiscard]] Result<std::unique_ptr<mm::Method>> Choose(
       const mm::MMProblem& problem,
       const ClusterConfig& cluster) const override;
 
@@ -47,7 +47,7 @@ class FixedMethodPlanner : public Planner {
   explicit FixedMethodPlanner(mm::MethodKind kind) : kind_(kind) {}
 
   std::string name() const override { return mm::MethodKindName(kind_); }
-  Result<std::unique_ptr<mm::Method>> Choose(
+  [[nodiscard]] Result<std::unique_ptr<mm::Method>> Choose(
       const mm::MMProblem& problem,
       const ClusterConfig& cluster) const override;
 
@@ -58,7 +58,7 @@ class FixedMethodPlanner : public Planner {
 /// \brief Instantiates a method of `kind` with its paper-default parameters
 /// (BMM: T = I; CPMM: T = K; RMM: T = I·J; CuboidMM: optimized; SUMMA:
 /// square grid; CRMM: auto merge factor).
-Result<std::unique_ptr<mm::Method>> MakeMethod(mm::MethodKind kind,
+[[nodiscard]] Result<std::unique_ptr<mm::Method>> MakeMethod(mm::MethodKind kind,
                                                const mm::MMProblem& problem,
                                                const ClusterConfig& cluster);
 

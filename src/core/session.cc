@@ -1,10 +1,9 @@
 #include "core/session.h"
 
-#include "blas/local_mm.h"
-
 #include <atomic>
 #include <cmath>
 
+#include "blas/local_mm.h"
 #include "matrix/store.h"
 #include "obs/export.h"
 

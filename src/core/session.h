@@ -72,47 +72,47 @@ class Session {
   const ClusterConfig& cluster() const { return options_.cluster; }
 
   /// \brief Distributes a local blocked matrix.
-  Result<Matrix> FromGrid(const BlockGrid& grid);
+  [[nodiscard]] Result<Matrix> FromGrid(const BlockGrid& grid);
 
   /// \brief Generates a synthetic matrix directly in distributed form.
-  Result<Matrix> Generate(const GeneratorOptions& generator);
+  [[nodiscard]] Result<Matrix> Generate(const GeneratorOptions& generator);
 
   /// \brief C = A × B using the session planner. The execution report is
   /// appended to history().
-  Result<Matrix> Multiply(const Matrix& a, const Matrix& b);
+  [[nodiscard]] Result<Matrix> Multiply(const Matrix& a, const Matrix& b);
 
   /// \brief C = A × B with an explicit method.
-  Result<Matrix> MultiplyWith(const Matrix& a, const Matrix& b,
+  [[nodiscard]] Result<Matrix> MultiplyWith(const Matrix& a, const Matrix& b,
                               const mm::Method& method);
 
   /// \brief Aᵀ (distributed transpose: block transpose + index swap).
-  Result<Matrix> Transpose(const Matrix& a);
+  [[nodiscard]] Result<Matrix> Transpose(const Matrix& a);
 
   /// \brief Element-wise combine; shapes must match.
-  Result<Matrix> ElementWise(blas::ElementWiseOp op, const Matrix& a,
+  [[nodiscard]] Result<Matrix> ElementWise(blas::ElementWiseOp op, const Matrix& a,
                              const Matrix& b, double epsilon = 0.0);
 
   /// \brief Multiplies every element by a scalar.
-  Result<Matrix> Scale(const Matrix& a, double factor);
+  [[nodiscard]] Result<Matrix> Scale(const Matrix& a, double factor);
 
   /// \brief Row sums as a rows×1 column vector (same block size).
-  Result<Matrix> RowSums(const Matrix& a);
+  [[nodiscard]] Result<Matrix> RowSums(const Matrix& a);
 
   /// \brief Column sums as a 1×cols row vector.
-  Result<Matrix> ColSums(const Matrix& a);
+  [[nodiscard]] Result<Matrix> ColSums(const Matrix& a);
 
   /// \brief Sum of all elements.
-  Result<double> Sum(const Matrix& a);
+  [[nodiscard]] Result<double> Sum(const Matrix& a);
 
   /// \brief Frobenius norm, computed block-locally then reduced.
-  Result<double> FrobeniusNorm(const Matrix& a);
+  [[nodiscard]] Result<double> FrobeniusNorm(const Matrix& a);
 
   /// \brief Checkpoints a matrix to `path` in the binary store format.
-  Status Save(const Matrix& a, const std::string& path);
+  [[nodiscard]] Status Save(const Matrix& a, const std::string& path);
 
   /// \brief Loads a matrix checkpointed with Save (or any binary store
   /// file) and distributes it across the session's nodes.
-  Result<Matrix> Load(const std::string& path);
+  [[nodiscard]] Result<Matrix> Load(const std::string& path);
 
   /// \brief Reports of every multiplication run in this session.
   const std::vector<engine::MMReport>& history() const { return history_; }
@@ -130,7 +130,7 @@ class Session {
 
   /// \brief Drains the tracer and writes Chrome trace-event JSON to `path`
   /// (load in chrome://tracing or https://ui.perfetto.dev).
-  Status WriteTrace(const std::string& path);
+  [[nodiscard]] Status WriteTrace(const std::string& path);
 
   /// \brief Structured JSON run report of the most recent multiplication,
   /// including the full metrics snapshot. "{}" if nothing has run.
@@ -140,7 +140,7 @@ class Session {
   /// predicted Table-2 bytes vs measured, per-stage timings, straggler
   /// percentiles, and the run's comm matrix. Errors if nothing has run or
   /// Options::collect_explain is off.
-  Result<engine::ExplainReport> ExplainLastRun() const;
+  [[nodiscard]] Result<engine::ExplainReport> ExplainLastRun() const;
 
   /// \brief The session-owned communication matrix; every run's shuffle
   /// traffic accumulates here (per-run views come via ExplainLastRun()).

@@ -78,7 +78,7 @@ struct SimQueryOptions {
 
 /// \brief Simulates `expr` with `planner` choosing each multiplication's
 /// method. Shared subtrees (node identity) are charged once.
-Result<SimQueryReport> SimulateQuery(const Planner& planner,
+[[nodiscard]] Result<SimQueryReport> SimulateQuery(const Planner& planner,
                                      const SimExpr::Ptr& expr,
                                      const SimQueryOptions& options = {});
 

@@ -42,12 +42,12 @@ class DistributedMatrix {
   }
 
   /// \brief Inserts or replaces a block at its home node.
-  Status Put(BlockIndex idx, Block block);
+  [[nodiscard]] Status Put(BlockIndex idx, Block block);
 
   /// \brief Fetches the block at `idx` (implicit zero if absent).
   /// `requesting_node` is used by callers to account network movement;
   /// `crossed_network` reports whether the block lives on a different node.
-  Result<Block> Get(BlockIndex idx, int requesting_node,
+  [[nodiscard]] Result<Block> Get(BlockIndex idx, int requesting_node,
                     bool* crossed_network) const;
 
   /// \brief True if a block is materialized at `idx`.

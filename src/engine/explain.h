@@ -79,7 +79,7 @@ struct ExplainObsInputs {
 /// prediction for `problem` on `cluster`, plus whatever observability
 /// inputs are available. Fails only if the problem itself is invalid for
 /// the method's analytic model.
-Result<ExplainReport> BuildExplainReport(const MMReport& report,
+[[nodiscard]] Result<ExplainReport> BuildExplainReport(const MMReport& report,
                                          const mm::Method& method,
                                          const mm::MMProblem& problem,
                                          const ClusterConfig& cluster,

@@ -66,7 +66,7 @@ class RealExecutor {
   ~RealExecutor();
 
   /// \brief Computes C = A × B with `method`. A and B must share block size.
-  Result<RealRunResult> Run(const DistributedMatrix& a,
+  [[nodiscard]] Result<RealRunResult> Run(const DistributedMatrix& a,
                             const DistributedMatrix& b,
                             const mm::Method& method,
                             const RealOptions& options = {});

@@ -66,7 +66,7 @@ class SimExecutor {
   /// \brief Runs `method` on `problem`. Returns an MMReport whose `outcome`
   /// is OK or one of the resource-failure codes; a non-OK Result means the
   /// problem/method combination itself was invalid.
-  Result<MMReport> Run(const mm::MMProblem& problem, const mm::Method& method,
+  [[nodiscard]] Result<MMReport> Run(const mm::MMProblem& problem, const mm::Method& method,
                        const SimOptions& options = {}) const;
 
   const ClusterConfig& config() const { return config_; }

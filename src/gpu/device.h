@@ -53,25 +53,25 @@ class Device {
       : spec_(spec), hw_(hw) {}
 
   /// \brief Reserves device memory; OutOfMemory if the device is full.
-  Result<BufferId> Allocate(int64_t bytes, const std::string& label);
+  [[nodiscard]] Result<BufferId> Allocate(int64_t bytes, const std::string& label);
 
   /// \brief Releases a buffer.
-  Status Free(BufferId id);
+  [[nodiscard]] Status Free(BufferId id);
 
   /// \brief Creates a new stream; ops on the same stream are FIFO.
   StreamId CreateStream();
 
   /// \brief Enqueues a host→device copy of `bytes` on `stream`.
-  Status EnqueueH2D(StreamId stream, int64_t bytes);
+  [[nodiscard]] Status EnqueueH2D(StreamId stream, int64_t bytes);
 
   /// \brief Enqueues a device→host copy of `bytes` on `stream`.
-  Status EnqueueD2H(StreamId stream, int64_t bytes);
+  [[nodiscard]] Status EnqueueD2H(StreamId stream, int64_t bytes);
 
   /// \brief Enqueues a kernel of `flops` work; `body` (may be empty) runs
   /// immediately (the "device computation"), timing is virtual.
   /// `sparse` selects the sparse-throughput model (cusparseDcsrmm vs
   /// cublasDgemm).
-  Status EnqueueKernel(StreamId stream, int64_t flops,
+  [[nodiscard]] Status EnqueueKernel(StreamId stream, int64_t flops,
                        const std::function<void()>& body = nullptr,
                        bool sparse = false);
 
@@ -87,7 +87,7 @@ class Device {
   void ResetTimeline();
 
  private:
-  Status ValidateStream(StreamId stream) const;
+  [[nodiscard]] Status ValidateStream(StreamId stream) const;
 
   GpuSpec spec_;
   HardwareModel hw_;

@@ -53,8 +53,8 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                           OptimizeSubcuboid(sp, theta_g));
   const auto [p2, q2, r2] = sub.spec;
 
-  // Subcuboid extents.
-  const int64_t i_sub = BlockedShape::CeilDiv(sp.i_blocks, p2);
+  // Subcuboid extent along J drives the stream count (Lines 6-7); the I
+  // extent only shapes the per-stream accumulators sized below.
   const int64_t j_sub = BlockedShape::CeilDiv(sp.j_blocks, q2);
 
   // ---- Lines 6-7: create J' streams, allocate buffers. ----------------

@@ -25,19 +25,19 @@ class BlockSource {
  public:
   virtual ~BlockSource() = default;
   /// \brief A block of the left operand at block index (i, k).
-  virtual Result<Block> GetA(int64_t i, int64_t k) = 0;
+  [[nodiscard]] virtual Result<Block> GetA(int64_t i, int64_t k) = 0;
   /// \brief A block of the right operand at block index (k, j).
-  virtual Result<Block> GetB(int64_t k, int64_t j) = 0;
+  [[nodiscard]] virtual Result<Block> GetB(int64_t k, int64_t j) = 0;
 };
 
 /// \brief BlockSource over two local BlockGrids.
 class GridBlockSource : public BlockSource {
  public:
   GridBlockSource(const BlockGrid* a, const BlockGrid* b) : a_(a), b_(b) {}
-  Result<Block> GetA(int64_t i, int64_t k) override {
+  [[nodiscard]] Result<Block> GetA(int64_t i, int64_t k) override {
     return a_->Get({i, k});
   }
-  Result<Block> GetB(int64_t k, int64_t j) override {
+  [[nodiscard]] Result<Block> GetB(int64_t k, int64_t j) override {
     return b_->Get({k, j});
   }
 
@@ -67,7 +67,7 @@ struct GpuCuboidResult {
 ///
 /// When `tracer` is non-null and enabled, a span is recorded per subcuboid
 /// and per streamed A chunk on the calling thread's current trace track.
-Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
+[[nodiscard]] Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                                        const BlockedShape& a_shape,
                                        const BlockedShape& b_shape,
                                        BlockSource* source,

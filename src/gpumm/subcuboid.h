@@ -42,7 +42,7 @@ double SubcuboidMemBytes(const SubcuboidProblem& p, const mm::CuboidSpec& s);
 /// wins (fewest iterations). The optimization "tends to produce
 /// (1, 1, R2)-subcuboid partitioning" (Section 4.2) — P2/Q2 grow only when
 /// C itself cannot fit θg.
-Result<OptimizedSubcuboid> OptimizeSubcuboid(const SubcuboidProblem& problem,
+[[nodiscard]] Result<OptimizedSubcuboid> OptimizeSubcuboid(const SubcuboidProblem& problem,
                                              int64_t gpu_task_memory_bytes);
 
 /// \brief Virtual-time estimate for processing one cuboid on the GPU.

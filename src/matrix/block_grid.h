@@ -58,7 +58,7 @@ class BlockGrid {
   int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
 
   /// \brief Inserts or replaces a block; validates dimensions.
-  Status Put(BlockIndex idx, Block block);
+  [[nodiscard]] Status Put(BlockIndex idx, Block block);
 
   /// \brief True if a block is materialized at idx.
   bool Has(BlockIndex idx) const { return blocks_.count(idx) > 0; }

@@ -38,7 +38,12 @@ Status WriteMatrixMarket(const BlockGrid& grid, const std::string& path) {
       }
     }
   }
-  std::fclose(f);
+  // fprintf failures (ENOSPC — the paper's E.D.C. condition) latch the
+  // stream error flag; a failed fclose means buffered data never hit disk.
+  const bool write_error = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || write_error) {
+    return Status::IOError("short write: " + path);
+  }
   return Status::OK();
 }
 

@@ -11,11 +11,11 @@
 namespace distme {
 
 /// \brief Writes a blocked matrix as MatrixMarket coordinate format.
-Status WriteMatrixMarket(const BlockGrid& grid, const std::string& path);
+[[nodiscard]] Status WriteMatrixMarket(const BlockGrid& grid, const std::string& path);
 
 /// \brief Reads a MatrixMarket coordinate or array file into a blocked
 /// matrix with the given block size.
-Result<BlockGrid> ReadMatrixMarket(const std::string& path,
+[[nodiscard]] Result<BlockGrid> ReadMatrixMarket(const std::string& path,
                                    int64_t block_size);
 
 }  // namespace distme

@@ -18,6 +18,7 @@ void AppendPod(std::vector<uint8_t>* buf, T value) {
 template <typename T>
 void AppendVector(std::vector<uint8_t>* buf, const std::vector<T>& values) {
   AppendPod<int64_t>(buf, static_cast<int64_t>(values.size()));
+  if (values.empty()) return;  // data() may be null for an empty vector (UB for memcpy)
   const size_t offset = buf->size();
   buf->resize(offset + values.size() * sizeof(T));
   std::memcpy(buf->data() + offset, values.data(), values.size() * sizeof(T));
@@ -45,8 +46,10 @@ class Reader {
       return Status::IOError("truncated block buffer (vector)");
     }
     out->resize(static_cast<size_t>(n));
-    std::memcpy(out->data(), buf_.data() + pos_,
-                static_cast<size_t>(n) * sizeof(T));
+    if (n > 0) {  // data() may be null for an empty vector (UB for memcpy)
+      std::memcpy(out->data(), buf_.data() + pos_,
+                  static_cast<size_t>(n) * sizeof(T));
+    }
     pos_ += static_cast<size_t>(n) * sizeof(T);
     return Status::OK();
   }

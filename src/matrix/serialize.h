@@ -19,7 +19,7 @@ namespace distme {
 std::vector<uint8_t> SerializeBlock(const Block& block);
 
 /// \brief Parses a buffer produced by SerializeBlock.
-Result<Block> DeserializeBlock(const std::vector<uint8_t>& buffer);
+[[nodiscard]] Result<Block> DeserializeBlock(const std::vector<uint8_t>& buffer);
 
 /// \brief Exact number of bytes SerializeBlock would produce, without
 /// serializing (used by the cost simulator).

@@ -25,7 +25,7 @@ class CsrMatrix {
   CsrMatrix() : rows_(0), cols_(0) { row_ptr_.push_back(0); }
 
   /// \brief Builds a CSR matrix from unordered triplets (duplicates summed).
-  static Result<CsrMatrix> FromTriplets(int64_t rows, int64_t cols,
+  [[nodiscard]] static Result<CsrMatrix> FromTriplets(int64_t rows, int64_t cols,
                                         std::vector<Triplet> triplets);
 
   /// \brief Converts a dense matrix, keeping only non-zero entries.
@@ -72,7 +72,7 @@ class CscMatrix {
  public:
   CscMatrix() : rows_(0), cols_(0) { col_ptr_.push_back(0); }
 
-  static Result<CscMatrix> FromTriplets(int64_t rows, int64_t cols,
+  [[nodiscard]] static Result<CscMatrix> FromTriplets(int64_t rows, int64_t cols,
                                         std::vector<Triplet> triplets);
   static CscMatrix FromCsr(const CsrMatrix& csr);
 

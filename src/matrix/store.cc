@@ -35,6 +35,18 @@ class FileCloser {
     if (f_ != nullptr) std::fclose(f_);
   }
 
+  /// \brief Closes now and reports failure (flush errors surface at close;
+  /// write paths must call this instead of relying on the destructor, which
+  /// has nowhere to report to).
+  [[nodiscard]] Status CloseChecked(const std::string& path) {
+    std::FILE* f = f_;
+    f_ = nullptr;
+    if (f != nullptr && std::fclose(f) != 0) {
+      return Status::IOError("close failed (data may be lost): " + path);
+    }
+    return Status::OK();
+  }
+
  private:
   std::FILE* f_;
 };
@@ -77,7 +89,7 @@ Status WriteBinaryMatrix(const BlockGrid& grid, const std::string& path) {
       return Status::IOError("short write (payload)");
     }
   }
-  return Status::OK();
+  return closer.CloseChecked(path);
 }
 
 Result<BinaryMatrixInfo> ReadBinaryMatrixInfo(const std::string& path) {

@@ -14,10 +14,10 @@ namespace distme {
 /// \brief Writes a blocked matrix to `path` in the DistME binary format:
 /// header (magic, shape, block size, block count) followed by an index of
 /// (i, j, offset, length) entries and the serialized blocks.
-Status WriteBinaryMatrix(const BlockGrid& grid, const std::string& path);
+[[nodiscard]] Status WriteBinaryMatrix(const BlockGrid& grid, const std::string& path);
 
 /// \brief Reads a matrix written by WriteBinaryMatrix.
-Result<BlockGrid> ReadBinaryMatrix(const std::string& path);
+[[nodiscard]] Result<BlockGrid> ReadBinaryMatrix(const std::string& path);
 
 /// \brief Reads only the header: shape and materialized-block count —
 /// enough for the planner to build a descriptor without touching payloads.
@@ -26,6 +26,6 @@ struct BinaryMatrixInfo {
   int64_t num_blocks = 0;
   int64_t total_nnz = 0;
 };
-Result<BinaryMatrixInfo> ReadBinaryMatrixInfo(const std::string& path);
+[[nodiscard]] Result<BinaryMatrixInfo> ReadBinaryMatrixInfo(const std::string& path);
 
 }  // namespace distme

@@ -28,16 +28,16 @@ class Method {
   virtual std::string name() const = 0;
 
   /// \brief Number of local-multiplication tasks this method generates.
-  virtual Result<int64_t> NumTasks(const MMProblem& problem,
+  [[nodiscard]] virtual Result<int64_t> NumTasks(const MMProblem& problem,
                                    const ClusterConfig& cluster) const = 0;
 
   /// \brief Streams the plan's tasks to `fn` without materializing them.
-  virtual Status ForEachTask(const MMProblem& problem,
+  [[nodiscard]] virtual Status ForEachTask(const MMProblem& problem,
                              const ClusterConfig& cluster,
                              const TaskFn& fn) const = 0;
 
   /// \brief Closed-form analytic costs (Table 2).
-  virtual Result<AnalyticCost> Analytic(const MMProblem& problem,
+  [[nodiscard]] virtual Result<AnalyticCost> Analytic(const MMProblem& problem,
                                         const ClusterConfig& cluster) const = 0;
 
   /// \brief Whether the matrix aggregation step is needed (intermediate

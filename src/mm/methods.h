@@ -21,11 +21,11 @@ class BmmMethod : public Method {
 
   MethodKind kind() const override { return MethodKind::kBmm; }
   std::string name() const override { return "BMM"; }
-  Result<int64_t> NumTasks(const MMProblem& problem,
+  [[nodiscard]] Result<int64_t> NumTasks(const MMProblem& problem,
                            const ClusterConfig& cluster) const override;
-  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+  [[nodiscard]] Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
                      const TaskFn& fn) const override;
-  Result<AnalyticCost> Analytic(const MMProblem& problem,
+  [[nodiscard]] Result<AnalyticCost> Analytic(const MMProblem& problem,
                                 const ClusterConfig& cluster) const override;
   bool NeedsAggregation(const MMProblem&) const override { return false; }
 
@@ -48,11 +48,11 @@ class CpmmMethod : public Method {
 
   MethodKind kind() const override { return MethodKind::kCpmm; }
   std::string name() const override { return "CPMM"; }
-  Result<int64_t> NumTasks(const MMProblem& problem,
+  [[nodiscard]] Result<int64_t> NumTasks(const MMProblem& problem,
                            const ClusterConfig& cluster) const override;
-  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+  [[nodiscard]] Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
                      const TaskFn& fn) const override;
-  Result<AnalyticCost> Analytic(const MMProblem& problem,
+  [[nodiscard]] Result<AnalyticCost> Analytic(const MMProblem& problem,
                                 const ClusterConfig& cluster) const override;
   bool NeedsAggregation(const MMProblem& problem) const override {
     return problem.K() > 1;
@@ -72,11 +72,11 @@ class RmmMethod : public Method {
 
   MethodKind kind() const override { return MethodKind::kRmm; }
   std::string name() const override { return "RMM"; }
-  Result<int64_t> NumTasks(const MMProblem& problem,
+  [[nodiscard]] Result<int64_t> NumTasks(const MMProblem& problem,
                            const ClusterConfig& cluster) const override;
-  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+  [[nodiscard]] Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
                      const TaskFn& fn) const override;
-  Result<AnalyticCost> Analytic(const MMProblem& problem,
+  [[nodiscard]] Result<AnalyticCost> Analytic(const MMProblem& problem,
                                 const ClusterConfig& cluster) const override;
   /// RMM's voxel-keyed intermediates always pass through a reduceByKey
   /// shuffle stage, even when K = 1 (the engine cannot know a key is
@@ -102,11 +102,11 @@ class CuboidMethod : public Method {
 
   MethodKind kind() const override { return MethodKind::kCuboid; }
   std::string name() const override;
-  Result<int64_t> NumTasks(const MMProblem& problem,
+  [[nodiscard]] Result<int64_t> NumTasks(const MMProblem& problem,
                            const ClusterConfig& cluster) const override;
-  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+  [[nodiscard]] Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
                      const TaskFn& fn) const override;
-  Result<AnalyticCost> Analytic(const MMProblem& problem,
+  [[nodiscard]] Result<AnalyticCost> Analytic(const MMProblem& problem,
                                 const ClusterConfig& cluster) const override;
   bool NeedsAggregation(const MMProblem&) const override {
     return spec_.R > 1;
@@ -114,7 +114,7 @@ class CuboidMethod : public Method {
 
   const CuboidSpec& spec() const { return spec_; }
 
-  Status ValidateSpec(const MMProblem& problem) const;
+  [[nodiscard]] Status ValidateSpec(const MMProblem& problem) const;
 
  private:
   CuboidSpec spec_;
@@ -132,11 +132,11 @@ class SummaMethod : public Method {
 
   MethodKind kind() const override { return MethodKind::kSumma; }
   std::string name() const override { return "SUMMA"; }
-  Result<int64_t> NumTasks(const MMProblem& problem,
+  [[nodiscard]] Result<int64_t> NumTasks(const MMProblem& problem,
                            const ClusterConfig& cluster) const override;
-  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+  [[nodiscard]] Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
                      const TaskFn& fn) const override;
-  Result<AnalyticCost> Analytic(const MMProblem& problem,
+  [[nodiscard]] Result<AnalyticCost> Analytic(const MMProblem& problem,
                                 const ClusterConfig& cluster) const override;
   bool NeedsAggregation(const MMProblem&) const override { return false; }
   bool ResidentLocalMatrices() const override { return true; }
@@ -167,11 +167,11 @@ class Summa25dMethod : public Method {
 
   MethodKind kind() const override { return MethodKind::kSumma25d; }
   std::string name() const override;
-  Result<int64_t> NumTasks(const MMProblem& problem,
+  [[nodiscard]] Result<int64_t> NumTasks(const MMProblem& problem,
                            const ClusterConfig& cluster) const override;
-  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+  [[nodiscard]] Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
                      const TaskFn& fn) const override;
-  Result<AnalyticCost> Analytic(const MMProblem& problem,
+  [[nodiscard]] Result<AnalyticCost> Analytic(const MMProblem& problem,
                                 const ClusterConfig& cluster) const override;
   bool NeedsAggregation(const MMProblem& problem) const override;
   bool ResidentLocalMatrices() const override { return true; }
@@ -195,11 +195,11 @@ class CrmmMethod : public Method {
 
   MethodKind kind() const override { return MethodKind::kCrmm; }
   std::string name() const override { return "CRMM"; }
-  Result<int64_t> NumTasks(const MMProblem& problem,
+  [[nodiscard]] Result<int64_t> NumTasks(const MMProblem& problem,
                            const ClusterConfig& cluster) const override;
-  Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
+  [[nodiscard]] Status ForEachTask(const MMProblem& problem, const ClusterConfig& cluster,
                      const TaskFn& fn) const override;
-  Result<AnalyticCost> Analytic(const MMProblem& problem,
+  [[nodiscard]] Result<AnalyticCost> Analytic(const MMProblem& problem,
                                 const ClusterConfig& cluster) const override;
   bool NeedsAggregation(const MMProblem& problem) const override;
   double ExtraRepartitionBytes(const MMProblem& problem) const override;

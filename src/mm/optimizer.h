@@ -39,13 +39,13 @@ struct OptimizedCuboid {
 /// then the smaller memory footprint.
 ///
 /// Returns OutOfMemory if even a single voxel per task exceeds θt.
-Result<OptimizedCuboid> OptimizeCuboid(const MMProblem& problem,
+[[nodiscard]] Result<OptimizedCuboid> OptimizeCuboid(const MMProblem& problem,
                                        const ClusterConfig& cluster,
                                        const OptimizerOptions& options = {});
 
 /// \brief Brute-force reference enumerating every (P,Q,R); used by tests to
 /// validate OptimizeCuboid. O(I·J·K).
-Result<OptimizedCuboid> OptimizeCuboidBruteForce(
+[[nodiscard]] Result<OptimizedCuboid> OptimizeCuboidBruteForce(
     const MMProblem& problem, const ClusterConfig& cluster,
     const OptimizerOptions& options = {});
 

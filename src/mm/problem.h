@@ -27,7 +27,7 @@ struct MMProblem {
   MatrixDescriptor C() const { return MatrixDescriptor::DenseProduct(a, b); }
 
   /// \brief Validates conformability and blocking.
-  Status Validate() const {
+  [[nodiscard]] Status Validate() const {
     if (a.shape.cols != b.shape.rows) {
       return Status::Invalid("inner dimensions do not match: A is " +
                              std::to_string(a.shape.rows) + "x" +

@@ -19,8 +19,8 @@ const char* CommStageName(CommStage stage) {
 }
 
 CommMatrix::CommMatrix()
-    : cells_(new std::atomic<int64_t>[kNumCommStages * kMaxNodes *
-                                      kMaxNodes]) {
+    : cells_(std::make_unique<std::atomic<int64_t>[]>(
+          kNumCommStages * kMaxNodes * kMaxNodes)) {
   Reset();
 }
 

@@ -59,11 +59,11 @@ std::string ChromeTraceJson(const Tracer& tracer,
                             const std::vector<TraceEvent>& events);
 
 /// \brief Drains `tracer` and writes the Chrome trace JSON to `path`.
-Status WriteChromeTrace(Tracer& tracer, const std::string& path);
+[[nodiscard]] Status WriteChromeTrace(Tracer& tracer, const std::string& path);
 
 /// \brief Writes `content` to `path`, failing on short writes. Shared by the
 /// trace / metrics / bench-result exporters.
-Status WriteTextFile(const std::string& path, std::string_view content);
+[[nodiscard]] Status WriteTextFile(const std::string& path, std::string_view content);
 
 /// \brief Appends `snapshot` to `writer` as a JSON array of metric points.
 void AppendMetricsJson(const MetricsSnapshot& snapshot, JsonWriter* writer);

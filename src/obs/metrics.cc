@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace distme::obs {
 
@@ -67,17 +68,12 @@ void Histogram::Observe(double value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&sum_, value);
   AtomicMaxDouble(&max_, value);
-  if (!has_min_.exchange(true, std::memory_order_relaxed)) {
-    min_.store(value, std::memory_order_relaxed);
-  } else {
-    AtomicMinDouble(&min_, value);
-  }
+  AtomicMinDouble(&min_, value);
 }
 
 double Histogram::Min() const {
-  return has_min_.load(std::memory_order_relaxed)
-             ? min_.load(std::memory_order_relaxed)
-             : 0.0;
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isinf(m) ? 0.0 : m;
 }
 
 double Histogram::Percentile(double p) const {
@@ -111,9 +107,9 @@ void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
-  has_min_.store(false, std::memory_order_relaxed);
 }
 
 namespace {

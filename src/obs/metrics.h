@@ -12,6 +12,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,9 +91,11 @@ class Histogram {
   std::array<std::atomic<int64_t>, kBuckets> buckets_{};
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
+  /// +inf until the first observation: a CAS-min can then race-freely fold
+  /// in concurrent first observations (a "first one wins" flag cannot — the
+  /// winner's store races with other threads' min updates).
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{0.0};
-  std::atomic<bool> has_min_{false};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

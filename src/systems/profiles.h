@@ -50,12 +50,12 @@ SystemProfile ScaLAPACK();
 SystemProfile SciDB();
 
 /// \brief Runs one multiplication under a system profile.
-Result<engine::MMReport> RunMultiply(const SystemProfile& system,
+[[nodiscard]] Result<engine::MMReport> RunMultiply(const SystemProfile& system,
                                      const mm::MMProblem& problem,
                                      const ClusterConfig& cluster);
 
 /// \brief Runs the GNMF query (Section 6.4) under a system profile.
-Result<core::GnmfSimReport> RunGnmfSim(const SystemProfile& system,
+[[nodiscard]] Result<core::GnmfSimReport> RunGnmfSim(const SystemProfile& system,
                                        const core::GnmfSimOptions& base);
 
 }  // namespace distme::systems

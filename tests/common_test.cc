@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <utility>
 
 #include "common/random.h"
 #include "common/result.h"
@@ -71,6 +73,64 @@ TEST(ResultTest, AssignOrReturnMacroPropagates) {
   EXPECT_EQ(*Quarter(8), 2);
   EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
   EXPECT_FALSE(Quarter(7).ok());
+}
+
+// --- error discipline: [[nodiscard]] types still move/chain cleanly --------
+
+Status FailingStatus() { return Status::IOError("disk on fire"); }
+
+TEST(ErrorDisciplineTest, NodiscardStatusMovesAndChains) {
+  // Capturing, moving, and chaining a [[nodiscard]] Status must all compile
+  // and behave; only *dropping* one is a (strict-build) error.
+  Status st = FailingStatus();
+  Status moved = std::move(st);
+  EXPECT_EQ(moved.code(), StatusCode::kIOError);
+  Status reassigned;
+  reassigned = std::move(moved);
+  EXPECT_EQ(reassigned.code(), StatusCode::kIOError);
+  EXPECT_EQ(reassigned.ToString(), "IOError: disk on fire");
+  // An explicitly ignored error is the sanctioned discard spelling.
+  DISTME_IGNORE_ERROR(FailingStatus());
+  FailingStatus().IgnoreError();
+}
+
+TEST(ErrorDisciplineTest, NodiscardResultMovesAndChains) {
+  Result<std::string> r = std::string("payload");
+  Result<std::string> moved = std::move(r);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), "payload");
+  // Rvalue value() moves the payload out.
+  std::string taken = std::move(moved).value();
+  EXPECT_EQ(taken, "payload");
+  // Value(T*) chains into a Status that itself must not be dropped.
+  Result<std::string> r2 = std::string("second");
+  std::string out;
+  Status st = std::move(r2).Value(&out);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(out, "second");
+}
+
+TEST(ErrorDisciplineTest, ResultFromOkStatusDegradesToInternal) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ErrorDisciplineDeathTest, ValueOnErrorAbortsWithMessage) {
+  Result<int> r = Status::OutOfMemory("task budget exceeded: 9001 bytes");
+  // The abort message must name the accessor and carry the full status, so
+  // a crash log alone identifies the failure.
+  EXPECT_DEATH(DISTME_IGNORE_ERROR(r.value()),
+               "Result::value\\(\\) called on an error Result: "
+               "OutOfMemory: task budget exceeded: 9001 bytes");
+  EXPECT_DEATH(DISTME_IGNORE_ERROR(*r), "OutOfMemory: task budget exceeded");
+  EXPECT_DEATH(DISTME_IGNORE_ERROR(Result<int>(Status::Invalid("bad dim")).value()),
+               "Invalid: bad dim");
+}
+
+TEST(ErrorDisciplineDeathTest, CheckOkAbortsWithFileAndStatus) {
+  EXPECT_DEATH(DISTME_CHECK_OK(Status::Timeout("job exceeded 10s")),
+               "DISTME_CHECK_OK failed: Timeout: job exceeded 10s");
 }
 
 TEST(RngTest, Deterministic) {

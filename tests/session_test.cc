@@ -214,7 +214,6 @@ TEST(SessionReductionsTest, RowSumsOfMatrixVectorProduct) {
   Session session(TestOptions());
   auto a = session.Generate(Gen(24, 16, 1.0, 22));
   ASSERT_TRUE(a.ok());
-  GeneratorOptions ones_gen = Gen(16, 1, 1.0, 0);
   BlockGrid ones_grid(BlockedShape{16, 1, 8});
   for (int64_t bi = 0; bi < ones_grid.block_rows(); ++bi) {
     DenseMatrix block(ones_grid.shape().BlockRowsAt(bi), 1);

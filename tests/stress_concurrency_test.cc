@@ -1,0 +1,203 @@
+// Concurrency stress suite: hammers every shared-state component from many
+// threads at once. The assertions here are deliberately coarse (totals add
+// up, nothing crashes) — the real assertions are the ones ThreadSanitizer
+// makes when scripts/ci.sh --sanitize runs this binary under
+// -DDISTME_SANITIZE=thread: any data race in MetricsRegistry, CommMatrix,
+// the logging sink, or the RealExecutor task slots fails the build.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/session.h"
+#include "obs/comm_matrix.h"
+#include "obs/metrics.h"
+
+namespace distme {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kItersPerThread = 2000;
+
+/// Runs `fn(thread_index)` on kThreads threads and joins them.
+void RunOnThreads(const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(fn, t);
+  for (auto& th : threads) th.join();
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+// Writers update counters/gauges/histograms (including racing registration of
+// the *same* named instruments) while a reader thread snapshots continuously.
+TEST(StressConcurrencyTest, MetricsRegistryHammer) {
+  obs::MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    int64_t snapshots = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::MetricsSnapshot snap = registry.Snapshot();
+      // Totals may lag the writers but can never be negative or shrink the
+      // point list mid-iteration.
+      EXPECT_GE(snap.TotalValue("stress.counter"), 0);
+      ++snapshots;
+    }
+    EXPECT_GT(snapshots, 0);
+  });
+
+  RunOnThreads([&](int t) {
+    const obs::LabelSet labels = {{"thread", std::to_string(t % 4)}};
+    for (int i = 0; i < kItersPerThread; ++i) {
+      registry.GetCounter("stress.counter", labels)->Add(1);
+      registry.GetGauge("stress.gauge")->SetMax(i);
+      registry.GetHistogram("stress.histo")->Observe(static_cast<double>(i));
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.TotalValue("stress.counter"),
+            int64_t{kThreads} * kItersPerThread);
+  const obs::MetricPoint* histo = snap.Find("stress.histo");
+  ASSERT_NE(histo, nullptr);
+  EXPECT_EQ(histo->value, int64_t{kThreads} * kItersPerThread);
+}
+
+// Reset racing with writers must not lose the registry's instruments (only
+// their values) and must not trip TSan.
+TEST(StressConcurrencyTest, MetricsRegistryResetRace) {
+  obs::MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_acquire)) registry.Reset();
+  });
+  RunOnThreads([&](int) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      registry.GetCounter("stress.reset.counter")->Add(1);
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  resetter.join();
+  EXPECT_NE(registry.Snapshot().Find("stress.reset.counter"), nullptr);
+}
+
+// --- CommMatrix -------------------------------------------------------------
+
+// Concurrent Record() on overlapping links, with a concurrent snapshotter;
+// the final snapshot must account for every byte exactly once.
+TEST(StressConcurrencyTest, CommMatrixHammer) {
+  obs::CommMatrix comm;
+  std::atomic<bool> stop{false};
+
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::CommMatrixSnapshot snap = comm.Snapshot();
+      EXPECT_GE(snap.TotalBytes(), 0);
+      EXPECT_GE(snap.SkewRatio(), 0.0);
+    }
+  });
+
+  RunOnThreads([&](int t) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      const int src = t % 4;
+      const int dst = (t + 1 + i) % 4;
+      comm.Record(i % 2 == 0 ? obs::CommStage::kRepartition
+                             : obs::CommStage::kAggregation,
+                  src, dst, 8);
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  EXPECT_EQ(comm.Snapshot().TotalBytes(),
+            int64_t{8} * kThreads * kItersPerThread);
+}
+
+// --- Logging ----------------------------------------------------------------
+
+// Concurrent emission at every level while another thread flips the global
+// level: exercises the g_min_level atomic and the line-buffered sink.
+TEST(StressConcurrencyTest, LoggingHammer) {
+  const LogLevel saved = GetLogLevel();
+  std::atomic<bool> stop{false};
+  std::thread leveler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      SetLogLevel(LogLevel::kError);
+      SetLogLevel(LogLevel::kWarning);
+    }
+  });
+  RunOnThreads([&](int t) {
+    for (int i = 0; i < kItersPerThread / 4; ++i) {
+      DISTME_LOG(Debug) << "stress debug t=" << t << " i=" << i;
+      DISTME_LOG(Error) << "";  // enabled at any level: exercises the sink
+      EXPECT_GE(LogThreadId(), 0);
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  leveler.join();
+  SetLogLevel(saved);
+}
+
+// --- RealExecutor / Session -------------------------------------------------
+
+// Whole-engine stress: several sessions run real multiplies concurrently,
+// each spinning up its own RealExecutor task slots, per-node stores, metrics
+// registry, tracer, and comm matrix. Catches races between executor
+// internals and the shared process state (logging ids, etc.).
+TEST(StressConcurrencyTest, MultiSessionMultiplyHammer) {
+  constexpr int kSessions = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  std::atomic<int> failures{0};
+
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([s, &failures] {
+      core::Session::Options options;
+      options.cluster = ClusterConfig::Local(3, 2);
+      options.planner = std::make_shared<core::DistmePlanner>(
+          mm::OptimizerOptions{.enforce_parallelism = false});
+      core::Session session(options);
+      session.EnableTracing();
+
+      for (int round = 0; round < 3; ++round) {
+        GeneratorOptions ga;
+        ga.rows = 32;
+        ga.cols = 24;
+        ga.block_size = 8;
+        ga.sparsity = 1.0;
+        ga.seed = static_cast<uint64_t>(100 + s * 10 + round);
+        GeneratorOptions gb = ga;
+        gb.rows = 24;
+        gb.cols = 16;
+        gb.seed = ga.seed + 1;
+
+        auto a = session.Generate(ga);
+        auto b = session.Generate(gb);
+        if (!a.ok() || !b.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+        auto c = session.Multiply(*a, *b);
+        if (!c.ok() || c->rows() != 32 || c->cols() != 16) {
+          failures.fetch_add(1);
+          break;
+        }
+        DISTME_IGNORE_ERROR(session.Sum(*c));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace distme
