@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -13,7 +15,11 @@
 #include "engine/report.h"
 #include "obs/comm_matrix.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_endpoint.h"
 #include "obs/metrics.h"
+#include "obs/prom_export.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace distme::bench {
@@ -36,21 +42,90 @@ inline void Banner(const std::string& title) {
 ///   --bench-json=<path>   on destruction, write the results registered via
 ///                         AddResult() as machine-readable JSON (consumed
 ///                         by scripts/bench_baseline.py).
+///
+/// Live-telemetry flags:
+///   --http-port=<port>        serve Prometheus text at
+///                             http://127.0.0.1:<port>/metrics while the
+///                             bench runs (0 = ephemeral, printed at start);
+///   --sample-period-ms=<ms>   snapshot metrics + comm matrix every <ms>
+///                             into an in-memory series (count printed at
+///                             exit);
+///   --flight-dump=<path>      on destruction, dump the flight-recorder
+///                             ring (JSON) to <path>; failed executor runs
+///                             also dump there immediately.
 /// Without the flags the tracer stays disabled (one branch per span) and
-/// nothing is written.
+/// nothing is written; the flight recorder itself is always on.
 class BenchObs {
  public:
   BenchObs(int argc, char** argv) : bench_name_(BaseName(argc, argv)) {
+    std::string http_port;
+    std::string sample_period_ms;
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
       MatchFlag(arg, "--trace-out=", &trace_out_);
       MatchFlag(arg, "--metrics-out=", &metrics_out_);
       MatchFlag(arg, "--bench-json=", &bench_json_out_);
+      MatchFlag(arg, "--http-port=", &http_port);
+      MatchFlag(arg, "--sample-period-ms=", &sample_period_ms);
+      MatchFlag(arg, "--flight-dump=", &flight_dump_);
     }
     if (!trace_out_.empty()) tracer_.SetEnabled(true);
+    flight_.InstallFatalDump();
+    if (!sample_period_ms.empty()) {
+      obs::SamplerOptions so;
+      so.period_ms = std::atoll(sample_period_ms.c_str());
+      sampler_ = std::make_unique<obs::Sampler>(&metrics_, &comm_, so);
+      sampler_->Start();
+    }
+    if (!http_port.empty()) {
+      endpoint_ = std::make_unique<obs::HttpEndpoint>(
+          [this](const std::string& path) {
+            obs::HttpResponse r;
+            if (path == "/metrics" || path == "/") {
+              r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+              r.body = obs::PrometheusText(metrics_.Snapshot());
+            } else if (path == "/flight") {
+              r.content_type = "application/json";
+              r.body = flight_.ToJson();
+            } else if (path == "/healthz") {
+              r.body = "ok\n";
+            } else {
+              r.status = 404;
+              r.body = "not found\n";
+            }
+            return r;
+          });
+      const Status st = endpoint_->Start(std::atoi(http_port.c_str()));
+      if (st.ok()) {
+        std::printf("telemetry: curl http://127.0.0.1:%d/metrics\n",
+                    endpoint_->port());
+      } else {
+        std::printf("telemetry endpoint disabled: %s\n",
+                    st.ToString().c_str());
+        endpoint_.reset();
+      }
+    }
   }
 
   ~BenchObs() {
+    // Consumers of the registry/ring stop before anything is torn down
+    // (same ordering contract as core::Session).
+    if (endpoint_ != nullptr) endpoint_->Stop();
+    if (sampler_ != nullptr) {
+      sampler_->Stop();
+      std::printf("\nsampler: %lld samples at %lld ms\n",
+                  static_cast<long long>(sampler_->total_samples()),
+                  static_cast<long long>(sampler_->options().period_ms));
+    }
+    if (!flight_dump_.empty()) {
+      const Status st = flight_.DumpToFile(flight_dump_);
+      if (st.ok()) {
+        std::printf("\nflight recorder dumped to %s\n", flight_dump_.c_str());
+      } else {
+        std::printf("\nflight dump failed: %s\n", st.ToString().c_str());
+      }
+    }
+    flight_.UninstallFatalDump();
     if (!trace_out_.empty()) {
       const Status st = obs::WriteChromeTrace(tracer_, trace_out_);
       if (st.ok()) {
@@ -88,6 +163,12 @@ class BenchObs {
   obs::MetricsRegistry* metrics() { return &metrics_; }
   obs::Tracer* tracer() { return &tracer_; }
   obs::CommMatrix* comm() { return &comm_; }
+  obs::FlightRecorder* flight() { return &flight_; }
+  obs::Sampler* sampler() { return sampler_.get(); }
+  /// \brief Bound scrape port, or -1 when --http-port was not given.
+  int http_port() const {
+    return endpoint_ != nullptr ? endpoint_->port() : -1;
+  }
   bool tracing() const { return !trace_out_.empty(); }
 
   /// \brief Registers one named measurement for --bench-json output. Keys
@@ -114,13 +195,20 @@ class BenchObs {
   }
 
   /// \brief Copies the obs sinks into an executor options struct (any type
-  /// with `metrics` / `tracer` / `comm` members, i.e. RealOptions and
-  /// SimOptions).
+  /// with `metrics` / `tracer` / `comm` / `flight` members, i.e.
+  /// RealOptions and SimOptions). RealOptions additionally gets the
+  /// --flight-dump path so a failed run drops its post-mortem immediately.
   template <typename Options>
   void Wire(Options* options) {
     options->metrics = &metrics_;
     options->tracer = &tracer_;
     options->comm = &comm_;
+    if constexpr (requires { options->flight; }) {
+      options->flight = &flight_;
+    }
+    if constexpr (requires { options->flight_dump_path; }) {
+      options->flight_dump_path = flight_dump_;
+    }
   }
 
   /// \brief argv with the obs flags removed, for delegating the rest to a
@@ -131,7 +219,10 @@ class BenchObs {
       const std::string_view arg = argv[i];
       if (i > 0 && (IsFlag(arg, "--trace-out=") ||
                     IsFlag(arg, "--metrics-out=") ||
-                    IsFlag(arg, "--bench-json="))) {
+                    IsFlag(arg, "--bench-json=") ||
+                    IsFlag(arg, "--http-port=") ||
+                    IsFlag(arg, "--sample-period-ms=") ||
+                    IsFlag(arg, "--flight-dump="))) {
         continue;
       }
       args.push_back(argv[i]);
@@ -162,10 +253,14 @@ class BenchObs {
   std::string trace_out_;
   std::string metrics_out_;
   std::string bench_json_out_;
+  std::string flight_dump_;
   std::vector<std::pair<std::string, double>> results_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   obs::CommMatrix comm_;
+  obs::FlightRecorder flight_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  std::unique_ptr<obs::HttpEndpoint> endpoint_;
 };
 
 /// \brief A paper-reported cell: a number, a failure label, or absent.

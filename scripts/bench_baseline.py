@@ -24,13 +24,18 @@ import subprocess
 import sys
 import tempfile
 
-# Deterministic benches only: their results are closed-form model outputs
-# (shuffle bytes, task counts, analytic costs), identical on every machine.
-# Wall-clock benches (bench_fig7_systems etc.) are excluded on purpose.
+# (binary, extra argv) pairs. Deterministic benches only: their results are
+# closed-form model outputs (shuffle bytes, task counts, analytic costs),
+# identical on every machine. Wall-clock benches (bench_fig7_systems etc.)
+# are excluded on purpose. The one ratio below is the exception that proves
+# the rule: sampler_overhead_ratio is wall-clock derived but scale-free
+# (sampler-on time / sampler-off time, min-of-alternating-reps), so ~1.0 on
+# any machine — drift beyond tolerance means the sampler got expensive.
 BENCHES = [
-    "bench_table2_costs",
-    "bench_validation_real",
-    "bench_fig7_comm",
+    ("bench_table2_costs", []),
+    ("bench_validation_real", []),
+    ("bench_fig7_comm", []),
+    ("bench_micro_engine", ["--sampler-overhead-only"]),
 ]
 
 BASELINE = "BENCH_BASELINE.json"
@@ -43,7 +48,7 @@ def repo_root():
 def run_benches(build_dir):
     """Runs every bench with --bench-json and returns {bench: {key: value}}."""
     merged = {}
-    for bench in BENCHES:
+    for bench, extra_args in BENCHES:
         binary = os.path.join(build_dir, "bench", bench)
         if not os.path.isfile(binary):
             print(f"bench_baseline: missing binary {binary} (build first?)",
@@ -54,7 +59,7 @@ def run_benches(build_dir):
             out_path = tmp.name
         try:
             proc = subprocess.run(
-                [binary, f"--bench-json={out_path}"],
+                [binary, f"--bench-json={out_path}"] + extra_args,
                 stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
             if proc.returncode != 0:
                 sys.stderr.write(proc.stderr.decode(errors="replace"))

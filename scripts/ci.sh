@@ -10,9 +10,10 @@
 #                advisory clang-tidy pass — tidy findings are printed, never
 #                fatal; the distme-lint stages are mandatory.
 #   --sanitize   the sanitizer matrix: the full tier-1 ctest suite under
-#                ASan+UBSan (build-asan/), and the concurrency stress suite
-#                under TSan (build-tsan/). Suppression files live in
-#                scripts/sanitizers/ and start out empty — a report is a bug.
+#                ASan+UBSan (build-asan/), and the concurrency stress +
+#                live-telemetry suites under TSan (build-tsan/). Suppression
+#                files live in scripts/sanitizers/ and start out empty — a
+#                report is a bug.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -58,11 +59,16 @@ if [[ "$run_sanitize" -eq 1 ]]; then
     ctest --output-on-failure -j "$(nproc)")
 
   echo
-  echo "== sanitizer matrix: TSan over the concurrency stress suite =="
+  echo "== sanitizer matrix: TSan over the concurrency + telemetry suites =="
   cmake -B build-tsan -S . -DDISTME_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$(nproc)" --target stress_concurrency_test
+  cmake --build build-tsan -j "$(nproc)" \
+    --target stress_concurrency_test --target live_telemetry_test
   TSAN_OPTIONS="suppressions=$PWD/scripts/sanitizers/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
     ./build-tsan/tests/stress_concurrency_test
+  # The live-telemetry suite races the sampler/watchdog/endpoint threads
+  # against session teardown — exactly the shutdown-ordering bugs TSan sees.
+  TSAN_OPTIONS="suppressions=$PWD/scripts/sanitizers/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
+    ./build-tsan/tests/live_telemetry_test
 fi
 
 echo

@@ -19,6 +19,10 @@ finding is produced. Rules (see DESIGN.md "Correctness tooling"):
                      then "project" includes; a header never includes itself
   nodiscard-status   every Status/Result-returning declaration in a src/
                      header carries [[nodiscard]]
+  flight-enum-sync   the flight-recorder event-name string table stays
+                     entry-for-entry in sync with FlightEventType: same
+                     count, and each string is the snake_case of the
+                     enumerator at the same index
 
 Suppressing a finding: append `// distme-lint: allow(<rule>)` to the line, or
 add the file to the rule's allowlist below with a one-line justification.
@@ -272,6 +276,66 @@ def rule_nodiscard_status(f, rel, report):
                    "Status/Result-returning declaration without [[nodiscard]]")
 
 
+FLIGHT_ENUM = re.compile(
+    r"enum\s+class\s+FlightEventType[^{]*\{(.*?)\}", re.DOTALL)
+FLIGHT_NAMES = re.compile(
+    r"kFlightEventTypeNames\[\]\s*=\s*\{(.*?)\};", re.DOTALL)
+
+
+def snake_case(enumerator):
+    """kMemHighWater -> mem_high_water (strips the leading k)."""
+    body = enumerator[1:] if enumerator.startswith("k") else enumerator
+    return re.sub(r"(?<!^)([A-Z])", r"_\1", body).lower()
+
+
+def rule_flight_enum_sync(f, rel, report):
+    # The string table lives in flight_recorder.cc; the enum in its sibling
+    # header. A new enumerator without its name (or vice versa) silently
+    # mislabels every later event in dumps and JSON — catch it here, at the
+    # exact index that drifted.
+    if not rel.endswith("flight_recorder.cc"):
+        return
+    header_path = os.path.splitext(f.path)[0] + ".h"
+    try:
+        with open(header_path, "r", encoding="utf-8", errors="replace") as h:
+            header_text = h.read()
+    except OSError:
+        report(1, "flight-enum-sync",
+               f"missing sibling header {os.path.basename(header_path)} "
+               "(cannot check the event enum)")
+        return
+
+    enum_match = FLIGHT_ENUM.search(header_text)
+    if not enum_match:
+        report(1, "flight-enum-sync",
+               "no `enum class FlightEventType` in the sibling header")
+        return
+    enum_body = re.sub(r"//[^\n]*", "", enum_match.group(1))
+    enumerators = [e for e in re.findall(r"\bk[A-Z][A-Za-z0-9]*\b", enum_body)
+                   if e != "kNumTypes"]
+
+    raw_text = "\n".join(f.raw)
+    names_match = FLIGHT_NAMES.search(raw_text)
+    if not names_match:
+        report(1, "flight-enum-sync",
+               "no `kFlightEventTypeNames[] = {...}` string table in the .cc")
+        return
+    names = re.findall(r'"([^"]*)"', names_match.group(1))
+    table_line = raw_text[:names_match.start()].count("\n") + 1
+
+    if len(names) != len(enumerators):
+        report(table_line, "flight-enum-sync",
+               f"string table has {len(names)} entries but FlightEventType "
+               f"has {len(enumerators)} enumerators before kNumTypes")
+        return
+    for idx, (enumerator, name) in enumerate(zip(enumerators, names)):
+        expected = snake_case(enumerator)
+        if name != expected:
+            report(table_line, "flight-enum-sync",
+                   f"entry {idx} is \"{name}\" but enumerator {enumerator} "
+                   f"wants \"{expected}\" — table and enum have drifted")
+
+
 RULES = [
     rule_pragma_once,
     rule_concurrency,
@@ -279,11 +343,12 @@ RULES = [
     rule_no_cout,
     rule_include_order,
     rule_nodiscard_status,
+    rule_flight_enum_sync,
 ]
 
 RULE_NAMES = [
     "pragma-once", "concurrency", "naked-new", "no-cout", "include-order",
-    "nodiscard-status",
+    "nodiscard-status", "flight-enum-sync",
 ]
 
 

@@ -181,6 +181,62 @@ class LintFixtureTest(unittest.TestCase):
         self.assert_clean({
             "src/core/foo.cc": "Status Save(int x) { return Status::OK(); }\n"})
 
+    # --- flight-enum-sync -------------------------------------------------
+
+    FLIGHT_HEADER = (
+        "#pragma once\n"
+        "enum class FlightEventType : uint8_t {\n"
+        "  kRunStart = 0,\n"
+        "  kTaskRetry,\n"
+        "  kMemHighWater,\n"
+        "  kNumTypes,\n"
+        "};\n")
+
+    def flight_cc(self, names):
+        entries = "".join(f'    "{n}",\n' for n in names)
+        return ('#include "obs/flight_recorder.h"\n'
+                "constexpr const char* kFlightEventTypeNames[] = {\n"
+                f"{entries}"
+                "};\n")
+
+    def test_flight_table_in_sync_is_clean(self):
+        self.assert_clean({
+            "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
+            "src/obs/flight_recorder.cc": self.flight_cc(
+                ["run_start", "task_retry", "mem_high_water"])})
+
+    def test_flight_table_missing_entry(self):
+        self.assert_flags("flight-enum-sync", {
+            "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
+            "src/obs/flight_recorder.cc": self.flight_cc(
+                ["run_start", "task_retry"])})
+
+    def test_flight_table_misnamed_entry(self):
+        self.assert_flags("flight-enum-sync", {
+            "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
+            "src/obs/flight_recorder.cc": self.flight_cc(
+                ["run_start", "task_retry", "mem_highwater"])})
+
+    def test_flight_table_out_of_order(self):
+        self.assert_flags("flight-enum-sync", {
+            "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
+            "src/obs/flight_recorder.cc": self.flight_cc(
+                ["task_retry", "run_start", "mem_high_water"])})
+
+    def test_flight_cc_without_header(self):
+        self.assert_flags("flight-enum-sync", {
+            "src/obs/flight_recorder.cc": self.flight_cc(["run_start"])})
+
+    def test_the_real_flight_recorder_is_in_sync(self):
+        # Guard the actual sources, not just fixtures: lint the repo's own
+        # flight_recorder.cc in place.
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        target = os.path.join(repo, "src", "obs", "flight_recorder.cc")
+        proc = subprocess.run(
+            [sys.executable, LINT, target],
+            cwd=repo, capture_output=True, text=True)
+        self.assertNotIn("[flight-enum-sync]", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main(verbosity=2)

@@ -16,7 +16,10 @@ namespace distme {
 ///
 /// The class is `[[nodiscard]]`: dropping a returned Result fails the strict
 /// (-Werror) build. value()/ValueOrDie() on an error Result abort with the
-/// status message in every build type (no NDEBUG-dependent UB).
+/// status message in every build type (no NDEBUG-dependent UB); before
+/// aborting, the process-wide fatal hook runs (see internal::SetFatalHook),
+/// so an installed flight recorder dumps its ring to stderr and the crash
+/// leaves a telemetry trail.
 template <typename T>
 class [[nodiscard]] Result {
  public:

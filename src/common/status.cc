@@ -1,5 +1,6 @@
 #include "common/status.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
@@ -53,15 +54,35 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
 
 namespace internal {
 
+namespace {
+std::atomic<FatalHook> g_fatal_hook{nullptr};
+std::atomic<bool> g_fatal_hook_ran{false};
+}  // namespace
+
+void SetFatalHook(FatalHook hook) {
+  g_fatal_hook.store(hook, std::memory_order_release);
+}
+
+void InvokeFatalHook() {
+  // At most one invocation per process: a second fatal (including one
+  // raised from inside the hook itself) goes straight to abort.
+  bool expected = false;
+  if (!g_fatal_hook_ran.compare_exchange_strong(expected, true)) return;
+  const FatalHook hook = g_fatal_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook();
+}
+
 void DieOnBadStatus(const Status& st, const char* file, int line) {
   std::fprintf(stderr, "[%s:%d] DISTME_CHECK_OK failed: %s\n", file, line,
                st.ToString().c_str());
+  InvokeFatalHook();
   std::abort();
 }
 
 void DieOnBadResultAccess(const Status& st) {
   std::fprintf(stderr, "Result::value() called on an error Result: %s\n",
                st.ToString().c_str());
+  InvokeFatalHook();
   std::abort();
 }
 

@@ -153,4 +153,16 @@ namespace distme::internal {
 
 /// \brief Aborts with the status message; backs Result<T>::value() on error.
 [[noreturn]] void DieOnBadResultAccess(const Status& st);
+
+/// \brief A process-wide hook run once just before a fatal abort
+/// (DieOnBadStatus / DieOnBadResultAccess), after the status message has
+/// been printed. The hook must not allocate and must not abort again —
+/// the observability layer installs the flight-recorder dump here so a
+/// crash leaves a telemetry trail. Reentrancy is guarded by the caller.
+using FatalHook = void (*)();
+void SetFatalHook(FatalHook hook);
+
+/// \brief Invokes the installed hook, at most once per process (guarded
+/// against reentrant fatals from inside the hook).
+void InvokeFatalHook();
 }  // namespace distme::internal

@@ -4,16 +4,79 @@
 #include <cmath>
 
 #include "blas/local_mm.h"
+#include "common/logging.h"
 #include "matrix/store.h"
 #include "obs/export.h"
+#include "obs/prom_export.h"
 
 namespace distme::core {
 
-Session::Session(Options options) : options_(std::move(options)) {
+Session::Session(Options options)
+    : options_(std::move(options)),
+      flight_(options_.flight_recorder_capacity) {
   if (!options_.planner) {
     options_.planner = std::make_shared<DistmePlanner>();
   }
   executor_ = std::make_unique<engine::RealExecutor>(options_.cluster);
+  // A fatal Result/Status abort anywhere in the process dumps this ring to
+  // stderr — the crash leaves a telemetry trail.
+  flight_.InstallFatalDump();
+  if (options_.sample_period_ms > 0) {
+    obs::SamplerOptions sampler_options;
+    sampler_options.period_ms = options_.sample_period_ms;
+    sampler_options.max_samples = options_.sampler_retention;
+    sampler_ =
+        std::make_unique<obs::Sampler>(&metrics_, &comm_, sampler_options);
+    sampler_->Start();
+  }
+  if (options_.watchdog_period_ms > 0) {
+    obs::WatchdogOptions watchdog_options;
+    watchdog_options.period_ms = options_.watchdog_period_ms;
+    watchdog_options.threshold_factor = options_.watchdog_threshold;
+    watchdog_ = std::make_unique<obs::Watchdog>(&metrics_, &flight_,
+                                                watchdog_options);
+    watchdog_->Start();
+  }
+  if (options_.http_port >= 0) {
+    endpoint_ = std::make_unique<obs::HttpEndpoint>(
+        [this](const std::string& path) {
+          obs::HttpResponse response;
+          if (path == "/metrics" || path == "/") {
+            response.content_type =
+                "text/plain; version=0.0.4; charset=utf-8";
+            response.body = obs::PrometheusText(metrics_.Snapshot());
+          } else if (path == "/flight") {
+            response.content_type = "application/json";
+            response.body = flight_.ToJson();
+          } else if (path == "/healthz") {
+            response.body = "ok\n";
+          } else {
+            response.status = 404;
+            response.body = "not found\n";
+          }
+          return response;
+        });
+    const Status started = endpoint_->Start(options_.http_port);
+    if (started.ok()) {
+      DISTME_LOG(Info) << "telemetry endpoint on 127.0.0.1:"
+                       << endpoint_->port() << " (/metrics, /flight)";
+    } else {
+      DISTME_LOG(Warning) << "telemetry endpoint disabled: "
+                          << started.ToString();
+      endpoint_.reset();
+    }
+  }
+}
+
+Session::~Session() {
+  // Shutdown ordering: the endpoint's handler reads the registry and the
+  // flight ring, and the watchdog/sampler threads read the registry — stop
+  // all consumer threads before any observed state goes away, then detach
+  // the fatal-dump hook (it must not fire against a dead ring).
+  if (endpoint_ != nullptr) endpoint_->Stop();
+  if (watchdog_ != nullptr) watchdog_->Stop();
+  if (sampler_ != nullptr) sampler_->Stop();
+  flight_.UninstallFatalDump();
 }
 
 Result<Matrix> Session::FromGrid(const BlockGrid& grid) {
@@ -58,6 +121,9 @@ Result<Matrix> Session::MultiplyWith(const Matrix& a, const Matrix& b,
   real.metrics = &metrics_;
   real.tracer = &tracer_;
   real.comm = &comm_;
+  real.flight = &flight_;
+  real.watchdog = watchdog_.get();
+  real.flight_dump_path = options_.flight_dump_path;
   // Explain bracketing: snapshot before the run so the report can attribute
   // to this run only its delta of the session-cumulative instruments.
   obs::MetricsSnapshot before;

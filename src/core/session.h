@@ -21,8 +21,12 @@
 #include "engine/sim_executor.h"
 #include "matrix/generator.h"
 #include "obs/comm_matrix.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_endpoint.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace distme::core {
 
@@ -65,9 +69,32 @@ class Session {
     /// every multiplication. Costs two registry snapshots per run; turn off
     /// for overhead-sensitive micro-benchmarks.
     bool collect_explain = true;
+    /// Flight-recorder ring capacity (events). Always on — recording is a
+    /// few relaxed atomics per event — and the ring doubles as the crash
+    /// post-mortem (it dumps to stderr on a fatal Result/Status abort).
+    size_t flight_recorder_capacity = 4096;
+    /// When non-empty, a failed multiplication dumps the flight-recorder
+    /// ring (JSON) to this path before the error Status surfaces.
+    std::string flight_dump_path;
+    /// Background sampler period; 0 (the default) disables the sampler.
+    int64_t sample_period_ms = 0;
+    /// Sampler retention: most-recent snapshots kept in memory.
+    size_t sampler_retention = 600;
+    /// HTTP scrape endpoint port on 127.0.0.1: -1 (the default) disables
+    /// it, 0 binds an ephemeral port (read it back via http_port()).
+    int http_port = -1;
+    /// Straggler-watchdog scan period; 0 (the default) disables it.
+    int64_t watchdog_period_ms = 0;
+    /// Watchdog threshold: flag tasks above this multiple of the stage
+    /// median task duration.
+    double watchdog_threshold = 4.0;
   };
 
   explicit Session(Options options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   const ClusterConfig& cluster() const { return options_.cluster; }
 
@@ -147,6 +174,25 @@ class Session {
   obs::CommMatrix& comm() { return comm_; }
   const obs::CommMatrix& comm() const { return comm_; }
 
+  /// \brief The session-owned flight recorder (always on; see
+  /// Options::flight_recorder_capacity).
+  obs::FlightRecorder& flight() { return flight_; }
+  const obs::FlightRecorder& flight() const { return flight_; }
+
+  /// \brief The background sampler, or nullptr when
+  /// Options::sample_period_ms is 0.
+  obs::Sampler* sampler() { return sampler_.get(); }
+
+  /// \brief The straggler watchdog, or nullptr when
+  /// Options::watchdog_period_ms is 0.
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+
+  /// \brief The bound scrape-endpoint port, or -1 when the endpoint is off
+  /// (Options::http_port < 0, or the bind failed — see the startup log).
+  int http_port() const {
+    return endpoint_ != nullptr ? endpoint_->port() : -1;
+  }
+
  private:
   Options options_;
   std::unique_ptr<engine::RealExecutor> executor_;
@@ -155,6 +201,13 @@ class Session {
   obs::Tracer tracer_;
   obs::CommMatrix comm_;
   std::optional<engine::ExplainReport> last_explain_;
+  // Telemetry subsystems, declared after the registries they observe so
+  // reverse-order destruction tears them down first; ~Session() also stops
+  // their threads explicitly (endpoint → watchdog → sampler).
+  obs::FlightRecorder flight_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<obs::HttpEndpoint> endpoint_;
 };
 
 }  // namespace distme::core

@@ -44,8 +44,9 @@ class TaskInputs : public gpumm::BlockSource {
   std::unordered_map<BlockIndex, Block, BlockIndexHash> b_;
 };
 
-// Label for the distme.task.retries{reason} counter.
-std::string RetryReason(const Status& status, bool injected) {
+// Label for the distme.task.retries{reason} counter. Returns string
+// literals so the flight recorder can keep the pointer without copying.
+const char* RetryReason(const Status& status, bool injected) {
   if (injected) return "injected_crash";
   switch (status.code()) {
     case StatusCode::kOutOfMemory:
@@ -106,6 +107,7 @@ class RealExecutor::Impl {
     obs::MetricsRegistry* metrics =
         options.metrics != nullptr ? options.metrics : &run_metrics;
     obs::Tracer* tracer = options.tracer;
+    obs::FlightRecorder* flight = options.flight;
 
     obs::Counter* repartition_bytes =
         metrics->GetCounter("distme.shuffle.repartition_bytes");
@@ -179,6 +181,10 @@ class RealExecutor::Impl {
       plan_span.AddArg("tasks", static_cast<int64_t>(tasks.size()));
       plan_span.AddArg("lpt", static_cast<int64_t>(options.lpt_scheduling));
     }
+    if (flight != nullptr) {
+      flight->Record(obs::FlightEventType::kRunStart, /*node=*/-1,
+                     /*slot=*/-1, static_cast<int64_t>(tasks.size()));
+    }
 
     const bool needs_agg = method.NeedsAggregation(problem);
     auto output = std::make_shared<DistributedMatrix>(
@@ -216,6 +222,11 @@ class RealExecutor::Impl {
           options.comm->Record(obs::CommStage::kRepartition, m.NodeOf(idx),
                                node, wire);
         }
+        if (flight != nullptr) {
+          // node = destination (the fetching task), slot = source node.
+          flight->Record(obs::FlightEventType::kBlockFetch, node,
+                         m.NodeOf(idx), wire);
+        }
         span.AddArg("bytes", wire);
         if (options.serialize_transfers) {
           // Round-trip through the wire format, as a real shuffle would.
@@ -247,6 +258,11 @@ class RealExecutor::Impl {
           options.comm->Record(obs::CommStage::kAggregation, producer_node,
                                reducer_node, wire);
         }
+        if (flight != nullptr) {
+          // node = producer, slot = reducer node receiving the partial.
+          flight->Record(obs::FlightEventType::kBlockEmit, producer_node,
+                         reducer_node, wire);
+        }
         obs::TraceSpan span(tracer, "shuffle.aggregate", "shuffle");
         span.AddArg("bytes", wire);
         span.AddArg("reducer", static_cast<int64_t>(reducer_node));
@@ -269,12 +285,13 @@ class RealExecutor::Impl {
       return Status::OK();
     };
 
-    auto run_task = [&](const mm::LocalTask& task,
+    auto run_task = [&](const mm::LocalTask& task, int slot,
                         bool crash_before_commit) -> Status {
       const int node = static_cast<int>(task.id % config_.num_nodes);
       MemoryTracker tracker("task " + std::to_string(task.id),
                             config_.task_memory_bytes);
       tracker.AttachMetrics(used_memory, peak_memory, oom_rejections);
+      tracker.AttachFlight(flight, node, slot);
       MemoryTracker* tracker_ptr =
           options.enforce_task_memory ? &tracker : nullptr;
 
@@ -325,7 +342,7 @@ class RealExecutor::Impl {
             gpumm::GpuCuboidResult gpu_result,
             gpumm::RunCuboidOnGpu(task.voxels, a.shape(), b.shape(), &inputs,
                                   device, config_.gpu_task_memory_bytes,
-                                  tracer));
+                                  tracer, flight));
         for (auto& [key, dense] : gpu_result.c_blocks) {
           DISTME_RETURN_NOT_OK(buffer_output({key.first, key.second},
                                              Block::Dense(std::move(dense))));
@@ -439,23 +456,43 @@ class RealExecutor::Impl {
                       options.task_failure_rate;
             }
             task_attempts->Add(1);
+            if (flight != nullptr) {
+              flight->Record(obs::FlightEventType::kTaskStart, node, w,
+                             task.id, attempt);
+            }
+            const int wd_token =
+                options.watchdog != nullptr
+                    ? options.watchdog->TaskStarted(task.id, node, w)
+                    : -1;
             Stopwatch attempt_clock;
             obs::TraceSpan attempt_span(tracer, "task.attempt", "task");
             attempt_span.AddArg("task", task.id);
             attempt_span.AddArg("attempt", static_cast<int64_t>(attempt));
             attempt_span.AddArg("voxels", task.voxels.size());
-            st = run_task(task, crash);
+            st = run_task(task, w, crash);
             if (!st.ok()) attempt_span.AddArg("error", st.ToString());
             attempt_span.End();
-            task_seconds->Observe(attempt_clock.ElapsedSeconds());
+            const double attempt_seconds = attempt_clock.ElapsedSeconds();
+            task_seconds->Observe(attempt_seconds);
+            if (options.watchdog != nullptr) {
+              options.watchdog->TaskFinished(wd_token);
+            }
+            if (flight != nullptr) {
+              flight->Record(obs::FlightEventType::kTaskFinish, node, w,
+                             task.id,
+                             static_cast<int64_t>(attempt_seconds * 1e6));
+            }
             if (st.ok()) break;
+            const char* reason = RetryReason(st, crash);
+            if (flight != nullptr) {
+              flight->Record(obs::FlightEventType::kTaskRetry, node, w,
+                             task.id, attempt, reason);
+            }
             DISTME_LOG(Warning) << "task " << task.id << " attempt "
-                                << attempt << " failed ("
-                                << RetryReason(st, crash) << "): "
+                                << attempt << " failed (" << reason << "): "
                                 << st.ToString();
             metrics
-                ->GetCounter("distme.task.retries",
-                             {{"reason", RetryReason(st, crash)}})
+                ->GetCounter("distme.task.retries", {{"reason", reason}})
                 ->Add(1);
           }
           if (!st.ok()) record_failure(std::move(st));
@@ -472,6 +509,23 @@ class RealExecutor::Impl {
     if (!failure.ok()) {
       result.report.task_retries =
           metrics->Snapshot().TotalValue("distme.task.retries") - base_retries;
+      if (flight != nullptr) {
+        flight->Record(obs::FlightEventType::kRunFinish, /*node=*/-1,
+                       /*slot=*/-1, static_cast<int64_t>(tasks.size()),
+                       /*b=*/1, "run failed");
+        // Post-mortem: the run is about to surface an error Status; leave
+        // the event trail on disk before the caller decides what to do.
+        if (!options.flight_dump_path.empty()) {
+          const Status dumped = flight->DumpToFile(options.flight_dump_path);
+          if (dumped.ok()) {
+            DISTME_LOG(Info) << "run failed; flight recorder dumped to "
+                             << options.flight_dump_path;
+          } else {
+            DISTME_LOG(Warning) << "flight-recorder dump failed: "
+                                << dumped.ToString();
+          }
+        }
+      }
       result.report.outcome = failure;
       result.output = std::move(output);
       return result;
@@ -562,6 +616,10 @@ class RealExecutor::Impl {
           ->Set(static_cast<int64_t>(pcie));
       metrics->GetGauge("distme.gpu.utilization_permille")
           ->Set(static_cast<int64_t>(result.report.gpu_utilization * 1000.0));
+    }
+    if (flight != nullptr) {
+      flight->Record(obs::FlightEventType::kRunFinish, /*node=*/-1,
+                     /*slot=*/-1, static_cast<int64_t>(tasks.size()));
     }
     result.output = std::move(output);
     return result;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "cluster/config.h"
 #include "common/result.h"
@@ -15,8 +16,10 @@
 #include "engine/report.h"
 #include "mm/method.h"
 #include "obs/comm_matrix.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace distme::engine {
 
@@ -52,6 +55,16 @@ struct RealOptions {
   /// cross-node aggregation emit is recorded with its true (src, dst)
   /// endpoints. Null (the default) costs one branch per transfer.
   obs::CommMatrix* comm = nullptr;
+  /// Flight recorder: run/task lifecycle, shuffle transfers, GPU stream
+  /// activity, and memory high-water marks land in its ring. Null (the
+  /// default) costs one branch per would-be event.
+  obs::FlightRecorder* flight = nullptr;
+  /// Straggler watchdog: each task attempt registers while in flight so the
+  /// watchdog's periodic scan can flag it against the stage median.
+  obs::Watchdog* watchdog = nullptr;
+  /// When non-empty and the run fails, the flight-recorder ring is dumped
+  /// (JSON) to this path — the post-mortem for an injected or real crash.
+  std::string flight_dump_path;
 };
 
 /// \brief Result of a real run: the product matrix plus the report.

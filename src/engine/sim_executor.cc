@@ -73,6 +73,11 @@ Result<MMReport> SimExecutor::Run(const mm::MMProblem& problem,
   report.mode = mode;
   report.num_tasks = num_tasks;
 
+  if (options.flight != nullptr) {
+    options.flight->Record(obs::FlightEventType::kRunStart, /*node=*/-1,
+                           /*slot=*/-1, num_tasks, /*b=*/0, "sim");
+  }
+
   // Density of one voxel's product block and of a task-local aggregation.
   const double a_block_bytes = problem.a.BytesPerBlock();
   const double b_block_bytes = problem.b.BytesPerBlock();
@@ -447,6 +452,11 @@ Result<MMReport> SimExecutor::Run(const mm::MMProblem& problem,
     emit("sim.repartition", report.steps.repartition_seconds);
     emit("sim.multiply", report.steps.multiply_seconds);
     emit("sim.aggregation", report.steps.aggregation_seconds);
+  }
+  if (options.flight != nullptr) {
+    options.flight->Record(obs::FlightEventType::kRunFinish, /*node=*/-1,
+                           /*slot=*/-1, num_tasks,
+                           report.outcome.ok() ? 0 : 1, "sim");
   }
   return report;
 }

@@ -12,6 +12,7 @@
 #include "engine/report.h"
 #include "mm/method.h"
 #include "obs/comm_matrix.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -56,6 +57,11 @@ struct SimOptions {
   /// from all N sources, aggregation output leaves it toward all N
   /// reducers. Totals match the report's shuffle bytes (± rounding).
   obs::CommMatrix* comm = nullptr;
+  /// Optional flight recorder. The simulator emits run-level events only
+  /// (run_start with the task count, run_finish with the outcome) — paper-
+  /// scale plans have millions of simulated tasks and per-task events would
+  /// drown the ring.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// \brief Simulates one distributed matrix multiplication.

@@ -25,7 +25,8 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                                        const BlockedShape& b_shape,
                                        BlockSource* source,
                                        gpu::Device* device, int64_t theta_g,
-                                       obs::Tracer* tracer) {
+                                       obs::Tracer* tracer,
+                                       obs::FlightRecorder* flight) {
   if (!box.is_box()) {
     return Status::Invalid(
         "cuboid-level GPU streaming requires a box voxel set "
@@ -102,6 +103,15 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
         sub_span.AddArg("q", qi);
         sub_span.AddArg("r", ri);
 
+        // Linear subcuboid index for the flight recorder (r2 fastest, the
+        // same order this loop nest visits them).
+        const int64_t sub_index = (pi * q2 + qi) * r2 + ri;
+        if (flight != nullptr) {
+          flight->Record(obs::FlightEventType::kGpuSubmit,
+                         obs::Tracer::CurrentPid(), obs::Tracer::CurrentTid(),
+                         sub_index, p2 * q2 * r2);
+        }
+
         // Line 12: copy A' of this subcuboid to BufA as one chunk.
         int64_t a_chunk_bytes = 0;
         std::vector<std::vector<Block>> a_blocks(
@@ -169,6 +179,12 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
             DISTME_RETURN_NOT_OK(device->EnqueueD2H(
                 streams[static_cast<size_t>(j)], c_col_bytes));
           }
+        }
+
+        if (flight != nullptr) {
+          flight->Record(obs::FlightEventType::kGpuComplete,
+                         obs::Tracer::CurrentPid(), obs::Tracer::CurrentTid(),
+                         sub_index, a_chunk_bytes);
         }
       }
     }

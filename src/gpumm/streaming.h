@@ -13,6 +13,7 @@
 #include "matrix/block.h"
 #include "matrix/block_grid.h"
 #include "mm/plan.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace distme::gpumm {
@@ -67,11 +68,16 @@ struct GpuCuboidResult {
 ///
 /// When `tracer` is non-null and enabled, a span is recorded per subcuboid
 /// and per streamed A chunk on the calling thread's current trace track.
+///
+/// When `flight` is non-null, a gpu_submit/gpu_complete flight-recorder
+/// event pair brackets each subcuboid's device work (node/slot taken from
+/// the calling thread's current trace track).
 [[nodiscard]] Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                                        const BlockedShape& a_shape,
                                        const BlockedShape& b_shape,
                                        BlockSource* source,
                                        gpu::Device* device, int64_t theta_g,
-                                       obs::Tracer* tracer = nullptr);
+                                       obs::Tracer* tracer = nullptr,
+                                       obs::FlightRecorder* flight = nullptr);
 
 }  // namespace distme::gpumm

@@ -62,7 +62,10 @@ void JsonWriter::Value(int64_t value) {
 void JsonWriter::Value(double value) {
   Separate();
   if (!std::isfinite(value)) {
-    out_.append("0");  // JSON has no NaN/Inf
+    // JSON has no NaN/Inf token. `null` is the honest encoding — a literal
+    // 0 silently turns "no observations yet" (min = +inf) into a plausible
+    // measurement downstream.
+    out_.append("null");
     return;
   }
   char buf[40];

@@ -1,0 +1,269 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+
+#include "obs/export.h"
+
+namespace distme::obs {
+
+namespace {
+
+// Keep entry-for-entry in sync with FlightEventType (distme-lint rule
+// `flight-enum-sync` checks that each name is the snake_case of the
+// enumerator at the same index; the static_assert below checks the count).
+constexpr const char* kFlightEventTypeNames[] = {
+    "run_start",           // kRunStart
+    "run_finish",          // kRunFinish
+    "task_start",          // kTaskStart
+    "task_finish",         // kTaskFinish
+    "task_retry",          // kTaskRetry
+    "block_fetch",         // kBlockFetch
+    "block_emit",          // kBlockEmit
+    "gpu_submit",          // kGpuSubmit
+    "gpu_complete",        // kGpuComplete
+    "mem_high_water",      // kMemHighWater
+    "watchdog_straggler",  // kWatchdogStraggler
+    "fatal",               // kFatal
+};
+
+static_assert(std::size(kFlightEventTypeNames) ==
+                  static_cast<size_t>(FlightEventType::kNumTypes),
+              "kFlightEventTypeNames must cover every FlightEventType");
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 64;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* FlightEventTypeName(FlightEventType type) {
+  const size_t i = static_cast<size_t>(type);
+  if (i >= std::size(kFlightEventTypeNames)) return "unknown";
+  return kFlightEventTypeNames[i];
+}
+
+// One ring slot. Every payload field is an atomic so a concurrent snapshot
+// never tears a field; `seq` is the seqlock version: 0 = never written,
+// odd = write in progress, even = 2 × (global sequence number).
+struct FlightRecorder::Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<int64_t> ts_us{0};
+  std::atomic<uint8_t> type{0};
+  std::atomic<int32_t> node{-1};
+  std::atomic<int32_t> slot{-1};
+  std::atomic<int64_t> a{0};
+  std::atomic<int64_t> b{0};
+  std::atomic<const char*> detail{nullptr};
+};
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(RoundUpPow2(capacity)),
+      slots_(std::make_unique<Slot[]>(RoundUpPow2(capacity))),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder::~FlightRecorder() { UninstallFatalDump(); }
+
+int64_t FlightRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void FlightRecorder::Record(FlightEventType type, int32_t node, int32_t slot,
+                            int64_t a, int64_t b, const char* detail) {
+  const int64_t now = NowMicros();
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& s = slots_[seq & (capacity_ - 1)];
+  // Seqlock publish: odd marks the write in progress; a reader that sees
+  // the odd value (or different values before/after its copy) discards the
+  // slot. If two writers ever land on the same slot (a full ring wrap
+  // during one write), the loser's version wins and the reader still only
+  // accepts a consistent pair.
+  s.seq.store(2 * seq - 1, std::memory_order_release);
+  s.ts_us.store(now, std::memory_order_relaxed);
+  s.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  s.node.store(node, std::memory_order_relaxed);
+  s.slot.store(slot, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.detail.store(detail, std::memory_order_relaxed);
+  s.seq.store(2 * seq, std::memory_order_release);
+}
+
+bool FlightRecorder::ReadSlot(const Slot& slot, FlightEvent* out) const {
+  const uint64_t v1 = slot.seq.load(std::memory_order_acquire);
+  if (v1 == 0 || (v1 & 1) != 0) return false;
+  out->seq = v1 / 2;
+  out->ts_us = slot.ts_us.load(std::memory_order_relaxed);
+  out->type = static_cast<FlightEventType>(
+      slot.type.load(std::memory_order_relaxed));
+  out->node = slot.node.load(std::memory_order_relaxed);
+  out->slot = slot.slot.load(std::memory_order_relaxed);
+  out->a = slot.a.load(std::memory_order_relaxed);
+  out->b = slot.b.load(std::memory_order_relaxed);
+  out->detail = slot.detail.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return slot.seq.load(std::memory_order_relaxed) == v1;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    FlightEvent e;
+    if (ReadSlot(slots_[i], &e)) events.push_back(e);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& l, const FlightEvent& r) {
+              return l.seq < r.seq;
+            });
+  return events;
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("total_recorded");
+  w.Value(static_cast<int64_t>(TotalRecorded()));
+  w.Key("capacity");
+  w.Value(static_cast<int64_t>(capacity_));
+  w.Key("events");
+  w.BeginArray();
+  for (const FlightEvent& e : events) {
+    w.BeginObject();
+    w.Key("seq");
+    w.Value(static_cast<int64_t>(e.seq));
+    w.Key("ts_us");
+    w.Value(e.ts_us);
+    w.Key("type");
+    w.Value(FlightEventTypeName(e.type));
+    w.Key("node");
+    w.Value(e.node);
+    w.Key("slot");
+    w.Value(e.slot);
+    w.Key("a");
+    w.Value(e.a);
+    w.Key("b");
+    w.Value(e.b);
+    if (e.detail != nullptr) {
+      w.Key("detail");
+      w.Value(e.detail);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status FlightRecorder::DumpToFile(const std::string& path) const {
+  return WriteTextFile(path, ToJson());
+}
+
+namespace {
+
+// write(2) the whole buffer, retrying on short writes. Async-signal-safe.
+void WriteAllToStderr(const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(STDERR_FILENO, data + off, len - off);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::FatalDumpToStderr() const {
+  // No heap use past this point: the process is dying and the allocator may
+  // be the thing that broke. Iterate the ring oldest-first via the global
+  // sequence, format each slot into a stack buffer, write(2) it out.
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "=== DistME flight recorder: last %zu of %llu "
+                        "events ===\n",
+                        std::min<size_t>(capacity_, TotalRecorded()),
+                        static_cast<unsigned long long>(TotalRecorded()));
+  if (n > 0) WriteAllToStderr(buf, static_cast<size_t>(n));
+  const uint64_t end = next_.load(std::memory_order_relaxed);
+  const uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  for (uint64_t seq = begin + 1; seq <= end; ++seq) {
+    FlightEvent e;
+    if (!ReadSlot(slots_[seq & (capacity_ - 1)], &e) || e.seq != seq) {
+      continue;  // overwritten or mid-write; skip rather than misreport
+    }
+    n = std::snprintf(buf, sizeof(buf),
+                      "[flight %8llu %10lld us] %-18s node=%d slot=%d "
+                      "a=%lld b=%lld%s%s\n",
+                      static_cast<unsigned long long>(e.seq),
+                      static_cast<long long>(e.ts_us),
+                      FlightEventTypeName(e.type), e.node, e.slot,
+                      static_cast<long long>(e.a),
+                      static_cast<long long>(e.b),
+                      e.detail != nullptr ? " " : "",
+                      e.detail != nullptr ? e.detail : "");
+    if (n > 0) {
+      WriteAllToStderr(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+    }
+  }
+  WriteAllToStderr("=== end flight recorder ===\n", 28);
+}
+
+namespace {
+
+// Bounded registry of recorders to dump on a fatal abort. Slots are claimed
+// and released with CAS; the dump hook walks all of them. A recorder past
+// the bound simply isn't registered — the fatal path stays allocation-free
+// and bounded no matter how many sessions a process creates.
+constexpr size_t kMaxFatalRecorders = 8;
+std::atomic<const FlightRecorder*> g_fatal_recorders[kMaxFatalRecorders];
+
+void FatalDumpAll() {
+  // Reentrancy guard: a crash inside the dump must not recurse.
+  static std::atomic<bool> dumping{false};
+  bool expected = false;
+  if (!dumping.compare_exchange_strong(expected, true)) return;
+  for (auto& slot : g_fatal_recorders) {
+    const FlightRecorder* recorder = slot.load(std::memory_order_acquire);
+    if (recorder != nullptr) recorder->FatalDumpToStderr();
+  }
+  dumping.store(false);
+}
+
+}  // namespace
+
+void FlightRecorder::InstallFatalDump() {
+  if (fatal_dump_installed_) return;
+  for (auto& slot : g_fatal_recorders) {
+    const FlightRecorder* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, this,
+                                     std::memory_order_acq_rel)) {
+      fatal_dump_installed_ = true;
+      internal::SetFatalHook(&FatalDumpAll);
+      return;
+    }
+  }
+  // Registry full: silently skip (the bound keeps the fatal path simple).
+}
+
+void FlightRecorder::UninstallFatalDump() {
+  if (!fatal_dump_installed_) return;
+  for (auto& slot : g_fatal_recorders) {
+    const FlightRecorder* expected = this;
+    if (slot.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  fatal_dump_installed_ = false;
+}
+
+}  // namespace distme::obs

@@ -1,0 +1,130 @@
+// FlightRecorder: a lock-free, fixed-capacity ring buffer of structured
+// engine events — the "black box" of a run. Executors, the GPU streaming
+// path, and the memory tracker append events on the hot path (a handful of
+// relaxed atomic stores, no allocation, no locks); the ring keeps the most
+// recent `capacity` events and can be dumped on demand (JSON), on a failed
+// run (RealExecutor's fault-injection path), or on a fatal abort
+// (Result<T>::value() on an error) without allocating.
+//
+// Concurrency model: writers claim a global sequence number with one
+// fetch_add, then publish into slot (seq % capacity) under a per-slot
+// seqlock (odd = write in progress). Every payload field is itself an
+// atomic, so a concurrent reader never tears a field and TSan stays silent;
+// the seqlock version check rejects slots that were mid-overwrite. A reader
+// can therefore snapshot the ring while eight workers hammer it.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distme::obs {
+
+/// \brief The kind of engine event a flight-recorder entry describes.
+///
+/// The enum and the string table `kFlightEventTypeNames` in
+/// flight_recorder.cc must stay in sync entry-for-entry (each name is the
+/// snake_case of the enumerator) — checked at compile time by a
+/// static_assert on the count and by distme-lint rule `flight-enum-sync`
+/// on the order.
+enum class FlightEventType : uint8_t {
+  kRunStart = 0,       ///< executor run begins (a = planned tasks)
+  kRunFinish,          ///< executor run ends (a = 0 ok / status code)
+  kTaskStart,          ///< task attempt begins (a = task id, b = attempt)
+  kTaskFinish,         ///< task attempt succeeded (a = task id, b = µs)
+  kTaskRetry,          ///< task attempt failed (a = task id, b = attempt)
+  kBlockFetch,         ///< remote block fetch (slot = src node, a = bytes)
+  kBlockEmit,          ///< cross-node aggregation emit (a = bytes)
+  kGpuSubmit,          ///< GPU subcuboid submitted (a = subcuboid index)
+  kGpuComplete,        ///< GPU subcuboid completed (a = index, b = µs)
+  kMemHighWater,       ///< task memory high-water doubled (a = peak bytes)
+  kWatchdogStraggler,  ///< watchdog flagged a straggler (a = id, b = age µs)
+  kFatal,              ///< fatal error; the ring is being dumped
+  kNumTypes            // sentinel — keep last
+};
+
+/// \brief Stable snake_case name of `type` ("task_start", ...).
+const char* FlightEventTypeName(FlightEventType type);
+
+/// \brief One decoded flight-recorder event (a snapshot copy of a slot).
+struct FlightEvent {
+  uint64_t seq = 0;   ///< global sequence number (1-based, gap-free)
+  int64_t ts_us = 0;  ///< µs since the recorder was constructed
+  FlightEventType type = FlightEventType::kRunStart;
+  int32_t node = -1;  ///< simulated node (-1 = driver / not applicable)
+  int32_t slot = -1;  ///< task slot, or the peer node for transfers
+  int64_t a = 0;      ///< event-specific (see FlightEventType)
+  int64_t b = 0;      ///< event-specific
+  /// Static-storage detail string (always a literal; never freed).
+  const char* detail = nullptr;
+};
+
+/// \brief Lock-free fixed-capacity ring of engine events.
+class FlightRecorder {
+ public:
+  /// \brief `capacity` is rounded up to a power of two (min 64).
+  explicit FlightRecorder(size_t capacity = 4096);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// \brief Appends one event. Lock-free, allocation-free; safe from any
+  /// number of threads. `detail` MUST be a string literal (or otherwise
+  /// have static storage duration) — the ring stores the pointer.
+  void Record(FlightEventType type, int32_t node = -1, int32_t slot = -1,
+              int64_t a = 0, int64_t b = 0, const char* detail = nullptr);
+
+  /// \brief Total events ever recorded (≥ the number retained).
+  uint64_t TotalRecorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief µs since this recorder was constructed (the event clock).
+  int64_t NowMicros() const;
+
+  /// \brief Copies out the retained events, oldest first. Events being
+  /// overwritten concurrently are skipped, never torn.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// \brief JSON dump: {"total_recorded":…, "capacity":…, "events":[…]}.
+  std::string ToJson() const;
+
+  /// \brief Writes ToJson() to `path`.
+  [[nodiscard]] Status DumpToFile(const std::string& path) const;
+
+  /// \brief Allocation-free dump of the ring to stderr, for fatal paths:
+  /// formats each slot into a stack buffer and write(2)s it. Safe to call
+  /// after a fatal status (no heap use, no locks).
+  void FatalDumpToStderr() const;
+
+  /// \brief Registers this recorder so a fatal abort
+  /// (Result<T>::value()/ValueOrDie() on an error, DISTME_CHECK_OK) dumps
+  /// it to stderr before the process dies. Bounded registry (8 recorders);
+  /// registration past the bound is silently dropped. The destructor
+  /// unregisters automatically.
+  void InstallFatalDump();
+  void UninstallFatalDump();
+
+ private:
+  struct Slot;
+
+  // Seqlock-validated copy of one slot; false if empty or mid-write.
+  bool ReadSlot(const Slot& slot, FlightEvent* out) const;
+
+  const size_t capacity_;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+  const std::chrono::steady_clock::time_point epoch_;
+  bool fatal_dump_installed_ = false;
+};
+
+}  // namespace distme::obs

@@ -1,0 +1,161 @@
+#include "obs/http_endpoint.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace distme::obs {
+
+namespace {
+
+const char* StatusLine(int status) {
+  switch (status) {
+    case 200:
+      return "200 OK";
+    case 404:
+      return "404 Not Found";
+    case 405:
+      return "405 Method Not Allowed";
+    default:
+      return "500 Internal Server Error";
+  }
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(Handler handler) : handler_(std::move(handler)) {}
+
+HttpEndpoint::~HttpEndpoint() { Stop(); }
+
+Status HttpEndpoint::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Invalid("http endpoint already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("http endpoint: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IOError(
+        "http endpoint: cannot bind 127.0.0.1:" + std::to_string(port) +
+        ": " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status st = Status::IOError("http endpoint: listen() failed: " +
+                                      std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status st = Status::IOError("http endpoint: getsockname() failed");
+    ::close(fd);
+    return st;
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  port_.store(static_cast<int>(ntohs(addr.sin_port)),
+              std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpEndpoint::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  port_.store(-1, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpEndpoint::AcceptLoop() {
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Poll with a short timeout so Stop() is observed promptly without a
+    // wake-up socket.
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Bound how long a stalled client can hold the (single) serving thread.
+    timeval tv{/*tv_sec=*/2, /*tv_usec=*/0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpEndpoint::ServeConnection(int fd) {
+  // Read until the end of the request headers (or 8 KiB — scrape requests
+  // are one line plus a handful of headers).
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  if (request.empty()) return;
+
+  // "GET /path HTTP/1.x" — anything else is 405/400-ish.
+  HttpResponse response;
+  const size_t line_end = request.find_first_of("\r\n");
+  const std::string line = request.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    const size_t path_end = line.find(' ', 4);
+    std::string path = line.substr(4, path_end == std::string::npos
+                                          ? std::string::npos
+                                          : path_end - 4);
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    response = handler_(path);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      StatusLine(response.status), response.content_type.c_str(),
+      response.body.size());
+  std::string reply(header, static_cast<size_t>(header_len));
+  reply += response.body;
+  size_t off = 0;
+  while (off < reply.size()) {
+    const ssize_t n = ::send(fd, reply.data() + off, reply.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace distme::obs

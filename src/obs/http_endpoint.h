@@ -1,0 +1,74 @@
+// A minimal blocking HTTP/1.0 scrape endpoint over plain BSD sockets —
+// just enough protocol for `curl http://127.0.0.1:<port>/metrics` and a
+// Prometheus scraper, no external dependency. One background accept thread
+// serves requests sequentially (scrapes are rare and responses small);
+// Stop() (or destruction) closes the listener and joins the thread.
+//
+// Opt-in: nothing binds unless Start() is called. Binding is loopback-only
+// (127.0.0.1) — this is an introspection port, not a public API.
+
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace distme::obs {
+
+/// \brief What a handler returns for one request path.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// \brief Loopback HTTP server for live telemetry scrapes.
+class HttpEndpoint {
+ public:
+  /// Maps a request path ("/metrics", "/flight", ...) to a response. Runs
+  /// on the endpoint's accept thread; must be thread-safe against the
+  /// engine (handlers snapshot registries, which are).
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  explicit HttpEndpoint(Handler handler);
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// \brief Binds 127.0.0.1:`port` (0 = pick an ephemeral port), starts the
+  /// accept thread. Fails if already started or the bind/listen fails.
+  [[nodiscard]] Status Start(int port);
+
+  /// \brief Stops accepting, closes the listener, joins the thread.
+  /// Idempotent.
+  void Stop();
+
+  /// \brief The bound port (useful with Start(0)); -1 when not running.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// \brief Requests served so far (for tests).
+  int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> port_{-1};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_{0};
+};
+
+}  // namespace distme::obs

@@ -1,0 +1,196 @@
+#include "obs/prom_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace distme::obs {
+
+namespace {
+
+// Exposition-format double: finite values via %.17g, non-finite as the
+// format's spelled-out tokens (Prometheus accepts NaN/+Inf/-Inf; a bare
+// printf "inf"/"nan" is locale/libc-dependent and must never leak out).
+void AppendDouble(double value, std::string* out) {
+  if (std::isnan(value)) {
+    out->append("NaN");
+    return;
+  }
+  if (std::isinf(value)) {
+    out->append(value > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+void AppendInt(int64_t value, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out->append(buf);
+}
+
+// {name="value",...} with escaped values; `extra` appends one more label
+// (used for the histogram `le`). Empty label set and no extra -> nothing.
+void AppendLabels(const LabelSet& labels, const std::string& extra_key,
+                  const std::string& extra_value, std::string* out) {
+  if (labels.empty() && extra_key.empty()) return;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(PrometheusName(key));
+    out->append("=\"");
+    out->append(PrometheusEscapeLabelValue(value));
+    out->push_back('"');
+  }
+  if (!extra_key.empty()) {
+    if (!first) out->push_back(',');
+    out->append(extra_key);
+    out->append("=\"");
+    out->append(PrometheusEscapeLabelValue(extra_value));
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+const char* TypeName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendHistogram(const std::string& name, const MetricPoint& point,
+                     std::string* out) {
+  // Cumulative buckets. Only buckets that hold observations get an
+  // explicit `le` bound (the exposition format allows sparse bucket lists
+  // as long as counts are cumulative); `le="+Inf"` always closes the
+  // series with the total count.
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < point.buckets.size(); ++b) {
+    if (point.buckets[b] == 0) continue;
+    cumulative += point.buckets[b];
+    const double upper =
+        b + 1 < static_cast<size_t>(Histogram::kBuckets)
+            ? Histogram::BucketLowerBound(static_cast<int>(b) + 1)
+            : std::numeric_limits<double>::infinity();
+    std::string le;
+    {
+      std::string tmp;
+      AppendDouble(upper, &tmp);
+      le = std::move(tmp);
+    }
+    out->append(name);
+    out->append("_bucket");
+    AppendLabels(point.labels, "le", le, out);
+    out->push_back(' ');
+    AppendInt(cumulative, out);
+    out->push_back('\n');
+  }
+  out->append(name);
+  out->append("_bucket");
+  AppendLabels(point.labels, "le", "+Inf", out);
+  out->push_back(' ');
+  AppendInt(point.value, out);
+  out->push_back('\n');
+
+  out->append(name);
+  out->append("_sum");
+  AppendLabels(point.labels, "", "", out);
+  out->push_back(' ');
+  AppendDouble(point.sum, out);
+  out->push_back('\n');
+
+  out->append(name);
+  out->append("_count");
+  AppendLabels(point.labels, "", "", out);
+  out->push_back(' ');
+  AppendInt(point.value, out);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool digit = c >= '0' && c <= '9';
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || digit;
+    // A digit can't lead a metric name: keep it, but prepend an underscore.
+    if (i == 0 && digit) out.push_back('_');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  // Group points by sanitized name: one # TYPE line per metric family,
+  // every label set underneath it. Two registry names that sanitize to the
+  // same family keep the first kind seen (names are dot-namespaced and
+  // never collide in practice).
+  std::map<std::string, std::vector<const MetricPoint*>> families;
+  for (const MetricPoint& point : snapshot.points) {
+    families[PrometheusName(point.name)].push_back(&point);
+  }
+  std::string out;
+  for (const auto& [name, points] : families) {
+    out.append("# TYPE ");
+    out.append(name);
+    out.push_back(' ');
+    out.append(TypeName(points.front()->kind));
+    out.push_back('\n');
+    for (const MetricPoint* point : points) {
+      switch (point->kind) {
+        case MetricKind::kCounter:
+        case MetricKind::kGauge:
+          out.append(name);
+          AppendLabels(point->labels, "", "", &out);
+          out.push_back(' ');
+          AppendInt(point->value, &out);
+          out.push_back('\n');
+          break;
+        case MetricKind::kHistogram:
+          AppendHistogram(name, *point, &out);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace distme::obs

@@ -1,0 +1,34 @@
+// Prometheus text-format (version 0.0.4) rendering of a metrics snapshot,
+// served live by obs::HttpEndpoint at GET /metrics.
+//
+// Mapping from the registry's model:
+//   Counter   -> `# TYPE <name> counter`  + one sample per label set
+//   Gauge     -> `# TYPE <name> gauge`    + one sample per label set
+//   Histogram -> `# TYPE <name> histogram` + cumulative `_bucket{le=…}`
+//                series over the exponential buckets, plus `_sum`/`_count`
+// Metric names are sanitized (`distme.task.seconds` ->
+// `distme_task_seconds`); label values are escaped per the exposition
+// format (\\, \", \n). Non-finite doubles render as the exposition
+// format's `NaN` / `+Inf` / `-Inf` tokens — never as bare garbage.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace distme::obs {
+
+/// \brief `name` with every character outside [a-zA-Z0-9_:] replaced by
+/// '_' (and a leading '_' prepended if the first character is a digit).
+std::string PrometheusName(std::string_view name);
+
+/// \brief A label value with `\`, `"`, and newline escaped for the
+/// exposition format.
+std::string PrometheusEscapeLabelValue(std::string_view value);
+
+/// \brief Renders `snapshot` as Prometheus text exposition format. Points
+/// are grouped by metric name so each name gets exactly one `# TYPE` line.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace distme::obs

@@ -1,0 +1,87 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <utility>
+
+namespace distme::obs {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Sampler::Sampler(const MetricsRegistry* registry, const CommMatrix* comm,
+                 SamplerOptions options)
+    : registry_(registry), comm_(comm), options_(options) {
+  if (options_.period_ms < 1) options_.period_ms = 1;
+  if (options_.max_samples < 1) options_.max_samples = 1;
+}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Sampler::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Sampler::SampleOnce() {
+  Sample sample;
+  sample.ts_us = SteadyNowMicros();
+  sample.metrics = registry_->Snapshot();
+  if (comm_ != nullptr) {
+    const CommMatrixSnapshot snap = comm_->Snapshot();
+    sample.comm_total_bytes = snap.TotalBytes();
+    sample.comm_max_link_bytes = snap.MaxLinkBytes();
+    sample.comm_skew = snap.SkewRatio();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Steady clock can report the same microsecond twice under very short
+    // periods; nudge forward so the series stays strictly monotonic.
+    if (!samples_.empty() && sample.ts_us <= samples_.back().ts_us) {
+      sample.ts_us = samples_.back().ts_us + 1;
+    }
+    samples_.push_back(std::move(sample));
+    while (samples_.size() > options_.max_samples) samples_.pop_front();
+  }
+  total_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Sample> Sampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Sample>(samples_.begin(), samples_.end());
+}
+
+void Sampler::Loop() {
+  const auto period = std::chrono::milliseconds(options_.period_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    cv_.wait_for(lock, period, [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace distme::obs

@@ -1,0 +1,147 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace distme::obs {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Watchdog::Watchdog(MetricsRegistry* registry, FlightRecorder* flight,
+                   WatchdogOptions options)
+    : registry_(registry), flight_(flight), options_(options) {
+  if (options_.period_ms < 1) options_.period_ms = 1;
+  if (options_.max_tracked < 1) options_.max_tracked = 1;
+  if (options_.threshold_factor < 1.0) options_.threshold_factor = 1.0;
+  straggler_counter_ = registry_->GetCounter("distme.watchdog.stragglers");
+  slots_ = std::make_unique<TaskSlot[]>(
+      static_cast<size_t>(options_.max_tracked));
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Watchdog::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+int Watchdog::TaskStarted(int64_t task_id, int node, int slot) {
+  const int64_t now = SteadyNowMicros();
+  for (int i = 0; i < options_.max_tracked; ++i) {
+    TaskSlot& s = slots_[static_cast<size_t>(i)];
+    int64_t expected = -1;
+    if (s.task_id.compare_exchange_strong(expected, task_id,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      s.start_us.store(now, std::memory_order_relaxed);
+      s.node.store(node, std::memory_order_relaxed);
+      s.exec_slot.store(slot, std::memory_order_relaxed);
+      s.flagged.store(false, std::memory_order_release);
+      return i;
+    }
+  }
+  return -1;  // table full — this attempt simply goes unwatched
+}
+
+void Watchdog::TaskFinished(int token) {
+  if (token < 0 || token >= options_.max_tracked) return;
+  slots_[static_cast<size_t>(token)].task_id.store(
+      -1, std::memory_order_release);
+}
+
+int Watchdog::ScanOnce() { return ScanNow(SteadyNowMicros()); }
+
+int Watchdog::ScanNow(int64_t now_us) {
+  // Median task duration so far, from the cumulative stage histogram. A
+  // scan before any task finished has no median — nothing to compare
+  // against, so nothing is flagged.
+  Histogram* hist = registry_->GetHistogram("distme.task.seconds");
+  if (hist->Count() == 0) return 0;
+  const double median_us = hist->Percentile(50.0) * 1e6;
+  const double threshold_us = options_.threshold_factor * median_us;
+
+  int newly_flagged = 0;
+  for (int i = 0; i < options_.max_tracked; ++i) {
+    TaskSlot& s = slots_[static_cast<size_t>(i)];
+    const int64_t task_id = s.task_id.load(std::memory_order_acquire);
+    if (task_id < 0) continue;
+    if (s.flagged.load(std::memory_order_relaxed)) continue;
+    const int64_t elapsed =
+        now_us - s.start_us.load(std::memory_order_relaxed);
+    if (elapsed < options_.min_task_us) continue;
+    if (static_cast<double>(elapsed) <= threshold_us) continue;
+    // Flag exactly once per attempt, even if the slot is concurrently
+    // released and reclaimed: a reclaim resets `flagged`, and a stale flag
+    // on a freed slot is harmless (task_id check above skips it).
+    bool expected = false;
+    if (!s.flagged.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      continue;
+    }
+    const int node = s.node.load(std::memory_order_relaxed);
+    const int exec_slot = s.exec_slot.load(std::memory_order_relaxed);
+    straggler_counter_->Add(1);
+    flagged_total_.fetch_add(1, std::memory_order_relaxed);
+    ++newly_flagged;
+    if (flight_ != nullptr) {
+      flight_->Record(FlightEventType::kWatchdogStraggler, node, exec_slot,
+                      task_id, elapsed, "exceeded k x stage median");
+    }
+    DISTME_LOG(Warning) << "watchdog: task " << task_id << " (node " << node
+                        << ", slot " << exec_slot << ") running "
+                        << elapsed / 1000 << " ms, > "
+                        << options_.threshold_factor << "x stage median ("
+                        << static_cast<int64_t>(median_us) / 1000 << " ms)";
+  }
+  return newly_flagged;
+}
+
+int Watchdog::active_tasks() const {
+  int active = 0;
+  for (int i = 0; i < options_.max_tracked; ++i) {
+    if (slots_[static_cast<size_t>(i)].task_id.load(
+            std::memory_order_acquire) >= 0) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+void Watchdog::Loop() {
+  const auto period = std::chrono::milliseconds(options_.period_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, period, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    ScanOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace distme::obs

@@ -1,0 +1,121 @@
+// Straggler watchdog: a background thread that periodically scans the set
+// of in-flight tasks and flags any whose elapsed time exceeds
+// `threshold_factor` × the stage's median task duration. DistME's LPT
+// scheduling (paper §5.2) assumes task runtimes cluster around the cost
+// model's estimate; a straggler — skewed data, a contended GPU, an
+// injected fault — silently stretches the stage's critical path. The
+// watchdog makes that visible while the run is still going: it bumps
+// `distme.watchdog.stragglers`, appends a flight-recorder event, and logs
+// a warning, once per task attempt.
+//
+// The median comes from the registry's `distme.task.seconds` histogram
+// (bucket-interpolated, accurate within one power of two — plenty for a
+// 4× threshold). Tracking is lock-free: executors claim a slot in a fixed
+// array with a CAS on task start and release it on finish, so the hot
+// path costs two relaxed atomic stores either side of the task body.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace distme::obs {
+
+struct WatchdogOptions {
+  /// Scan period. Values below 1 ms are clamped to 1 ms.
+  int64_t period_ms = 100;
+  /// A task is a straggler once elapsed > threshold_factor × stage median.
+  double threshold_factor = 4.0;
+  /// Never flag tasks younger than this — medians of sub-millisecond tasks
+  /// are noise and a 4× multiple of noise flags everything.
+  int64_t min_task_us = 10'000;
+  /// Capacity of the in-flight task table. Claims beyond it are dropped
+  /// (those tasks are simply not watched).
+  int max_tracked = 256;
+};
+
+/// \brief Watches in-flight tasks for stragglers.
+///
+/// `registry` must outlive the watchdog and is both the median source
+/// (`distme.task.seconds`) and the sink (`distme.watchdog.stragglers`).
+/// `flight` may be nullptr.
+class Watchdog {
+ public:
+  Watchdog(MetricsRegistry* registry, FlightRecorder* flight,
+           WatchdogOptions options = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// \brief Starts the background scan thread. No-op if already running.
+  void Start();
+
+  /// \brief Stops and joins the scan thread. Idempotent.
+  void Stop();
+
+  /// \brief Registers a task attempt as in-flight. Returns a token to pass
+  /// to TaskFinished, or -1 if the table is full (caller just skips the
+  /// TaskFinished call). Thread-safe, lock-free.
+  int TaskStarted(int64_t task_id, int node, int slot);
+
+  /// \brief Removes an in-flight task. Tokens from TaskStarted only.
+  void TaskFinished(int token);
+
+  /// \brief One scan against the steady clock (also used by the thread).
+  /// Returns the number of *newly* flagged stragglers.
+  int ScanOnce();
+
+  /// \brief Deterministic scan for tests: `now_us` plays the role of the
+  /// current steady-clock reading (compared against TaskStarted times from
+  /// the same clock).
+  int ScanNow(int64_t now_us);
+
+  /// \brief Stragglers flagged since construction.
+  int64_t stragglers_flagged() const {
+    return flagged_total_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Tasks currently tracked (for tests).
+  int active_tasks() const;
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  struct TaskSlot {
+    /// -1 = free; >= 0 = task id in flight.
+    std::atomic<int64_t> task_id{-1};
+    std::atomic<int64_t> start_us{0};
+    std::atomic<int32_t> node{-1};
+    std::atomic<int32_t> exec_slot{-1};
+    std::atomic<bool> flagged{false};
+  };
+
+  void Loop();
+
+  MetricsRegistry* registry_;
+  FlightRecorder* flight_;
+  WatchdogOptions options_;
+  Counter* straggler_counter_;
+
+  std::unique_ptr<TaskSlot[]> slots_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> flagged_total_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by mutex_
+};
+
+}  // namespace distme::obs

@@ -17,7 +17,9 @@
 #include "common/logging.h"
 #include "core/session.h"
 #include "obs/comm_matrix.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 
 namespace distme {
 namespace {
@@ -147,6 +149,52 @@ TEST(StressConcurrencyTest, LoggingHammer) {
   SetLogLevel(saved);
 }
 
+// --- FlightRecorder / Sampler -----------------------------------------------
+
+// Writers hammer the lock-free event ring (forcing constant wraparound) while
+// one thread snapshots it and a 1 ms background sampler snapshots the registry
+// the writers also update. The seqlock must never surface a torn event:
+// snapshots stay sorted with unique sequence numbers, and the sampler's time
+// series stays strictly monotonic.
+TEST(StressConcurrencyTest, FlightRecorderAndSamplerHammer) {
+  obs::MetricsRegistry registry;
+  obs::CommMatrix comm;
+  obs::FlightRecorder flight(256);
+  obs::Sampler sampler(&registry, &comm, {.period_ms = 1, .max_samples = 64});
+  sampler.Start();
+  std::atomic<bool> stop{false};
+
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<obs::FlightEvent> events = flight.Snapshot();
+      for (size_t i = 1; i < events.size(); ++i) {
+        EXPECT_LT(events[i - 1].seq, events[i].seq);
+      }
+      EXPECT_LE(events.size(), flight.capacity());
+    }
+  });
+
+  RunOnThreads([&](int t) {
+    obs::Counter* counter = registry.GetCounter("stress.flight.events");
+    for (int i = 0; i < kItersPerThread; ++i) {
+      flight.Record(obs::FlightEventType::kTaskStart, t, i % 4, i, t,
+                    "stress");
+      counter->Add(1);
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+  sampler.Stop();
+
+  EXPECT_EQ(flight.TotalRecorded(),
+            uint64_t{kThreads} * static_cast<uint64_t>(kItersPerThread));
+  const std::vector<obs::Sample> samples = sampler.Samples();
+  EXPECT_GT(sampler.total_samples(), 0);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].ts_us, samples[i].ts_us);
+  }
+}
+
 // --- RealExecutor / Session -------------------------------------------------
 
 // Whole-engine stress: several sessions run real multiplies concurrently,
@@ -165,6 +213,10 @@ TEST(StressConcurrencyTest, MultiSessionMultiplyHammer) {
       options.cluster = ClusterConfig::Local(3, 2);
       options.planner = std::make_shared<core::DistmePlanner>(
           mm::OptimizerOptions{.enforce_parallelism = false});
+      // Full telemetry on: a 1 ms sampler and watchdog race the executor's
+      // metric updates and task slots in every session.
+      options.sample_period_ms = 1;
+      options.watchdog_period_ms = 1;
       core::Session session(options);
       session.EnableTracing();
 
@@ -192,6 +244,14 @@ TEST(StressConcurrencyTest, MultiSessionMultiplyHammer) {
           break;
         }
         DISTME_IGNORE_ERROR(session.Sum(*c));
+      }
+      // The background series must be strictly monotonic even while the
+      // executor hammered the registry it samples.
+      if (session.sampler() != nullptr) {
+        const std::vector<obs::Sample> samples = session.sampler()->Samples();
+        for (size_t i = 1; i < samples.size(); ++i) {
+          if (samples[i - 1].ts_us >= samples[i].ts_us) failures.fetch_add(1);
+        }
       }
     });
   }
