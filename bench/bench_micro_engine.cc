@@ -4,16 +4,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include <chrono>
 #include <string_view>
 
 #include "bench_util.h"
 #include "obs/sampler.h"
 #include "common/random.h"
+#include "engine/real_executor.h"
 #include "engine/sim_executor.h"
+#include "matrix/generator.h"
 #include "matrix/serialize.h"
 #include "mm/methods.h"
 #include "mm/optimizer.h"
+#include "obs/causal_graph.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -176,7 +183,7 @@ void BM_TraceSpanEnabled(benchmark::State& state) {
 BENCHMARK(BM_TraceSpanEnabled);
 
 void BM_FlightRecorderRecord(benchmark::State& state) {
-  obs::FlightRecorder flight(4096);
+  obs::FlightRecorder flight(512);
   int64_t task = 0;
   for (auto _ : state) {
     flight.Record(obs::FlightEventType::kTaskStart, 0, 0, task++, 0);
@@ -286,6 +293,151 @@ int RunSamplerOverheadOnly(bench::BenchObs* obs) {
   return 0;
 }
 
+// Analyzer-overhead measurement, same min-of-alternating-reps shape as
+// RunSamplerOverheadOnly. The "on" side wires a flight ring into the real
+// executor, which then emits the full causal timeline (task start/finish,
+// fetch/gpu dependency edges, block fetch/emit, stage barriers) — the cost
+// every real multiplication pays once the analyzer is enabled. The workload
+// is a real CPU multiply (384x384, block 64, RMM on 3x2 slots) so the ratio
+// compares emission against genuine task work, not against the simulator's
+// microsecond-scale cost model. The snapshot + BuildCausalGraph +
+// AnalyzeCriticalPath pass runs once per explain, off the per-task hot
+// path, so it is validated after the timed region (the critical path must
+// tile the run's wall time) but not timed. The bench baseline gates the
+// recorded ratio at <= 1.03.
+int RunAnalyzerOverheadOnly(bench::BenchObs* obs) {
+  const ClusterConfig cluster = ClusterConfig::Local(3, 2);
+  GeneratorOptions ga;
+  ga.rows = ga.cols = 384;
+  ga.block_size = 64;
+  ga.sparsity = 1.0;
+  ga.seed = 11;
+  GeneratorOptions gb = ga;
+  gb.seed = 12;
+  engine::DistributedMatrix a =
+      engine::DistributedMatrix::FromGridHashed(GenerateUniform(ga), 3);
+  engine::DistributedMatrix b =
+      engine::DistributedMatrix::FromGridHashed(GenerateUniform(gb), 3);
+  mm::RmmMethod method;
+  engine::RealExecutor executor(cluster);
+  engine::RealOptions options;
+  options.mode = engine::ComputeMode::kCpu;
+  obs->Wire(&options);
+  obs::FlightRecorder flight(2048);
+
+  auto run_batch = [&](int64_t iters, bool analyzer) -> Result<double> {
+    options.flight = analyzer ? &flight : nullptr;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < iters; ++i) {
+      DISTME_ASSIGN_OR_RETURN(engine::RealRunResult result,
+                              executor.Run(a, b, method, options));
+      DISTME_RETURN_NOT_OK(result.report.outcome);
+      benchmark::DoNotOptimize(result.report.num_tasks);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  int64_t iters = 1;
+  for (;;) {
+    auto elapsed = run_batch(iters, /*analyzer=*/false);
+    if (!elapsed.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   elapsed.status().ToString().c_str());
+      return 1;
+    }
+    if (*elapsed >= 0.2 || iters >= (int64_t{1} << 20)) break;
+    iters *= 2;
+  }
+
+  // Calibration only exercised the analyzer-off path; warm the analyzer-on
+  // path too (ring pages, fetch-event branches) so rep 0 is not biased.
+  if (auto warm = run_batch(iters, /*analyzer=*/true); !warm.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kReps = 5;
+  double best_off = 0;
+  double best_on = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto off = run_batch(iters, /*analyzer=*/false);
+    if (!off.ok()) return 1;
+    auto on = run_batch(iters, /*analyzer=*/true);
+    if (!on.ok()) return 1;
+    if (rep == 0 || *off < best_off) best_off = *off;
+    if (rep == 0 || *on < best_on) best_on = *on;
+  }
+
+  // Sanity-check the analysis the timeline feeds: the last run in the ring
+  // must yield a critical path that tiles its wall time.
+  const obs::CausalGraph graph = obs::BuildCausalGraph(flight.Snapshot());
+  const obs::CriticalPathAnalysis analysis = obs::AnalyzeCriticalPath(graph);
+  if (analysis.path_us <= 0 || analysis.path_us != analysis.wall_us) {
+    std::fprintf(stderr,
+                 "analyzer self-check failed: path %lld us vs wall %lld us\n",
+                 static_cast<long long>(analysis.path_us),
+                 static_cast<long long>(analysis.wall_us));
+    return 1;
+  }
+
+  // Real-executor wall times wobble a few percent with thread scheduling;
+  // a measured ratio below 1.0 is that noise (emitting events cannot make
+  // the run faster), so the recorded ratio is floored at 1.0 — the
+  // baseline's one-sided question is only "did emission get expensive".
+  const double raw_ratio = best_on / best_off;
+  const double ratio = std::max(1.0, raw_ratio);
+  std::printf("analyzer overhead: %lld iters x %d reps, best off %.3fs, "
+              "best on %.3fs (ratio %.4f raw %.4f, path %lld us over "
+              "%zu tasks)\n",
+              static_cast<long long>(iters), kReps, best_off, best_on, ratio,
+              raw_ratio, static_cast<long long>(analysis.path_us),
+              analysis.tasks.size());
+  obs->AddResult("analyzer_overhead_ratio", ratio);
+  return 0;
+}
+
+// Runs the simulated CuboidMM workload once with the per-task causal
+// timeline enabled and dumps the flight ring to `path` — a deterministic
+// dump for scripts/distme_analyze.py (CI smokes the analyzer against it).
+int RunSimFlightDump(const std::string& path) {
+  mm::MMProblem p = mm::MMProblem::DenseSquareBlocks(70000, 70000, 70000, 1000);
+  p.a.sparsity = p.b.sparsity = 0.5;
+  const ClusterConfig cluster = ClusterConfig::Paper();
+  engine::SimExecutor executor(cluster);
+  auto opt = mm::OptimizeCuboid(p, cluster);
+  if (!opt.ok()) {
+    std::fprintf(stderr, "optimizer failed: %s\n",
+                 opt.status().ToString().c_str());
+    return 1;
+  }
+  mm::CuboidMethod method(opt->spec);
+  obs::FlightRecorder flight(4096);
+  engine::SimOptions options;
+  options.mode = engine::ComputeMode::kGpuStreaming;
+  options.flight = &flight;
+  options.flight_task_events = true;
+  auto report = executor.Run(p, method, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "sim run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const Status dumped = flight.DumpToFile(path);
+  if (!dumped.ok()) {
+    std::fprintf(stderr, "flight dump failed: %s\n",
+                 dumped.ToString().c_str());
+    return 1;
+  }
+  std::printf("sim flight timeline (%lld tasks, %.3fs simulated) dumped "
+              "to %s\n",
+              static_cast<long long>(report->num_tasks),
+              report->elapsed_seconds, path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace distme
 
@@ -294,23 +446,45 @@ int RunSamplerOverheadOnly(bench::BenchObs* obs) {
 // micro benches do not emit spans themselves; the flag still produces a
 // valid (metadata-only) trace file so every bench binary accepts it.
 //
-// --sampler-overhead-only bypasses google-benchmark entirely and runs the
-// deterministic sampler on/off comparison (recorded via --bench-json=).
+// --sampler-overhead-only / --analyzer-overhead-only bypass google-benchmark
+// entirely and run the deterministic on/off comparisons (recorded via
+// --bench-json=). The flags compose: one invocation records both ratios
+// into the same bench-json results map. --sim-flight-dump=<path> (also
+// google-benchmark-free) writes a deterministic simulated causal timeline
+// for scripts/distme_analyze.py.
 int main(int argc, char** argv) {
   distme::bench::BenchObs obs(argc, argv);
   std::vector<char*> args = distme::bench::BenchObs::StripFlags(argc, argv);
   bool sampler_overhead_only = false;
+  bool analyzer_overhead_only = false;
+  std::string sim_flight_dump;
+  constexpr std::string_view kDumpFlag = "--sim-flight-dump=";
   for (auto it = args.begin(); it != args.end();) {
     if (*it != nullptr &&
         std::string_view(*it) == "--sampler-overhead-only") {
       sampler_overhead_only = true;
       it = args.erase(it);
+    } else if (*it != nullptr &&
+               std::string_view(*it) == "--analyzer-overhead-only") {
+      analyzer_overhead_only = true;
+      it = args.erase(it);
+    } else if (*it != nullptr &&
+               std::string_view(*it).starts_with(kDumpFlag)) {
+      sim_flight_dump = std::string_view(*it).substr(kDumpFlag.size());
+      it = args.erase(it);
     } else {
       ++it;
     }
   }
-  if (sampler_overhead_only) {
-    return distme::RunSamplerOverheadOnly(&obs);
+  if (sampler_overhead_only || analyzer_overhead_only ||
+      !sim_flight_dump.empty()) {
+    int rc = 0;
+    if (sampler_overhead_only) rc |= distme::RunSamplerOverheadOnly(&obs);
+    if (analyzer_overhead_only) rc |= distme::RunAnalyzerOverheadOnly(&obs);
+    if (!sim_flight_dump.empty()) {
+      rc |= distme::RunSimFlightDump(sim_flight_dump);
+    }
+    return rc;
   }
   int rest = static_cast<int>(args.size());
   benchmark::Initialize(&rest, args.data());

@@ -27,16 +27,27 @@ import tempfile
 # (binary, extra argv) pairs. Deterministic benches only: their results are
 # closed-form model outputs (shuffle bytes, task counts, analytic costs),
 # identical on every machine. Wall-clock benches (bench_fig7_systems etc.)
-# are excluded on purpose. The one ratio below is the exception that proves
-# the rule: sampler_overhead_ratio is wall-clock derived but scale-free
-# (sampler-on time / sampler-off time, min-of-alternating-reps), so ~1.0 on
-# any machine — drift beyond tolerance means the sampler got expensive.
+# are excluded on purpose. The two ratios below are the exception that
+# proves the rule: *_overhead_ratio keys are wall-clock derived but
+# scale-free (feature-on time / feature-off time, min-of-alternating-reps),
+# so ~1.0 on any machine — drift beyond tolerance means the sampler or the
+# critical-path analyzer got expensive.
 BENCHES = [
     ("bench_table2_costs", []),
     ("bench_validation_real", []),
     ("bench_fig7_comm", []),
-    ("bench_micro_engine", ["--sampler-overhead-only"]),
+    ("bench_micro_engine",
+     ["--sampler-overhead-only", "--analyzer-overhead-only"]),
 ]
+
+# Per-key tolerance overrides: (bench, key) -> allowed relative drift. The
+# overhead ratios centre on 1.0, so the default 15% would wave through a
+# feature that suddenly costs 15% of every run — gate them at 5% instead
+# (a recorded baseline of ~1.02 plus 5% still rejects anything near 1.10).
+TOLERANCE_OVERRIDES = {
+    ("bench_micro_engine", "sampler_overhead_ratio"): 0.05,
+    ("bench_micro_engine", "analyzer_overhead_ratio"): 0.05,
+}
 
 BASELINE = "BENCH_BASELINE.json"
 
@@ -75,7 +86,9 @@ def run_benches(build_dir):
 
 
 def compare(baseline, fresh, tolerance):
-    """Returns (ok, lines): per-key verdicts of fresh vs baseline."""
+    """Returns (ok, lines): per-key verdicts of fresh vs baseline. The
+    default tolerance applies unless TOLERANCE_OVERRIDES names a tighter
+    (or looser) one for a specific (bench, key)."""
     ok = True
     lines = []
     for bench, base_results in sorted(baseline.items()):
@@ -90,6 +103,7 @@ def compare(baseline, fresh, tolerance):
                 lines.append(f"MISSING {bench}:{key}")
                 continue
             value = fresh_results[key]
+            key_tolerance = TOLERANCE_OVERRIDES.get((bench, key), tolerance)
             if base_value == 0:
                 # No relative scale; any nonzero drift on an exact-zero
                 # baseline is a behavior change.
@@ -97,12 +111,12 @@ def compare(baseline, fresh, tolerance):
                 rel = float("inf") if value != 0 else 0.0
             else:
                 rel = (value - base_value) / abs(base_value)
-                drift_ok = abs(rel) <= tolerance
+                drift_ok = abs(rel) <= key_tolerance
             if not drift_ok:
                 ok = False
                 lines.append(
                     f"REGRESSION {bench}:{key}: {base_value:g} -> "
-                    f"{value:g} ({rel:+.1%}, tolerance {tolerance:.0%})")
+                    f"{value:g} ({rel:+.1%}, tolerance {key_tolerance:.0%})")
         for key in sorted(set(fresh_results) - set(base_results)):
             lines.append(f"new (unbaselined) {bench}:{key} = "
                          f"{fresh_results[key]:g}")

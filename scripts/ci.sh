@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # The one-command gate: build + ctest + strict -Werror build + trace lint +
-# bench-baseline (perf-regression) check. This is the command CI runs and the
-# command to run locally before sending a change.
+# bench-baseline (perf-regression) check + causal-analyzer smoke (a sim
+# flight dump must analyze and self-diff cleanly). This is the command CI
+# runs and the command to run locally before sending a change.
 #
 # Usage: scripts/ci.sh [--sanitize] [--lint]   (from anywhere in the repo)
 #
@@ -33,6 +34,19 @@ if [[ "$run_lint" -eq 1 ]]; then
   tier1_args+=(--lint)
 fi
 scripts/check_tier1.sh "${tier1_args[@]}"
+
+echo
+echo "== causal analyzer smoke: sim flight dump -> distme_analyze =="
+dump_a="$(mktemp /tmp/distme_flight.XXXXXX.json)"
+dump_b="$(mktemp /tmp/distme_flight.XXXXXX.json)"
+trap 'rm -f "$dump_a" "$dump_b"' EXIT
+./build/bench/bench_micro_engine --sim-flight-dump="$dump_a" >/dev/null
+./build/bench/bench_micro_engine --sim-flight-dump="$dump_b" >/dev/null
+python3 scripts/distme_analyze.py "$dump_a"
+# Two dumps of the same workload must diff to a stable top-1 bottleneck.
+diff_out="$(python3 scripts/distme_analyze.py "$dump_a" "$dump_b" --diff)"
+echo "$diff_out"
+grep -q '\[stable\]' <<<"$diff_out"
 
 if [[ "$run_lint" -eq 1 ]]; then
   echo

@@ -1,0 +1,451 @@
+#!/usr/bin/env python3
+"""Bottleneck analysis of DistME flight-recorder dumps.
+
+One dump -> a critical-path / bottleneck report; two dumps -> a structural
+run-diff (wall and per-resource attribution deltas, per-stage regressions,
+bottleneck stability). The analysis mirrors src/obs/causal_graph.cc and
+src/obs/critical_path.cc: reconstruct the last complete run from the event
+stream, decompose each task's span into slot_wait / fetch_wait / gpu_wait /
+exec, then walk binding predecessors backwards from run-finish so the path
+tiles the run exactly (path length == flight wall time).
+
+  scripts/distme_analyze.py run.json                 # bottleneck report
+  scripts/distme_analyze.py before.json after.json   # run-diff
+  scripts/distme_analyze.py run.json --json          # machine-readable
+
+Exit status: 0 = analysis produced, 1 = no complete run in the dump /
+unreadable input.
+"""
+
+import argparse
+import datetime
+import json
+import sys
+
+TASK_EDGE_KINDS = ("fetch_wait", "gpu_wait")
+
+
+def load_dump(path):
+    """Reads a flight dump; returns (header dict, events list) or None."""
+    try:
+        with open(path) as f:
+            dump = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"distme_analyze: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    events = dump.get("events")
+    if not isinstance(events, list):
+        print(f"distme_analyze: {path} has no 'events' array",
+              file=sys.stderr)
+        return None
+    header = {
+        "schema": dump.get("schema", 1),
+        "wall_epoch_us": dump.get("wall_epoch_us"),
+        "total_recorded": dump.get("total_recorded", len(events)),
+        "capacity": dump.get("capacity"),
+    }
+    return header, events
+
+
+def build_graph(events):
+    """Mirror of BuildCausalGraph: the last complete run as a dict, or
+    None when the dump holds no run_start...run_finish pair."""
+    finish_idx = None
+    for i in range(len(events) - 1, -1, -1):
+        if events[i].get("type") == "run_finish":
+            finish_idx = i
+            break
+    if finish_idx is None:
+        return None
+    start_idx = None
+    for i in range(finish_idx - 1, -1, -1):
+        if events[i].get("type") == "run_start":
+            start_idx = i
+            break
+    if start_idx is None:
+        return None
+
+    run_start = events[start_idx]
+    run_finish = events[finish_idx]
+    graph = {
+        "run_start_us": run_start["ts_us"],
+        "run_finish_us": run_finish["ts_us"],
+        "planned_tasks": run_start.get("a", 0),
+        "run_ok": run_finish.get("b", 0) == 0,
+        "tasks": [],
+        "stages": [],
+    }
+    tasks = {}
+    for e in events[start_idx:finish_idx + 1]:
+        etype = e.get("type")
+        if etype == "task_start":
+            t = tasks.setdefault(e["a"], {})
+            t.update(task_id=e["a"], node=e.get("node", -1),
+                     slot=e.get("slot", -1), start_us=e["ts_us"],
+                     fetch_wait_us=0, gpu_wait_us=0, finish_us=None,
+                     attempts=t.get("attempts", 0) + 1)
+        elif etype == "task_finish":
+            t = tasks.setdefault(e["a"], {"task_id": e["a"], "attempts": 0,
+                                          "fetch_wait_us": 0,
+                                          "gpu_wait_us": 0})
+            t.setdefault("node", e.get("node", -1))
+            t.setdefault("slot", e.get("slot", -1))
+            t["finish_us"] = e["ts_us"]
+            if t["attempts"] == 0:
+                # Start overwritten by ring wrap: task_finish carries the
+                # attempt duration in `b`.
+                t["start_us"] = e["ts_us"] - e.get("b", 0)
+                t["attempts"] = 1
+        elif etype == "dep_edge":
+            kind = e.get("detail")
+            if kind in TASK_EDGE_KINDS:
+                t = tasks.setdefault(e["a"], {"task_id": e["a"],
+                                              "attempts": 0,
+                                              "fetch_wait_us": 0,
+                                              "gpu_wait_us": 0})
+                t[kind + "_us"] = t.get(kind + "_us", 0) + e.get("b", 0)
+        elif etype == "stage_begin":
+            graph["stages"].append({"name": e.get("detail", "stage"),
+                                    "begin_us": e["ts_us"], "end_us": None})
+        elif etype == "stage_end":
+            name = e.get("detail", "stage")
+            for s in reversed(graph["stages"]):
+                if s["name"] == name and s["end_us"] is None:
+                    s["end_us"] = e["ts_us"]
+                    break
+    graph["tasks"] = sorted(
+        (t for t in tasks.values() if t.get("finish_us") is not None),
+        key=lambda t: (t["finish_us"], t["task_id"]))
+    graph["stages"] = [s for s in graph["stages"] if s["end_us"] is not None]
+    return graph
+
+
+def stage_resource(name):
+    if "repartition" in name or "aggregat" in name:
+        return "shuffle"
+    if "multiply" in name:
+        return "compute"
+    return "overhead"
+
+
+def analyze(graph):
+    """Mirror of AnalyzeCriticalPath. Returns the analysis dict."""
+    out = {
+        "wall_us": graph["run_finish_us"] - graph["run_start_us"],
+        "path_us": 0,
+        "run_ok": graph["run_ok"],
+        "planned_tasks": graph["planned_tasks"],
+        "hops": [],
+        "tasks": [],
+        "attribution_us": {},
+        "stage_us": {},
+        "aggregate_us": {},
+    }
+    run_start = graph["run_start_us"]
+    run_finish = graph["run_finish_us"]
+    if run_finish <= run_start:
+        return out
+
+    ready_base = run_start
+    for s in graph["stages"]:
+        if "multiply" in s["name"]:
+            ready_base = s["begin_us"]
+            break
+
+    agg = out["aggregate_us"]
+    for t in graph["tasks"]:
+        start, finish = t["start_us"], t["finish_us"]
+        ready = max(run_start, min(ready_base, start))
+        dur = max(0, finish - start)
+        fetch = max(0, min(t.get("fetch_wait_us", 0), dur))
+        gpu = max(0, min(t.get("gpu_wait_us", 0), dur - fetch))
+        b = {
+            "task_id": t["task_id"], "node": t.get("node", -1),
+            "slot": t.get("slot", -1), "ready_us": ready,
+            "start_us": start, "finish_us": finish,
+            "slot_wait_us": start - ready, "fetch_wait_us": fetch,
+            "gpu_wait_us": gpu, "exec_us": dur - fetch - gpu,
+        }
+        out["tasks"].append(b)
+        for k in ("slot_wait", "fetch_wait", "gpu_wait", "exec"):
+            agg[k] = agg.get(k, 0) + b[k + "_us"]
+    for s in graph["stages"]:
+        out["stage_us"][s["name"]] = (out["stage_us"].get(s["name"], 0) +
+                                      s["end_us"] - s["begin_us"])
+
+    # Same-slot predecessor chains.
+    by_slot = {}
+    for i, b in enumerate(out["tasks"]):
+        by_slot.setdefault((b["node"], b["slot"]), []).append(i)
+    pred_finish = [None] * len(out["tasks"])
+    pred_index = [None] * len(out["tasks"])
+    for indices in by_slot.values():
+        indices.sort(key=lambda i: out["tasks"][i]["start_us"])
+        for k in range(1, len(indices)):
+            prev, cur = out["tasks"][indices[k - 1]], out["tasks"][indices[k]]
+            if prev["finish_us"] <= cur["start_us"]:
+                pred_finish[indices[k]] = prev["finish_us"]
+                pred_index[indices[k]] = indices[k - 1]
+
+    rev = []
+
+    def add_hop(label, resource, task_id, begin, end):
+        if end > begin:
+            rev.append({"label": label, "resource": resource,
+                        "task_id": task_id, "begin_us": begin,
+                        "end_us": end, "duration_us": end - begin})
+
+    def latest_finished_before(cursor):
+        best = None
+        for i, b in enumerate(out["tasks"]):
+            if b["finish_us"] <= cursor:
+                best = i
+        return best
+
+    cursor = run_finish
+    while cursor > run_start:
+        ti = latest_finished_before(cursor)
+        if ti is not None and out["tasks"][ti]["finish_us"] == cursor:
+            i = ti
+            while i is not None:
+                t = out["tasks"][i]
+                tid = t["task_id"]
+                fetch_end = t["start_us"] + t["fetch_wait_us"]
+                gpu_end = fetch_end + t["gpu_wait_us"]
+                add_hop(f"task {tid} exec", "compute", tid, gpu_end,
+                        t["finish_us"])
+                add_hop(f"task {tid} gpu_wait", "gpu", tid, fetch_end,
+                        gpu_end)
+                add_hop(f"task {tid} fetch_wait", "shuffle", tid,
+                        t["start_us"], fetch_end)
+                pf = pred_finish[i]
+                bind = max(t["ready_us"], pf) if pf is not None \
+                    else t["ready_us"]
+                add_hop(f"task {tid} slot_wait", "scheduling", tid, bind,
+                        t["start_us"])
+                cursor = bind
+                i = pred_index[i] if (pf is not None and pf >= t["ready_us"]
+                                      and pf == bind) else None
+            continue
+        stage = None
+        for s in graph["stages"]:
+            if s["begin_us"] < cursor <= s["end_us"] and \
+                    (stage is None or s["begin_us"] > stage["begin_us"]):
+                stage = s
+        t_finish = out["tasks"][ti]["finish_us"] if ti is not None else None
+        if stage is not None:
+            lo = max(stage["begin_us"], run_start)
+            if t_finish is not None:
+                lo = max(lo, t_finish)
+            if lo < cursor:
+                add_hop("stage " + stage["name"],
+                        stage_resource(stage["name"]), None, lo, cursor)
+                cursor = lo
+                continue
+        lo = run_start if t_finish is None else max(run_start, t_finish)
+        for s in graph["stages"]:
+            if lo < s["end_us"] < cursor:
+                lo = s["end_us"]
+        if lo >= cursor:
+            lo = run_start  # force progress
+        add_hop("overhead", "overhead", None, lo, cursor)
+        cursor = lo
+
+    rev.reverse()
+    out["hops"] = rev
+    for hop in rev:
+        out["attribution_us"][hop["resource"]] = (
+            out["attribution_us"].get(hop["resource"], 0) +
+            hop["duration_us"])
+        out["path_us"] += hop["duration_us"]
+    return out
+
+
+def bottleneck(analysis):
+    attr = analysis["attribution_us"]
+    if not attr or analysis["path_us"] <= 0:
+        return "", 0.0
+    top = max(sorted(attr), key=lambda k: attr[k])
+    return top, attr[top] / analysis["path_us"]
+
+
+def fmt_us(us):
+    if us >= 1_000_000:
+        return f"{us / 1e6:.2f} s"
+    if us >= 1_000:
+        return f"{us / 1e3:.2f} ms"
+    return f"{us} us"
+
+
+def fmt_pct(num, den):
+    return f"{100.0 * num / den:.0f}%" if den > 0 else "-"
+
+
+def wall_anchor_line(header):
+    epoch = header.get("wall_epoch_us")
+    if epoch is None:
+        return "  recorded: (no wall-clock anchor; schema 1 dump)"
+    stamp = datetime.datetime.fromtimestamp(epoch / 1e6,
+                                            tz=datetime.timezone.utc)
+    return f"  recorded: ring created {stamp.isoformat()} (schema " \
+           f"{header.get('schema')})"
+
+
+def print_report(path, header, analysis, top_k):
+    top, frac = bottleneck(analysis)
+    outcome = "ok" if analysis["run_ok"] else "FAILED"
+    print(f"distme_analyze: {path}")
+    print(wall_anchor_line(header))
+    print(f"  run: {outcome}, {analysis['planned_tasks']} planned tasks, "
+          f"{len(analysis['tasks'])} observed, wall {fmt_us(analysis['wall_us'])} "
+          f"(critical path {fmt_us(analysis['path_us'])}, "
+          f"{fmt_pct(analysis['path_us'], analysis['wall_us'])} of wall)")
+    if top:
+        print(f"  bottleneck: {top} "
+              f"({fmt_pct(analysis['attribution_us'][top], analysis['path_us'])} "
+              f"of critical path)")
+    if analysis["attribution_us"]:
+        parts = " | ".join(
+            f"{k} {fmt_pct(v, analysis['path_us'])}"
+            for k, v in sorted(analysis["attribution_us"].items(),
+                               key=lambda kv: -kv[1]))
+        print(f"  path attribution: {parts}")
+    if analysis["stage_us"]:
+        parts = " | ".join(f"{k} {fmt_us(v)}"
+                           for k, v in analysis["stage_us"].items())
+        print(f"  stages: {parts}")
+    if analysis["aggregate_us"]:
+        total = sum(analysis["aggregate_us"].values())
+        parts = " | ".join(
+            f"{k} {fmt_pct(v, total)}"
+            for k, v in sorted(analysis["aggregate_us"].items(),
+                               key=lambda kv: -kv[1]))
+        print(f"  fleet blocked time: {parts}")
+    hops = sorted(analysis["hops"], key=lambda h: -h["duration_us"])[:top_k]
+    if hops:
+        print("  top hops:")
+        for i, h in enumerate(hops, 1):
+            print(f"    {i}. {h['label']} [{h['resource']}] "
+                  f"{fmt_us(h['duration_us'])}")
+
+
+def diff_analyses(a, b):
+    """Structural run-diff between two analyses of the same workload."""
+    top_a, frac_a = bottleneck(a)
+    top_b, frac_b = bottleneck(b)
+    d = {
+        "wall_us": {"before": a["wall_us"], "after": b["wall_us"],
+                    "delta_us": b["wall_us"] - a["wall_us"]},
+        "bottleneck": {"before": top_a, "after": top_b,
+                       "stable": top_a == top_b,
+                       "before_fraction": frac_a, "after_fraction": frac_b},
+        "attribution_delta_us": {},
+        "stage_delta_us": {},
+        "path_changes": [],
+    }
+    for k in sorted(set(a["attribution_us"]) | set(b["attribution_us"])):
+        d["attribution_delta_us"][k] = (b["attribution_us"].get(k, 0) -
+                                        a["attribution_us"].get(k, 0))
+    for k in sorted(set(a["stage_us"]) | set(b["stage_us"])):
+        d["stage_delta_us"][k] = (b["stage_us"].get(k, 0) -
+                                  a["stage_us"].get(k, 0))
+    # Structural path change: hop labels entering/leaving the top ranks.
+    def top_labels(analysis, n=10):
+        hops = sorted(analysis["hops"], key=lambda h: -h["duration_us"])
+        return [h["label"] for h in hops[:n]]
+    la, lb = top_labels(a), top_labels(b)
+    for label in lb:
+        if label not in la:
+            d["path_changes"].append({"label": label, "change": "entered"})
+    for label in la:
+        if label not in lb:
+            d["path_changes"].append({"label": label, "change": "left"})
+    return d
+
+
+def print_diff(path_a, path_b, a, b, d):
+    wall = d["wall_us"]
+    rel = (wall["delta_us"] / wall["before"] * 100.0
+           if wall["before"] > 0 else float("inf"))
+    print(f"distme_analyze: diff {path_a} -> {path_b}")
+    print(f"  wall: {fmt_us(wall['before'])} -> {fmt_us(wall['after'])} "
+          f"({rel:+.1f}%)")
+    bn = d["bottleneck"]
+    verdict = "stable" if bn["stable"] else "CHANGED"
+    print(f"  bottleneck: {bn['before']} ({bn['before_fraction']:.0%}) -> "
+          f"{bn['after']} ({bn['after_fraction']:.0%}) [{verdict}]")
+    moved = sorted(d["attribution_delta_us"].items(),
+                   key=lambda kv: -abs(kv[1]))
+    if moved:
+        parts = " | ".join(f"{k} {v:+d} us" for k, v in moved if v != 0)
+        print(f"  attribution deltas: {parts or 'none'}")
+    regressed = [(k, v) for k, v in d["stage_delta_us"].items() if v > 0]
+    if regressed:
+        parts = " | ".join(f"{k} +{fmt_us(v)}"
+                           for k, v in sorted(regressed,
+                                              key=lambda kv: -kv[1]))
+        print(f"  stage regressions: {parts}")
+    for change in d["path_changes"]:
+        print(f"  path change: {change['label']} {change['change']} "
+              f"the top hops")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", help="flight-recorder JSON dump")
+    parser.add_argument("dump_b", nargs="?", default=None,
+                        help="second dump: diff the two runs")
+    parser.add_argument("--diff", action="store_true",
+                        help="run-diff mode (implied by a second dump)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    parser.add_argument("--top", type=int, default=5,
+                        help="hops to show in the report (default 5)")
+    args = parser.parse_args()
+
+    if args.diff and args.dump_b is None:
+        print("distme_analyze: --diff needs two dumps", file=sys.stderr)
+        return 1
+
+    loaded = load_dump(args.dump)
+    if loaded is None:
+        return 1
+    header, events = loaded
+    graph = build_graph(events)
+    if graph is None:
+        print(f"distme_analyze: {args.dump} holds no complete run",
+              file=sys.stderr)
+        return 1
+    analysis = analyze(graph)
+
+    if args.dump_b is None:
+        if args.json:
+            top, frac = bottleneck(analysis)
+            analysis["bottleneck"] = top
+            analysis["bottleneck_fraction"] = frac
+            analysis["wall_epoch_us"] = header.get("wall_epoch_us")
+            print(json.dumps(analysis, indent=2, sort_keys=True))
+        else:
+            print_report(args.dump, header, analysis, args.top)
+        return 0
+
+    loaded_b = load_dump(args.dump_b)
+    if loaded_b is None:
+        return 1
+    header_b, events_b = loaded_b
+    graph_b = build_graph(events_b)
+    if graph_b is None:
+        print(f"distme_analyze: {args.dump_b} holds no complete run",
+              file=sys.stderr)
+        return 1
+    analysis_b = analyze(graph_b)
+    d = diff_analyses(analysis, analysis_b)
+    if args.json:
+        print(json.dumps(d, indent=2, sort_keys=True))
+    else:
+        print_diff(args.dump, args.dump_b, analysis, analysis_b, d)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

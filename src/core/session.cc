@@ -48,6 +48,16 @@ Session::Session(Options options)
           } else if (path == "/flight") {
             response.content_type = "application/json";
             response.body = flight_.ToJson();
+          } else if (path == "/explain") {
+            const std::shared_ptr<const std::string> explain =
+                last_explain_json_.load(std::memory_order_acquire);
+            if (explain == nullptr) {
+              response.status = 404;
+              response.body = "no completed run yet\n";
+            } else {
+              response.content_type = "application/json";
+              response.body = *explain;
+            }
           } else if (path == "/healthz") {
             response.body = "ok\n";
           } else {
@@ -59,7 +69,8 @@ Session::Session(Options options)
     const Status started = endpoint_->Start(options_.http_port);
     if (started.ok()) {
       DISTME_LOG(Info) << "telemetry endpoint on 127.0.0.1:"
-                       << endpoint_->port() << " (/metrics, /flight)";
+                       << endpoint_->port()
+                       << " (/metrics, /flight, /explain)";
     } else {
       DISTME_LOG(Warning) << "telemetry endpoint disabled: "
                           << started.ToString();
@@ -128,9 +139,11 @@ Result<Matrix> Session::MultiplyWith(const Matrix& a, const Matrix& b,
   // to this run only its delta of the session-cumulative instruments.
   obs::MetricsSnapshot before;
   obs::CommMatrixSnapshot comm_before;
+  uint64_t flight_seq_before = 0;
   if (options_.collect_explain) {
     before = metrics_.Snapshot();
     comm_before = comm_.Snapshot();
+    flight_seq_before = flight_.TotalRecorded();
   }
   DISTME_ASSIGN_OR_RETURN(
       engine::RealRunResult run,
@@ -140,14 +153,36 @@ Result<Matrix> Session::MultiplyWith(const Matrix& a, const Matrix& b,
     const obs::MetricsSnapshot after = metrics_.Snapshot();
     const obs::CommMatrixSnapshot comm_delta =
         comm_.Snapshot().Delta(comm_before);
+    // Flight bracketing: only this run's events feed the causal analysis —
+    // without the seq filter a failed run could resurrect the previous
+    // run's (complete) event trail.
+    std::vector<obs::FlightEvent> flight_events = flight_.Snapshot();
+    std::erase_if(flight_events, [flight_seq_before](
+                                     const obs::FlightEvent& e) {
+      return e.seq <= flight_seq_before;
+    });
     engine::ExplainObsInputs inputs;
     inputs.before = &before;
     inputs.after = &after;
     inputs.comm_delta = &comm_delta;
+    inputs.flight_events = &flight_events;
     const mm::MMProblem problem{a.Descriptor(), b.Descriptor()};
     Result<engine::ExplainReport> explain = engine::BuildExplainReport(
         run.report, method, problem, options_.cluster, inputs);
-    if (explain.ok()) last_explain_ = std::move(*explain);
+    if (explain.ok()) {
+      last_explain_ = std::move(*explain);
+      auto json =
+          std::make_shared<const std::string>(last_explain_->ToJson());
+      if (!options_.analysis_json_path.empty()) {
+        const Status written =
+            obs::WriteTextFile(options_.analysis_json_path, *json);
+        if (!written.ok()) {
+          DISTME_LOG(Warning) << "analysis JSON export failed: "
+                              << written.ToString();
+        }
+      }
+      last_explain_json_.store(std::move(json), std::memory_order_release);
+    }
   }
   DISTME_RETURN_NOT_OK(run.report.outcome);
   return Matrix(std::move(run.output));

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -76,6 +77,10 @@ class Session {
     /// When non-empty, a failed multiplication dumps the flight-recorder
     /// ring (JSON) to this path before the error Status surfaces.
     std::string flight_dump_path;
+    /// When non-empty (and collect_explain is on), every multiplication
+    /// (re)writes the last run's explain report — including the
+    /// critical-path / bottleneck analysis — as JSON to this path.
+    std::string analysis_json_path;
     /// Background sampler period; 0 (the default) disables the sampler.
     int64_t sample_period_ms = 0;
     /// Sampler retention: most-recent snapshots kept in memory.
@@ -201,6 +206,10 @@ class Session {
   obs::Tracer tracer_;
   obs::CommMatrix comm_;
   std::optional<engine::ExplainReport> last_explain_;
+  // Last completed run's explain JSON for the endpoint's GET /explain.
+  // Lock-free handoff: the run thread publishes a fresh immutable string,
+  // the endpoint thread loads whatever is current (null before first run).
+  std::atomic<std::shared_ptr<const std::string>> last_explain_json_;
   // Telemetry subsystems, declared after the registries they observe so
   // reverse-order destruction tears them down first; ~Session() also stops
   // their threads explicitly (endpoint → watchdog → sampler).

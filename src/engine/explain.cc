@@ -1,8 +1,10 @@
 #include "engine/explain.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/units.h"
+#include "obs/causal_graph.h"
 #include "obs/export.h"
 
 namespace distme::engine {
@@ -105,6 +107,47 @@ std::string ExplainReport::ToTable() const {
                   comm.ActiveLinks(), comm.SkewRatio());
     out += buf;
   }
+  if (has_critical_path && critical_path.path_us > 0) {
+    const double path_s = static_cast<double>(critical_path.path_us) * 1e-6;
+    // Consistency check: the causal path tiles the flight-recorded run, so
+    // path length vs the executor's stopwatch flags clock or schema drift.
+    const double consistency =
+        elapsed_seconds > 0 ? path_s / elapsed_seconds : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "  critical path: %s (%.1f%% of measured wall) — "
+                  "bottleneck %s (%.0f%%)\n",
+                  FormatSeconds(path_s).c_str(), consistency * 100.0,
+                  critical_path.bottleneck().c_str(),
+                  critical_path.bottleneck_fraction() * 100.0);
+    out += buf;
+    std::string attribution = "  path attribution:";
+    for (const auto& [resource, us] : critical_path.attribution_us) {
+      std::snprintf(buf, sizeof(buf), " %s %.0f%%", resource.c_str(),
+                    100.0 * static_cast<double>(us) /
+                        static_cast<double>(critical_path.path_us));
+      attribution += buf;
+    }
+    out += attribution + "\n";
+    // Top-k hops by duration (the named places the wall time went).
+    std::vector<const obs::CriticalHop*> top;
+    top.reserve(critical_path.hops.size());
+    for (const obs::CriticalHop& hop : critical_path.hops) {
+      top.push_back(&hop);
+    }
+    std::stable_sort(top.begin(), top.end(),
+                     [](const obs::CriticalHop* l, const obs::CriticalHop* r) {
+                       return l->duration_us() > r->duration_us();
+                     });
+    const size_t k = std::min<size_t>(5, top.size());
+    for (size_t i = 0; i < k; ++i) {
+      std::snprintf(buf, sizeof(buf), "    hop %zu: %-24s [%s] %s\n", i + 1,
+                    top[i]->label.c_str(), top[i]->resource.c_str(),
+                    FormatSeconds(static_cast<double>(top[i]->duration_us()) *
+                                  1e-6)
+                        .c_str());
+      out += buf;
+    }
+  }
   return out;
 }
 
@@ -163,6 +206,15 @@ std::string ExplainReport::ToJson() const {
     w.Key("comm");
     comm.AppendJson(&w);
   }
+  if (has_critical_path) {
+    w.Key("critical_path");
+    critical_path.AppendJson(&w);
+    w.Key("critical_path_consistency");
+    w.Value(elapsed_seconds > 0
+                ? static_cast<double>(critical_path.path_us) * 1e-6 /
+                      elapsed_seconds
+                : 0.0);
+  }
   w.EndObject();
   return w.str();
 }
@@ -215,6 +267,14 @@ Result<ExplainReport> BuildExplainReport(const MMReport& report,
   explain.tasks.retries = report.task_retries;
 
   if (obs.comm_delta != nullptr) explain.comm = *obs.comm_delta;
+
+  if (obs.flight_events != nullptr) {
+    const obs::CausalGraph graph = obs::BuildCausalGraph(*obs.flight_events);
+    if (graph.wall_us() > 0) {
+      explain.critical_path = obs::AnalyzeCriticalPath(graph);
+      explain.has_critical_path = explain.critical_path.path_us > 0;
+    }
+  }
   return explain;
 }
 

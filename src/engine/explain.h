@@ -16,6 +16,8 @@
 #include "engine/report.h"
 #include "mm/method.h"
 #include "obs/comm_matrix.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace distme::engine {
@@ -60,6 +62,11 @@ struct ExplainReport {
   /// This run's per-link traffic (empty when no CommMatrix was wired in).
   obs::CommMatrixSnapshot comm;
 
+  /// Critical-path analysis of the run's causal DAG (only when flight
+  /// events were supplied to BuildExplainReport and held a complete run).
+  bool has_critical_path = false;
+  obs::CriticalPathAnalysis critical_path;
+
   /// \brief Aligned text table: stage rows, task/straggler summary, and the
   /// comm-matrix summary line.
   std::string ToTable() const;
@@ -73,6 +80,10 @@ struct ExplainObsInputs {
   const obs::MetricsSnapshot* before = nullptr;
   const obs::MetricsSnapshot* after = nullptr;
   const obs::CommMatrixSnapshot* comm_delta = nullptr;
+  /// Flight events covering the run (a ring snapshot, or the slice of one
+  /// bracketing the run). When present and a complete run is found, the
+  /// report grows its critical-path section.
+  const std::vector<obs::FlightEvent>* flight_events = nullptr;
 };
 
 /// \brief Combines the executed `report` with the method's Table-2

@@ -322,7 +322,13 @@ class RealExecutor::Impl {
         if (!st.ok()) fetch_status = std::move(st);
       });
       fetch_span.End();
-      fetch_nanos->Add(static_cast<int64_t>(fetch_clock.ElapsedSeconds() * 1e9));
+      const double fetch_seconds = fetch_clock.ElapsedSeconds();
+      fetch_nanos->Add(static_cast<int64_t>(fetch_seconds * 1e9));
+      if (flight != nullptr) {
+        flight->RecordEdge(obs::FlightEdgeKind::kFetchWait, node, slot,
+                           task.id,
+                           static_cast<int64_t>(fetch_seconds * 1e6));
+      }
       DISTME_RETURN_NOT_OK(fetch_status);
 
       // Outputs are buffered and committed atomically after the task
@@ -335,14 +341,17 @@ class RealExecutor::Impl {
       };
 
       Stopwatch compute_clock;
+      double gpu_seconds = 0;  // time this attempt spent bound on the GPU
       obs::TraceSpan compute_span(tracer, "task.compute", "task");
       if (mode == ComputeMode::kGpuStreaming && task.voxels.is_box()) {
         gpu::Device* device = DeviceFor(node, task.id);
+        Stopwatch gpu_clock;
         DISTME_ASSIGN_OR_RETURN(
             gpumm::GpuCuboidResult gpu_result,
             gpumm::RunCuboidOnGpu(task.voxels, a.shape(), b.shape(), &inputs,
                                   device, config_.gpu_task_memory_bytes,
                                   tracer, flight));
+        gpu_seconds += gpu_clock.ElapsedSeconds();
         for (auto& [key, dense] : gpu_result.c_blocks) {
           DISTME_RETURN_NOT_OK(buffer_output({key.first, key.second},
                                              Block::Dense(std::move(dense))));
@@ -362,7 +371,8 @@ class RealExecutor::Impl {
               const Block& bb = inputs.b_.at({k, j});
               if (ab.nnz() == 0 || bb.nnz() == 0) continue;
               if (mode == ComputeMode::kGpuBlock) {
-                DISTME_RETURN_NOT_OK(RunBlockKernel(node, task.id, ab, bb, &acc));
+                DISTME_RETURN_NOT_OK(
+                    RunBlockKernel(node, task.id, ab, bb, &acc, &gpu_seconds));
               } else {
                 DISTME_RETURN_NOT_OK(blas::MultiplyAccumulate(ab, bb, &acc));
               }
@@ -386,9 +396,10 @@ class RealExecutor::Impl {
           if (ab.nnz() == 0 || bb.nnz() == 0) return;
           DenseMatrix acc(a.shape().BlockRowsAt(v.i),
                           b.shape().BlockColsAt(v.j));
-          Status st = mode == ComputeMode::kGpuBlock
-                          ? RunBlockKernel(node, task.id, ab, bb, &acc)
-                          : blas::MultiplyAccumulate(ab, bb, &acc);
+          Status st =
+              mode == ComputeMode::kGpuBlock
+                  ? RunBlockKernel(node, task.id, ab, bb, &acc, &gpu_seconds)
+                  : blas::MultiplyAccumulate(ab, bb, &acc);
           if (st.ok() && acc.CountNonZeros() > 0) {
             st = buffer_output({v.i, v.j}, Block::Dense(std::move(acc)));
           }
@@ -399,6 +410,10 @@ class RealExecutor::Impl {
       compute_span.End();
       compute_nanos->Add(
           static_cast<int64_t>(compute_clock.ElapsedSeconds() * 1e9));
+      if (flight != nullptr && gpu_seconds > 0) {
+        flight->RecordEdge(obs::FlightEdgeKind::kGpuWait, node, slot, task.id,
+                           static_cast<int64_t>(gpu_seconds * 1e6));
+      }
 
       // Commit point: everything before this line is side-effect free.
       if (crash_before_commit) {
@@ -533,6 +548,10 @@ class RealExecutor::Impl {
 
     // Aggregation finalize: move reduced partials into the output matrix.
     Stopwatch agg_clock;
+    if (flight != nullptr && needs_agg) {
+      flight->Record(obs::FlightEventType::kStageBegin, /*node=*/-1,
+                     /*slot=*/-1, 0, 0, "aggregation");
+    }
     {
       obs::Tracer::ScopedTrack track(driver_pid, 0);
       obs::TraceSpan agg_span(tracer, "aggregate.finalize", "shuffle");
@@ -547,6 +566,10 @@ class RealExecutor::Impl {
       } else {
         agg_span.Cancel();
       }
+    }
+    if (flight != nullptr && needs_agg) {
+      flight->Record(obs::FlightEventType::kStageEnd, /*node=*/-1,
+                     /*slot=*/-1, 0, 0, "aggregation");
     }
     agg_nanos->Add(static_cast<int64_t>(agg_clock.ElapsedSeconds() * 1e9));
 
@@ -627,22 +650,32 @@ class RealExecutor::Impl {
 
  private:
   // Block-level GPU multiply: per-voxel H2D copies, one kernel, no reuse.
+  // Wall time spent here accumulates into *gpu_seconds (the task's
+  // gpu_wait blocked-time edge).
   Status RunBlockKernel(int node, int64_t task_id, const Block& a_blk,
-                        const Block& b_blk, DenseMatrix* acc) {
-    gpu::Device* device = DeviceFor(node, task_id);
-    const gpu::StreamId stream = device->CreateStream();
-    DISTME_RETURN_NOT_OK(device->EnqueueH2D(stream, a_blk.SizeBytes()));
-    DISTME_RETURN_NOT_OK(device->EnqueueH2D(stream, b_blk.SizeBytes()));
-    const bool sparse = a_blk.IsSparse() || b_blk.IsSparse();
-    const int64_t flops =
-        blas::MultiplyFlops(a_blk.rows(), a_blk.cols(), b_blk.cols());
-    Status kernel_status = Status::OK();
-    DISTME_RETURN_NOT_OK(device->EnqueueKernel(
-        stream, flops,
-        [&]() { kernel_status = blas::MultiplyAccumulate(a_blk, b_blk, acc); },
-        sparse));
-    DISTME_RETURN_NOT_OK(kernel_status);
-    return device->EnqueueD2H(stream, acc->SizeBytes());
+                        const Block& b_blk, DenseMatrix* acc,
+                        double* gpu_seconds) {
+    Stopwatch gpu_clock;
+    Status st = [&]() -> Status {
+      gpu::Device* device = DeviceFor(node, task_id);
+      const gpu::StreamId stream = device->CreateStream();
+      DISTME_RETURN_NOT_OK(device->EnqueueH2D(stream, a_blk.SizeBytes()));
+      DISTME_RETURN_NOT_OK(device->EnqueueH2D(stream, b_blk.SizeBytes()));
+      const bool sparse = a_blk.IsSparse() || b_blk.IsSparse();
+      const int64_t flops =
+          blas::MultiplyFlops(a_blk.rows(), a_blk.cols(), b_blk.cols());
+      Status kernel_status = Status::OK();
+      DISTME_RETURN_NOT_OK(device->EnqueueKernel(
+          stream, flops,
+          [&]() {
+            kernel_status = blas::MultiplyAccumulate(a_blk, b_blk, acc);
+          },
+          sparse));
+      DISTME_RETURN_NOT_OK(kernel_status);
+      return device->EnqueueD2H(stream, acc->SizeBytes());
+    }();
+    *gpu_seconds += gpu_clock.ElapsedSeconds();
+    return st;
   }
 
   ClusterConfig config_;

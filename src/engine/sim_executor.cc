@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
+#include <queue>
 #include <tuple>
+#include <utility>
 
 #include "gpumm/subcuboid.h"
 #include "sim/timeline.h"
@@ -42,6 +45,77 @@ struct TaskQuantities {
   int64_t i_cnt = 0, j_cnt = 0, k_cnt = 0;
 };
 
+// Emits the run as a synthetic flight timeline on the SIMULATED clock
+// (RecordAt, µs since simulated run start): run bounds, the three stage
+// barriers, and — when the ring can hold them — per-task start/finish
+// events placed by replaying the wave schedule (greedy earliest-free-slot,
+// the same policy as sim::WaveScheduler). This makes a sim dump feed the
+// same causal-analysis path as a real run, with the critical path tiling
+// the simulated wall time exactly.
+void EmitSimFlightTimeline(obs::FlightRecorder* flight, int64_t num_tasks,
+                           const MMReport& report,
+                           const std::vector<double>& task_durations,
+                           int total_slots, int num_nodes) {
+  const auto to_us = [](double s) {
+    return static_cast<int64_t>(std::llround(s * 1e6));
+  };
+  const double overhead_s = report.elapsed_seconds - report.steps.total();
+  const double rep_begin_s = overhead_s;
+  const double rep_end_s = rep_begin_s + report.steps.repartition_seconds;
+  const double mult_end_s = rep_end_s + report.steps.multiply_seconds;
+  const double agg_end_s = mult_end_s + report.steps.aggregation_seconds;
+  const int64_t mult_begin_us = to_us(rep_end_s);
+  const int64_t mult_end_us = to_us(mult_end_s);
+  const int64_t run_end_us =
+      std::max(to_us(agg_end_s), to_us(report.elapsed_seconds));
+
+  using Type = obs::FlightEventType;
+  flight->RecordAt(0, Type::kRunStart, /*node=*/-1, /*slot=*/-1, num_tasks,
+                   /*b=*/0, "sim");
+  flight->RecordAt(to_us(rep_begin_s), Type::kStageBegin, -1, -1, 0, 0,
+                   "repartition");
+  flight->RecordAt(mult_begin_us, Type::kStageEnd, -1, -1, 0, 0,
+                   "repartition");
+  flight->RecordAt(mult_begin_us, Type::kStageBegin, -1, -1, 0, 0,
+                   "multiply");
+  if (2 * task_durations.size() + 10 <= flight->capacity() &&
+      total_slots > 0) {
+    // Greedy replay: each task takes the earliest-free slot (ties to the
+    // lowest slot index). Event timestamps are clamped into the multiply
+    // stage so per-task µs rounding can never leak past the barrier.
+    using SlotFree = std::pair<double, int>;  // (free time s, slot index)
+    std::priority_queue<SlotFree, std::vector<SlotFree>,
+                        std::greater<SlotFree>>
+        slots;
+    for (int s = 0; s < total_slots; ++s) slots.push({0.0, s});
+    for (size_t i = 0; i < task_durations.size(); ++i) {
+      const auto [free_s, slot] = slots.top();
+      slots.pop();
+      const double start_s = rep_end_s + free_s;
+      const double finish_s = start_s + task_durations[i];
+      const int64_t start_us =
+          std::clamp(to_us(start_s), mult_begin_us, mult_end_us);
+      const int64_t finish_us =
+          std::clamp(to_us(finish_s), start_us, mult_end_us);
+      const int node = num_nodes > 0 ? slot % num_nodes : -1;
+      flight->RecordAt(start_us, Type::kTaskStart, node, slot,
+                       static_cast<int64_t>(i), /*b=*/0, "sim");
+      flight->RecordAt(finish_us, Type::kTaskFinish, node, slot,
+                       static_cast<int64_t>(i), finish_us - start_us, "sim");
+      slots.push({free_s + task_durations[i], slot});
+    }
+  }
+  flight->RecordAt(mult_end_us, Type::kStageEnd, -1, -1, 0, 0, "multiply");
+  if (report.steps.aggregation_seconds > 0) {
+    flight->RecordAt(mult_end_us, Type::kStageBegin, -1, -1, 0, 0,
+                     "aggregation");
+    flight->RecordAt(to_us(agg_end_s), Type::kStageEnd, -1, -1, 0, 0,
+                     "aggregation");
+  }
+  flight->RecordAt(run_end_us, Type::kRunFinish, -1, -1, num_tasks,
+                   report.outcome.ok() ? 0 : 1, "sim");
+}
+
 }  // namespace
 
 Result<MMReport> SimExecutor::Run(const mm::MMProblem& problem,
@@ -73,7 +147,12 @@ Result<MMReport> SimExecutor::Run(const mm::MMProblem& problem,
   report.mode = mode;
   report.num_tasks = num_tasks;
 
-  if (options.flight != nullptr) {
+  // With flight_task_events the whole run is emitted at the end on the
+  // simulated clock (EmitSimFlightTimeline); mixing a real-time run_start
+  // with simulated-time task events would corrupt the causal graph.
+  const bool sim_timeline =
+      options.flight != nullptr && options.flight_task_events;
+  if (options.flight != nullptr && !sim_timeline) {
     options.flight->Record(obs::FlightEventType::kRunStart, /*node=*/-1,
                            /*slot=*/-1, num_tasks, /*b=*/0, "sim");
   }
@@ -453,7 +532,11 @@ Result<MMReport> SimExecutor::Run(const mm::MMProblem& problem,
     emit("sim.multiply", report.steps.multiply_seconds);
     emit("sim.aggregation", report.steps.aggregation_seconds);
   }
-  if (options.flight != nullptr) {
+  if (sim_timeline) {
+    EmitSimFlightTimeline(options.flight, num_tasks, report, task_durations,
+                          static_cast<int>(config_.total_slots()),
+                          config_.num_nodes);
+  } else if (options.flight != nullptr) {
     options.flight->Record(obs::FlightEventType::kRunFinish, /*node=*/-1,
                            /*slot=*/-1, num_tasks,
                            report.outcome.ok() ? 0 : 1, "sim");

@@ -57,11 +57,18 @@ struct SimOptions {
   /// from all N sources, aggregation output leaves it toward all N
   /// reducers. Totals match the report's shuffle bytes (± rounding).
   obs::CommMatrix* comm = nullptr;
-  /// Optional flight recorder. The simulator emits run-level events only
-  /// (run_start with the task count, run_finish with the outcome) — paper-
-  /// scale plans have millions of simulated tasks and per-task events would
-  /// drown the ring.
+  /// Optional flight recorder. By default the simulator emits run-level
+  /// events only (run_start with the task count, run_finish with the
+  /// outcome) — paper-scale plans have millions of simulated tasks and
+  /// per-task events would drown the ring.
   obs::FlightRecorder* flight = nullptr;
+  /// If true (and `flight` is set), the simulator instead emits a full
+  /// synthetic timeline ON THE SIMULATED CLOCK via RecordAt: run bounds,
+  /// stage barriers (repartition / multiply / aggregation), and per-task
+  /// start/finish placed by a replay of the wave schedule — so a sim dump
+  /// feeds the same causal-analysis path as a real run. Per-task events
+  /// are skipped (stages kept) when 2·tasks + 10 would overflow the ring.
+  bool flight_task_events = false;
 };
 
 /// \brief Simulates one distributed matrix multiplication.

@@ -29,11 +29,29 @@ constexpr const char* kFlightEventTypeNames[] = {
     "mem_high_water",      // kMemHighWater
     "watchdog_straggler",  // kWatchdogStraggler
     "fatal",               // kFatal
+    "dep_edge",            // kDepEdge
+    "stage_begin",         // kStageBegin
+    "stage_end",           // kStageEnd
 };
 
 static_assert(std::size(kFlightEventTypeNames) ==
                   static_cast<size_t>(FlightEventType::kNumTypes),
               "kFlightEventTypeNames must cover every FlightEventType");
+
+// Keep entry-for-entry in sync with FlightEdgeKind (distme-lint rule
+// `flight-edge-sync` checks that each name is the snake_case of the
+// enumerator at the same index; the static_assert below checks the count).
+constexpr const char* kFlightEdgeKindNames[] = {
+    "slot_wait",   // kSlotWait
+    "fetch_wait",  // kFetchWait
+    "gpu_wait",    // kGpuWait
+    "exec",        // kExec
+    "stage",       // kStage
+};
+
+static_assert(std::size(kFlightEdgeKindNames) ==
+                  static_cast<size_t>(FlightEdgeKind::kNumKinds),
+              "kFlightEdgeKindNames must cover every FlightEdgeKind");
 
 size_t RoundUpPow2(size_t v) {
   size_t p = 64;
@@ -47,6 +65,23 @@ const char* FlightEventTypeName(FlightEventType type) {
   const size_t i = static_cast<size_t>(type);
   if (i >= std::size(kFlightEventTypeNames)) return "unknown";
   return kFlightEventTypeNames[i];
+}
+
+const char* FlightEdgeKindName(FlightEdgeKind kind) {
+  const size_t i = static_cast<size_t>(kind);
+  if (i >= std::size(kFlightEdgeKindNames)) return "unknown";
+  return kFlightEdgeKindNames[i];
+}
+
+FlightEdgeKind FlightEdgeKindFromName(const char* name) {
+  if (name != nullptr) {
+    for (size_t i = 0; i < std::size(kFlightEdgeKindNames); ++i) {
+      if (std::strcmp(name, kFlightEdgeKindNames[i]) == 0) {
+        return static_cast<FlightEdgeKind>(i);
+      }
+    }
+  }
+  return FlightEdgeKind::kNumKinds;
 }
 
 // One ring slot. Every payload field is an atomic so a concurrent snapshot
@@ -66,7 +101,14 @@ struct FlightRecorder::Slot {
 FlightRecorder::FlightRecorder(size_t capacity)
     : capacity_(RoundUpPow2(capacity)),
       slots_(std::make_unique<Slot[]>(RoundUpPow2(capacity))),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()) {
+  wall_epoch_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  steady_epoch_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                         epoch_.time_since_epoch())
+                         .count();
+}
 
 FlightRecorder::~FlightRecorder() { UninstallFatalDump(); }
 
@@ -78,7 +120,13 @@ int64_t FlightRecorder::NowMicros() const {
 
 void FlightRecorder::Record(FlightEventType type, int32_t node, int32_t slot,
                             int64_t a, int64_t b, const char* detail) {
-  const int64_t now = NowMicros();
+  RecordAt(NowMicros(), type, node, slot, a, b, detail);
+}
+
+void FlightRecorder::RecordAt(int64_t ts_us, FlightEventType type,
+                              int32_t node, int32_t slot, int64_t a,
+                              int64_t b, const char* detail) {
+  const int64_t now = ts_us;
   const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
   Slot& s = slots_[seq & (capacity_ - 1)];
   // Seqlock publish: odd marks the write in progress; a reader that sees
@@ -131,6 +179,15 @@ std::string FlightRecorder::ToJson() const {
   const std::vector<FlightEvent> events = Snapshot();
   JsonWriter w;
   w.BeginObject();
+  // Schema 2 adds the wall-clock anchor: event ts_us values are µs since
+  // the recorder's construction, which happened at `wall_epoch_us` on the
+  // system clock (and `steady_epoch_us` on the process steady clock).
+  w.Key("schema");
+  w.Value(static_cast<int64_t>(2));
+  w.Key("wall_epoch_us");
+  w.Value(wall_epoch_us_);
+  w.Key("steady_epoch_us");
+  w.Value(steady_epoch_us_);
   w.Key("total_recorded");
   w.Value(static_cast<int64_t>(TotalRecorded()));
   w.Key("capacity");

@@ -46,11 +46,40 @@ enum class FlightEventType : uint8_t {
   kMemHighWater,       ///< task memory high-water doubled (a = peak bytes)
   kWatchdogStraggler,  ///< watchdog flagged a straggler (a = id, b = age µs)
   kFatal,              ///< fatal error; the ring is being dumped
+  kDepEdge,            ///< causal edge (a = task id, b = µs, detail = kind)
+  kStageBegin,         ///< stage barrier opens (detail = stage name)
+  kStageEnd,           ///< stage barrier closes (detail = stage name)
   kNumTypes            // sentinel — keep last
 };
 
 /// \brief Stable snake_case name of `type` ("task_start", ...).
 const char* FlightEventTypeName(FlightEventType type);
+
+/// \brief What a `kDepEdge` event attributes its waited/spent time to.
+///
+/// An edge event records "task `a` spent `b` µs bound by <kind>, ending at
+/// `ts_us`". The causal-graph builder folds these into the per-task
+/// blocked-time decomposition (slot_wait + fetch_wait + gpu_wait + exec ==
+/// task span). The enum and `kFlightEdgeKindNames` in flight_recorder.cc
+/// must stay in sync entry-for-entry (snake_case of the enumerator) —
+/// checked by a static_assert on the count and by distme-lint rule
+/// `flight-edge-sync` on the order.
+enum class FlightEdgeKind : uint8_t {
+  kSlotWait = 0,  ///< ready but no worker slot free (scheduling)
+  kFetchWait,     ///< blocked fetching remote input blocks (shuffle)
+  kGpuWait,       ///< blocked on GPU transfer/kernel completion
+  kExec,          ///< actually computing on the worker slot
+  kStage,         ///< stage-barrier dependency (repartition/aggregation)
+  kNumKinds       // sentinel — keep last
+};
+
+/// \brief Stable snake_case name of `kind` ("fetch_wait", ...). The
+/// returned pointer is a string literal, so it is safe to pass as a
+/// flight-event `detail`.
+const char* FlightEdgeKindName(FlightEdgeKind kind);
+
+/// \brief Reverse lookup of FlightEdgeKindName; kNumKinds if unknown.
+FlightEdgeKind FlightEdgeKindFromName(const char* name);
 
 /// \brief One decoded flight-recorder event (a snapshot copy of a slot).
 struct FlightEvent {
@@ -81,6 +110,29 @@ class FlightRecorder {
   void Record(FlightEventType type, int32_t node = -1, int32_t slot = -1,
               int64_t a = 0, int64_t b = 0, const char* detail = nullptr);
 
+  /// \brief Like Record() but with a caller-supplied timestamp instead of
+  /// NowMicros(). Lets the sim executor emit events on its simulated
+  /// clock, so a sim dump replays through the same causal-analysis path
+  /// as a real one.
+  void RecordAt(int64_t ts_us, FlightEventType type, int32_t node = -1,
+                int32_t slot = -1, int64_t a = 0, int64_t b = 0,
+                const char* detail = nullptr);
+
+  /// \brief Appends a `kDepEdge` event: task `task_id` on (node, slot)
+  /// spent `duration_us` µs bound by `kind`, the interval ending now.
+  void RecordEdge(FlightEdgeKind kind, int32_t node, int32_t slot,
+                  int64_t task_id, int64_t duration_us) {
+    Record(FlightEventType::kDepEdge, node, slot, task_id, duration_us,
+           FlightEdgeKindName(kind));
+  }
+
+  /// \brief RecordEdge() with a caller-supplied interval-end timestamp.
+  void RecordEdgeAt(int64_t ts_us, FlightEdgeKind kind, int32_t node,
+                    int32_t slot, int64_t task_id, int64_t duration_us) {
+    RecordAt(ts_us, FlightEventType::kDepEdge, node, slot, task_id,
+             duration_us, FlightEdgeKindName(kind));
+  }
+
   /// \brief Total events ever recorded (≥ the number retained).
   uint64_t TotalRecorded() const {
     return next_.load(std::memory_order_relaxed);
@@ -91,11 +143,21 @@ class FlightRecorder {
   /// \brief µs since this recorder was constructed (the event clock).
   int64_t NowMicros() const;
 
+  /// \brief Wall-clock anchor: system_clock µs since the Unix epoch at
+  /// construction (when the event clock read 0). Lets a dump be
+  /// correlated with sampler timestamps and with other dumps.
+  int64_t WallEpochMicros() const { return wall_epoch_us_; }
+
+  /// \brief steady_clock µs (arbitrary epoch) at construction — the
+  /// offset between the event clock and the process steady clock.
+  int64_t SteadyEpochMicros() const { return steady_epoch_us_; }
+
   /// \brief Copies out the retained events, oldest first. Events being
   /// overwritten concurrently are skipped, never torn.
   std::vector<FlightEvent> Snapshot() const;
 
-  /// \brief JSON dump: {"total_recorded":…, "capacity":…, "events":[…]}.
+  /// \brief JSON dump: {"schema":2, "wall_epoch_us":…, "steady_epoch_us":…,
+  /// "total_recorded":…, "capacity":…, "events":[…]}.
   std::string ToJson() const;
 
   /// \brief Writes ToJson() to `path`.
@@ -124,6 +186,8 @@ class FlightRecorder {
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> next_{0};
   const std::chrono::steady_clock::time_point epoch_;
+  int64_t wall_epoch_us_ = 0;
+  int64_t steady_epoch_us_ = 0;
   bool fatal_dump_installed_ = false;
 };
 

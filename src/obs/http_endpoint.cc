@@ -20,6 +20,8 @@ const char* StatusLine(int status) {
   switch (status) {
     case 200:
       return "200 OK";
+    case 400:
+      return "400 Bad Request";
     case 404:
       return "404 Not Found";
     case 405:
@@ -122,21 +124,40 @@ void HttpEndpoint::ServeConnection(int fd) {
   }
   if (request.empty()) return;
 
-  // "GET /path HTTP/1.x" — anything else is 405/400-ish.
+  // "GET /path HTTP/1.x". A request whose headers never terminate within
+  // the size bound, or whose request line has no method/path shape, is a
+  // 400; a well-formed non-GET method is a 405.
   HttpResponse response;
+  const bool headers_complete =
+      request.find("\r\n\r\n") != std::string::npos ||
+      request.find("\n\n") != std::string::npos;
   const size_t line_end = request.find_first_of("\r\n");
   const std::string line = request.substr(0, line_end);
-  if (line.rfind("GET ", 0) != 0) {
+  const size_t method_end = line.find(' ');
+  if (!headers_complete && request.size() >= 8192) {
+    response.status = 400;
+    response.body = "request too large\n";
+  } else if (method_end == std::string::npos || method_end == 0) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else if (line.compare(0, method_end, "GET") != 0) {
     response.status = 405;
     response.body = "only GET is supported\n";
   } else {
-    const size_t path_end = line.find(' ', 4);
-    std::string path = line.substr(4, path_end == std::string::npos
-                                          ? std::string::npos
-                                          : path_end - 4);
+    const size_t path_start = method_end + 1;
+    const size_t path_end = line.find(' ', path_start);
+    std::string path =
+        line.substr(path_start, path_end == std::string::npos
+                                    ? std::string::npos
+                                    : path_end - path_start);
     const size_t query = path.find('?');
     if (query != std::string::npos) path.resize(query);
-    response = handler_(path);
+    if (path.empty() || path[0] != '/') {
+      response.status = 400;
+      response.body = "malformed request path\n";
+    } else {
+      response = handler_(path);
+    }
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
 

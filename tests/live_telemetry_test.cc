@@ -261,6 +261,102 @@ TEST(HttpEndpointTest, ServesHandlerOverLoopback) {
   EXPECT_FALSE(endpoint.running());
 }
 
+/// Sends raw bytes (not necessarily valid HTTP) to 127.0.0.1:`port`. When
+/// `read_response` is false the socket is closed immediately after the send
+/// — a client that vanished before the server could reply.
+std::string RawRequest(int port, const std::string& bytes,
+                       bool read_response = true) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  if (read_response) {
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpEndpointTest, RejectsMalformedAndOversizedRequests) {
+  obs::HttpEndpoint endpoint([](const std::string& path) {
+    obs::HttpResponse response;
+    if (path != "/hello") response.status = 404;
+    response.body = path + "\n";
+    return response;
+  });
+  ASSERT_TRUE(endpoint.Start(0).ok());
+
+  // A request line with no method/path shape.
+  const std::string garbage =
+      RawRequest(endpoint.port(), "GARBAGE\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos);
+  EXPECT_NE(garbage.find("malformed request line"), std::string::npos);
+
+  // Headers that never terminate within the 8 KiB bound.
+  const std::string oversized =
+      RawRequest(endpoint.port(), std::string(9000, 'A'));
+  EXPECT_NE(oversized.find("400"), std::string::npos);
+  EXPECT_NE(oversized.find("request too large"), std::string::npos);
+
+  // A method without a path ("GET" alone on the request line).
+  const std::string no_path = RawRequest(endpoint.port(), "GET\r\n\r\n");
+  EXPECT_NE(no_path.find("400"), std::string::npos);
+
+  // A path that does not start with '/'.
+  const std::string bad_path =
+      RawRequest(endpoint.port(), "GET hello HTTP/1.0\r\n\r\n");
+  EXPECT_NE(bad_path.find("400"), std::string::npos);
+  EXPECT_NE(bad_path.find("malformed request path"), std::string::npos);
+
+  // Routing still works after the rejects, and unknown routes are 404.
+  const std::string ok = HttpRequest(endpoint.port(), "/hello");
+  EXPECT_NE(ok.find("200"), std::string::npos);
+  const std::string missing = HttpRequest(endpoint.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  endpoint.Stop();
+}
+
+TEST(HttpEndpointTest, SurvivesClientDisconnectMidResponse) {
+  // A response far larger than the socket buffers, so the server is still
+  // writing when the client goes away (MSG_NOSIGNAL turns the would-be
+  // SIGPIPE into a send error the serve loop absorbs).
+  obs::HttpEndpoint endpoint([](const std::string&) {
+    obs::HttpResponse response;
+    response.body.assign(8 << 20, 'x');
+    return response;
+  });
+  ASSERT_TRUE(endpoint.Start(0).ok());
+
+  for (int i = 0; i < 3; ++i) {
+    RawRequest(endpoint.port(), "GET /big HTTP/1.0\r\n\r\n",
+               /*read_response=*/false);
+  }
+
+  // The accept thread must still be alive and serving.
+  const std::string after = HttpRequest(endpoint.port(), "/again");
+  EXPECT_NE(after.find("200"), std::string::npos);
+  EXPECT_TRUE(endpoint.running());
+  endpoint.Stop();
+}
+
 // --- Sampler ----------------------------------------------------------------
 
 TEST(SamplerTest, RetentionBoundsTheSeriesAndTimestampsIncrease) {
@@ -434,6 +530,28 @@ TEST(SessionTelemetryTest, LiveScrapeServesPrometheusTextDuringARun) {
     session.sampler()->SampleOnce();
     EXPECT_GT(session.sampler()->total_samples(), 0);
   }
+}
+
+TEST(SessionTelemetryTest, ExplainRouteIs404UntilARunCompletes) {
+  core::Session::Options options = TelemetrySessionOptions();
+  options.http_port = 0;  // ephemeral
+  core::Session session(options);
+  ASSERT_GT(session.http_port(), 0);
+
+  const std::string before = HttpRequest(session.http_port(), "/explain");
+  EXPECT_NE(before.find("404"), std::string::npos);
+  EXPECT_NE(before.find("no completed run yet"), std::string::npos);
+
+  auto a = session.Generate(Gen(32, 24, 31));
+  auto b = session.Generate(Gen(24, 16, 32));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(session.Multiply(*a, *b).ok());
+
+  const std::string after = HttpRequest(session.http_port(), "/explain");
+  EXPECT_NE(after.find("200"), std::string::npos);
+  EXPECT_NE(after.find("application/json"), std::string::npos);
+  EXPECT_NE(after.find("\"method\""), std::string::npos);
+  EXPECT_NE(after.find("\"critical_path\""), std::string::npos);
 }
 
 TEST(SessionTelemetryTest, InjectedFailureDumpsFlightRecorder) {

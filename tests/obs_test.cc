@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -177,6 +178,12 @@ TEST(TraceSpanTest, NestedSpansDrainEnclosingFirst) {
   tracer.SetEnabled(true);
   {
     TraceSpan outer(&tracer, "outer");
+    // The children must start measurably after the parent: spans that open
+    // in the same microsecond tie on (ts, dur) and drain in buffer order.
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(2);
+    while (std::chrono::steady_clock::now() < until) {
+    }
     {
       TraceSpan inner(&tracer, "inner");
       TraceSpan innermost(&tracer, "innermost");
