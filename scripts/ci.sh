@@ -48,6 +48,44 @@ diff_out="$(python3 scripts/distme_analyze.py "$dump_a" "$dump_b" --diff)"
 echo "$diff_out"
 grep -q '\[stable\]' <<<"$diff_out"
 
+echo
+echo "== gpu timeline smoke: device interval dump -> --gpu / --timeline =="
+gpu_dump="$(mktemp /tmp/distme_gpu.XXXXXX.json)"
+gpu_trace="$(mktemp /tmp/distme_gpu_trace.XXXXXX.json)"
+gpu_out="$(mktemp /tmp/distme_gpu_out.XXXXXX.txt)"
+trap 'rm -f "$dump_a" "$dump_b" "$gpu_dump" "$gpu_trace" "$gpu_out"' EXIT
+./build/bench/bench_micro_engine --gpu-flight-dump="$gpu_dump" > "$gpu_out"
+python3 scripts/distme_analyze.py "$gpu_dump" --gpu --pcie-peak-gib 12
+# The Python mirror must reproduce the C++ analysis number for number: the
+# dump mode prints the AnalyzeGpuTimeline aggregate, compare field by field.
+python3 - "$gpu_out" "$gpu_dump" <<'PYEOF'
+import json, subprocess, sys
+cpp = json.loads([l for l in open(sys.argv[1])
+                  if l.startswith("gpu run aggregate: ")][0]
+                 .split(": ", 1)[1])
+py = json.loads(subprocess.check_output(
+    [sys.executable, "scripts/distme_analyze.py", sys.argv[2],
+     "--gpu", "--json", "--pcie-peak-gib", "12"]))
+def walk(a, b, path):
+    if isinstance(a, dict):
+        assert set(a) == set(b), f"{path}: keys differ"
+        for k in a:
+            walk(a[k], b[k], f"{path}.{k}")
+    elif isinstance(a, list):
+        assert len(a) == len(b), f"{path}: length differs"
+        for i, (x, y) in enumerate(zip(a, b)):
+            walk(x, y, f"{path}[{i}]")
+    elif isinstance(a, float) or isinstance(b, float):
+        assert abs(a - b) <= 1e-9 * max(1, abs(a)), f"{path}: {a} != {b}"
+    else:
+        assert a == b, f"{path}: {a} != {b}"
+walk(cpp, py, "$")
+print("gpu smoke: python --gpu matches the C++ analysis")
+PYEOF
+# Chrome-trace export must satisfy the viewer invariants.
+python3 scripts/distme_analyze.py "$gpu_dump" --timeline "$gpu_trace" >/dev/null
+python3 scripts/trace_lint.py "$gpu_trace"
+
 if [[ "$run_lint" -eq 1 ]]; then
   echo
   echo "== clang-tidy (advisory) =="
@@ -76,13 +114,18 @@ if [[ "$run_sanitize" -eq 1 ]]; then
   echo "== sanitizer matrix: TSan over the concurrency + telemetry suites =="
   cmake -B build-tsan -S . -DDISTME_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target stress_concurrency_test --target live_telemetry_test
+    --target stress_concurrency_test --target live_telemetry_test \
+    --target gpu_timeline_test
   TSAN_OPTIONS="suppressions=$PWD/scripts/sanitizers/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
     ./build-tsan/tests/stress_concurrency_test
   # The live-telemetry suite races the sampler/watchdog/endpoint threads
   # against session teardown — exactly the shutdown-ordering bugs TSan sees.
   TSAN_OPTIONS="suppressions=$PWD/scripts/sanitizers/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
     ./build-tsan/tests/live_telemetry_test
+  # The GPU-timeline suite drives device interval emission (ring writes
+  # from under the device mutex) and the snapshot-side reconstruction.
+  TSAN_OPTIONS="suppressions=$PWD/scripts/sanitizers/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
+    ./build-tsan/tests/gpu_timeline_test
 fi
 
 echo

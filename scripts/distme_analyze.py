@@ -12,9 +12,18 @@ tiles the run exactly (path length == flight wall time).
   scripts/distme_analyze.py run.json                 # bottleneck report
   scripts/distme_analyze.py before.json after.json   # run-diff
   scripts/distme_analyze.py run.json --json          # machine-readable
+  scripts/distme_analyze.py run.json --gpu           # GPU overlap report
+  scripts/distme_analyze.py run.json --timeline t.json  # Chrome trace
+
+The --gpu mode mirrors src/obs/gpu_timeline.cc with the same integer-µs
+arithmetic, so its numbers match the session's GET /gpu route and the
+explain report's "gpu" section for the same run. --timeline exports the
+schema-3 device interval events (gpu_h2d/gpu_d2h/gpu_kernel pairs) as
+Chrome trace-event JSON: one process per node, three engine tracks per
+device (load in chrome://tracing or https://ui.perfetto.dev).
 
 Exit status: 0 = analysis produced, 1 = no complete run in the dump /
-unreadable input.
+unreadable input (for --gpu/--timeline: no device interval events).
 """
 
 import argparse
@@ -23,6 +32,296 @@ import json
 import sys
 
 TASK_EDGE_KINDS = ("fetch_wait", "gpu_wait")
+
+# Flight schema 3 device interval events (see src/obs/gpu_timeline.h).
+GPU_BEGIN = {"gpu_h2d_begin": "h2d", "gpu_d2h_begin": "d2h",
+             "gpu_kernel_begin": "kernel"}
+GPU_END = {"gpu_h2d_end": "h2d", "gpu_d2h_end": "d2h",
+           "gpu_kernel_end": "kernel"}
+GPU_ENGINES = ("h2d", "d2h", "kernel")
+GPU_NO_CUBOID = (1 << 24) - 1  # kGpuNoCuboidId sentinel
+
+
+def unpack_gpu_tag(packed):
+    """Mirror of obs::UnpackGpuTag: ordinal bits 48-55, cuboid 24-47,
+    sub-index 0-23."""
+    cuboid_field = (packed >> 24) & GPU_NO_CUBOID
+    return {
+        "ordinal": (packed >> 48) & 0xFF,
+        "cuboid_id": -1 if cuboid_field == GPU_NO_CUBOID else cuboid_field,
+        "sub_index": packed & GPU_NO_CUBOID,
+    }
+
+
+def gpu_device_builds(events):
+    """Mirror of AnalyzeGpuTimeline's bracketing + FIFO pairing: returns
+    {(node, ordinal): {"intervals": [...], "high_water": int}} for the last
+    complete run (or the whole snapshot when it holds no run bracket)."""
+    finish_seq = 0
+    for e in events:
+        if e.get("type") == "run_finish" and e.get("seq", 0) > finish_seq:
+            finish_seq = e["seq"]
+    start_seq = 0
+    if finish_seq != 0:
+        for e in events:
+            if (e.get("type") == "run_start" and
+                    start_seq < e.get("seq", 0) < finish_seq):
+                start_seq = e["seq"]
+    bracketed = finish_seq != 0 and start_seq != 0
+
+    gpu_events = []
+    for e in events:
+        seq = e.get("seq", 0)
+        if bracketed and (seq <= start_seq or seq >= finish_seq):
+            continue
+        etype = e.get("type")
+        if etype in GPU_BEGIN or etype in GPU_END or etype == "gpu_alloc":
+            gpu_events.append(e)
+    gpu_events.sort(key=lambda e: e.get("seq", 0))
+
+    builds = {}
+    pending = {}
+    for e in gpu_events:
+        tag = unpack_gpu_tag(e.get("b", 0))
+        key = (e.get("node", -1), tag["ordinal"])
+        etype = e.get("type")
+        if etype == "gpu_alloc":
+            b = builds.setdefault(key, {"intervals": [], "high_water": 0})
+            b["high_water"] = max(b["high_water"], e.get("a", 0))
+            continue
+        if etype in GPU_BEGIN:
+            pending.setdefault(key + (GPU_BEGIN[etype],), []).append(e)
+            continue
+        engine = GPU_END.get(etype)
+        if engine is None:
+            continue
+        queue = pending.setdefault(key + (engine,), [])
+        if not queue:
+            continue  # orphan end: its begin fell off the ring
+        begin = queue.pop(0)
+        b = builds.setdefault(key, {"intervals": [], "high_water": 0})
+        b["intervals"].append({
+            "engine": engine,
+            "stream": begin.get("slot", -1),
+            "begin_us": begin["ts_us"],
+            "end_us": max(e["ts_us"], begin["ts_us"]),
+            "payload": begin.get("a", 0),
+            "cuboid_id": tag["cuboid_id"],
+            "sub_index": tag["sub_index"],
+        })
+    for b in builds.values():
+        b["intervals"].sort(key=lambda iv: (iv["begin_us"], iv["end_us"]))
+    return builds
+
+
+def gpu_overlap_report(intervals, pcie_peak):
+    """Mirror of ComputeReport: boundary sweep in integer µs; the four
+    exclusive buckets (priority kernel > h2d > d2h > bubble) tile the
+    window exactly and overlapped <= min(copy, kernel) by construction."""
+    r = {"window_begin_us": 0, "window_end_us": 0, "window_us": 0,
+         "h2d_busy_us": 0, "d2h_busy_us": 0, "kernel_busy_us": 0,
+         "copy_busy_us": 0, "overlapped_us": 0, "kernel_bound_us": 0,
+         "h2d_bound_us": 0, "d2h_bound_us": 0, "bubble_us": 0,
+         "bubble_count": 0, "bubbles": [], "h2d_bytes": 0, "d2h_bytes": 0,
+         "kernel_flops": 0, "h2d_copies": 0, "d2h_copies": 0,
+         "kernel_launches": 0, "overlap_ratio": 0.0,
+         "kernel_utilization": 0.0, "effective_pcie_bytes_per_sec": 0.0,
+         "pcie_peak_bytes_per_sec": pcie_peak}
+    if not intervals:
+        return r
+
+    r["window_begin_us"] = min(iv["begin_us"] for iv in intervals)
+    r["window_end_us"] = max(iv["end_us"] for iv in intervals)
+    for iv in intervals:
+        if iv["engine"] == "h2d":
+            r["h2d_copies"] += 1
+            r["h2d_bytes"] += iv["payload"]
+        elif iv["engine"] == "d2h":
+            r["d2h_copies"] += 1
+            r["d2h_bytes"] += iv["payload"]
+        else:
+            r["kernel_launches"] += 1
+            r["kernel_flops"] += iv["payload"]
+
+    edges = []
+    for iv in intervals:
+        edges.append((iv["begin_us"], iv["engine"], +1))
+        edges.append((iv["end_us"], iv["engine"], -1))
+    edges.sort(key=lambda e: e[0])
+
+    active = {"h2d": 0, "d2h": 0, "kernel": 0}
+    bubbles = []
+    prev = edges[0][0]
+    i = 0
+    while i < len(edges):
+        t = edges[i][0]
+        length = t - prev
+        if length > 0:
+            h, d = active["h2d"] > 0, active["d2h"] > 0
+            k = active["kernel"] > 0
+            if h:
+                r["h2d_busy_us"] += length
+            if d:
+                r["d2h_busy_us"] += length
+            if k:
+                r["kernel_busy_us"] += length
+            if h or d:
+                r["copy_busy_us"] += length
+            if (h or d) and k:
+                r["overlapped_us"] += length
+            if k:
+                r["kernel_bound_us"] += length
+            elif h:
+                r["h2d_bound_us"] += length
+            elif d:
+                r["d2h_bound_us"] += length
+            else:
+                r["bubble_us"] += length
+                if bubbles and bubbles[-1][1] == prev:
+                    bubbles[-1][1] = t  # zero-length op split the gap
+                else:
+                    bubbles.append([prev, t])
+        while i < len(edges) and edges[i][0] == t:
+            active[edges[i][1]] += edges[i][2]
+            i += 1
+        prev = t
+
+    r["bubble_count"] = len(bubbles)
+    r["bubbles"] = bubbles[:64]
+    r["window_us"] = r["window_end_us"] - r["window_begin_us"]
+    cap = min(r["copy_busy_us"], r["kernel_busy_us"])
+    if cap > 0:
+        r["overlap_ratio"] = r["overlapped_us"] / cap
+    if r["window_us"] > 0:
+        r["kernel_utilization"] = r["kernel_busy_us"] / r["window_us"]
+    if r["copy_busy_us"] > 0:
+        r["effective_pcie_bytes_per_sec"] = (
+            (r["h2d_bytes"] + r["d2h_bytes"]) / (r["copy_busy_us"] * 1e-6))
+    return r
+
+
+def analyze_gpu(events, pcie_peak=0.0):
+    """Mirror of AnalyzeGpuTimeline: per-device and per-cuboid overlap
+    reports plus the whole-run aggregate. None when the dump holds no
+    device interval events."""
+    builds = gpu_device_builds(events)
+    devices = []
+    for key in sorted(builds):
+        build = builds[key]
+        if not build["intervals"] and build["high_water"] == 0:
+            continue
+        by_cuboid = {}
+        for iv in build["intervals"]:
+            if iv["cuboid_id"] >= 0:
+                by_cuboid.setdefault(iv["cuboid_id"], []).append(iv)
+        devices.append({
+            "node": key[0], "ordinal": key[1],
+            "occupancy_high_water_bytes": build["high_water"],
+            "report": gpu_overlap_report(build["intervals"], pcie_peak),
+            "cuboids": [{"cuboid_id": cid,
+                         "report": gpu_overlap_report(ivs, pcie_peak)}
+                        for cid, ivs in sorted(by_cuboid.items())],
+        })
+    if not devices:
+        return None
+
+    # Whole-run aggregate: sums over devices, window = sum of device
+    # windows (a duration, not a wall interval).
+    run = gpu_overlap_report([], pcie_peak)
+    high_water = 0
+    for device in devices:
+        r = device["report"]
+        run["window_end_us"] += r["window_us"]
+        for k in ("h2d_busy_us", "d2h_busy_us", "kernel_busy_us",
+                  "copy_busy_us", "overlapped_us", "kernel_bound_us",
+                  "h2d_bound_us", "d2h_bound_us", "bubble_us",
+                  "bubble_count", "h2d_bytes", "d2h_bytes", "kernel_flops",
+                  "h2d_copies", "d2h_copies", "kernel_launches"):
+            run[k] += r[k]
+        high_water = max(high_water, device["occupancy_high_water_bytes"])
+    run["window_us"] = run["window_end_us"] - run["window_begin_us"]
+    cap = min(run["copy_busy_us"], run["kernel_busy_us"])
+    if cap > 0:
+        run["overlap_ratio"] = run["overlapped_us"] / cap
+    if run["window_us"] > 0:
+        run["kernel_utilization"] = run["kernel_busy_us"] / run["window_us"]
+    if run["copy_busy_us"] > 0:
+        run["effective_pcie_bytes_per_sec"] = (
+            (run["h2d_bytes"] + run["d2h_bytes"]) /
+            (run["copy_busy_us"] * 1e-6))
+    return {"devices": devices, "run": run,
+            "occupancy_high_water_bytes": high_water}
+
+
+def fmt_bytes_per_sec(value):
+    if value >= 1 << 30:
+        return f"{value / (1 << 30):.2f} GiB/s"
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.2f} MiB/s"
+    return f"{value:.0f} B/s"
+
+
+def print_gpu_report(path, gpu):
+    run = gpu["run"]
+    print(f"distme_analyze: gpu {path}")
+    print(f"  gpu: {len(gpu['devices'])} device(s) | window "
+          f"{fmt_us(run['window_us'])} | kernel busy "
+          f"{fmt_pct(run['kernel_busy_us'], run['window_us'])} | overlap "
+          f"{run['overlap_ratio']:.0%} of copies | {run['bubble_count']} "
+          f"bubble(s) ({fmt_us(run['bubble_us'])})")
+    print(f"  window split: kernel-bound "
+          f"{fmt_pct(run['kernel_bound_us'], run['window_us'])} | h2d-bound "
+          f"{fmt_pct(run['h2d_bound_us'], run['window_us'])} | d2h-bound "
+          f"{fmt_pct(run['d2h_bound_us'], run['window_us'])} | bubble "
+          f"{fmt_pct(run['bubble_us'], run['window_us'])}")
+    pcie = f"  pcie: {fmt_bytes_per_sec(run['effective_pcie_bytes_per_sec'])} effective"
+    if run["pcie_peak_bytes_per_sec"] > 0:
+        pcie += (f" of {fmt_bytes_per_sec(run['pcie_peak_bytes_per_sec'])} "
+                 f"peak ({fmt_pct(run['effective_pcie_bytes_per_sec'], run['pcie_peak_bytes_per_sec'])})")
+    print(pcie + f" | occupancy high-water "
+          f"{gpu['occupancy_high_water_bytes']} bytes")
+    for device in gpu["devices"]:
+        r = device["report"]
+        print(f"  device node {device['node']} gpu {device['ordinal']}: "
+              f"window {fmt_us(r['window_us'])} | h2d {fmt_us(r['h2d_busy_us'])} "
+              f"| d2h {fmt_us(r['d2h_busy_us'])} | kernel "
+              f"{fmt_us(r['kernel_busy_us'])} | overlapped "
+              f"{fmt_us(r['overlapped_us'])} | {len(device['cuboids'])} "
+              f"cuboid(s)")
+
+
+def write_timeline(out_path, builds):
+    """Exports device intervals as Chrome trace-event JSON (the PR 1
+    exporter format): one process per node, one track per device engine.
+    Returns the number of spans written."""
+    engine_index = {e: i for i, e in enumerate(GPU_ENGINES)}
+    events = []
+    spans = 0
+    for (node, ordinal) in sorted(builds):
+        pid = node
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": f"node{node}"}})
+        for engine in GPU_ENGINES:
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": ordinal * 3 + engine_index[engine],
+                           "args": {"name": f"gpu{ordinal} {engine}"}})
+        for iv in builds[(node, ordinal)]["intervals"]:
+            name = iv["engine"]
+            if iv["cuboid_id"] >= 0:
+                name += f" c{iv['cuboid_id']}.{iv['sub_index']}"
+            payload_key = ("flops" if iv["engine"] == "kernel" else "bytes")
+            events.append({
+                "name": name, "ph": "X", "ts": iv["begin_us"],
+                "dur": iv["end_us"] - iv["begin_us"], "pid": pid,
+                "tid": ordinal * 3 + engine_index[iv["engine"]],
+                "args": {payload_key: iv["payload"], "stream": iv["stream"],
+                         "cuboid": iv["cuboid_id"],
+                         "sub": iv["sub_index"]},
+            })
+            spans += 1
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f)
+    return spans
 
 
 def load_dump(path):
@@ -401,6 +700,15 @@ def main():
                         help="machine-readable JSON output")
     parser.add_argument("--top", type=int, default=5,
                         help="hops to show in the report (default 5)")
+    parser.add_argument("--gpu", action="store_true",
+                        help="GPU engine-timeline overlap report (mirrors "
+                             "the session's GET /gpu route)")
+    parser.add_argument("--timeline", metavar="PATH", default=None,
+                        help="export device interval events as Chrome "
+                             "trace-event JSON to PATH")
+    parser.add_argument("--pcie-peak-gib", type=float, default=0.0,
+                        help="configured PCI-E peak (GiB/s) for the --gpu "
+                             "roofline comparison (not in the dump)")
     args = parser.parse_args()
 
     if args.diff and args.dump_b is None:
@@ -411,6 +719,27 @@ def main():
     if loaded is None:
         return 1
     header, events = loaded
+
+    if args.gpu or args.timeline is not None:
+        builds = gpu_device_builds(events)
+        if not any(b["intervals"] or b["high_water"] for b in
+                   builds.values()):
+            print(f"distme_analyze: {args.dump} holds no GPU device "
+                  f"interval events", file=sys.stderr)
+            return 1
+        if args.timeline is not None:
+            spans = write_timeline(args.timeline, builds)
+            print(f"distme_analyze: wrote {spans} device spans to "
+                  f"{args.timeline}")
+        if args.gpu:
+            gpu = analyze_gpu(events,
+                              args.pcie_peak_gib * float(1 << 30))
+            if args.json:
+                print(json.dumps(gpu, indent=2))
+            else:
+                print_gpu_report(args.dump, gpu)
+        return 0
+
     graph = build_graph(events)
     if graph is None:
         print(f"distme_analyze: {args.dump} holds no complete run",

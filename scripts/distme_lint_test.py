@@ -183,12 +183,19 @@ class LintFixtureTest(unittest.TestCase):
 
     # --- flight-enum-sync -------------------------------------------------
 
+    # Includes a slice of the schema-3 GPU interval kinds: multi-word
+    # camel-case with digits (H2d/D2h) is exactly where a hand-maintained
+    # name table drifts (h2d_begin vs h2_d_begin).
     FLIGHT_HEADER = (
         "#pragma once\n"
         "enum class FlightEventType : uint8_t {\n"
         "  kRunStart = 0,\n"
         "  kTaskRetry,\n"
         "  kMemHighWater,\n"
+        "  kGpuH2dBegin,\n"
+        "  kGpuD2hEnd,\n"
+        "  kGpuKernelBegin,\n"
+        "  kGpuAlloc,\n"
         "  kNumTypes,\n"
         "};\n"
         "enum class FlightEdgeKind : uint8_t {\n"
@@ -197,6 +204,10 @@ class LintFixtureTest(unittest.TestCase):
         "  kExec,\n"
         "  kNumKinds,\n"
         "};\n")
+
+    FLIGHT_NAMES = ["run_start", "task_retry", "mem_high_water",
+                    "gpu_h2d_begin", "gpu_d2h_end", "gpu_kernel_begin",
+                    "gpu_alloc"]
 
     def flight_cc(self, names,
                   edge_names=("slot_wait", "fetch_wait", "exec")):
@@ -214,25 +225,27 @@ class LintFixtureTest(unittest.TestCase):
         self.assert_clean({
             "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
             "src/obs/flight_recorder.cc": self.flight_cc(
-                ["run_start", "task_retry", "mem_high_water"])})
+                self.FLIGHT_NAMES)})
 
     def test_flight_table_missing_entry(self):
         self.assert_flags("flight-enum-sync", {
             "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
             "src/obs/flight_recorder.cc": self.flight_cc(
-                ["run_start", "task_retry"])})
+                self.FLIGHT_NAMES[:-1])})
 
     def test_flight_table_misnamed_entry(self):
         self.assert_flags("flight-enum-sync", {
             "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
             "src/obs/flight_recorder.cc": self.flight_cc(
-                ["run_start", "task_retry", "mem_highwater"])})
+                self.FLIGHT_NAMES[:3] + ["gpu_h2_d_begin"] +
+                self.FLIGHT_NAMES[4:])})
 
     def test_flight_table_out_of_order(self):
         self.assert_flags("flight-enum-sync", {
             "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
             "src/obs/flight_recorder.cc": self.flight_cc(
-                ["task_retry", "run_start", "mem_high_water"])})
+                self.FLIGHT_NAMES[:5] + ["gpu_alloc",
+                                         "gpu_kernel_begin"])})
 
     def test_flight_cc_without_header(self):
         self.assert_flags("flight-enum-sync", {
@@ -255,20 +268,20 @@ class LintFixtureTest(unittest.TestCase):
         self.assert_clean({
             "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
             "src/obs/flight_recorder.cc": self.flight_cc(
-                ["run_start", "task_retry", "mem_high_water"])})
+                self.FLIGHT_NAMES)})
 
     def test_edge_table_missing_entry(self):
         self.assert_flags("flight-edge-sync", {
             "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
             "src/obs/flight_recorder.cc": self.flight_cc(
-                ["run_start", "task_retry", "mem_high_water"],
+                self.FLIGHT_NAMES,
                 edge_names=("slot_wait", "fetch_wait"))})
 
     def test_edge_table_misnamed_entry(self):
         self.assert_flags("flight-edge-sync", {
             "src/obs/flight_recorder.h": self.FLIGHT_HEADER,
             "src/obs/flight_recorder.cc": self.flight_cc(
-                ["run_start", "task_retry", "mem_high_water"],
+                self.FLIGHT_NAMES,
                 edge_names=("slot_wait", "fetchwait", "exec"))})
 
     def test_edge_enum_missing_from_header(self):

@@ -58,6 +58,16 @@ Session::Session(Options options)
               response.content_type = "application/json";
               response.body = *explain;
             }
+          } else if (path == "/gpu") {
+            const std::shared_ptr<const std::string> gpu =
+                last_gpu_json_.load(std::memory_order_acquire);
+            if (gpu == nullptr) {
+              response.status = 404;
+              response.body = "no run with GPU device events yet\n";
+            } else {
+              response.content_type = "application/json";
+              response.body = *gpu;
+            }
           } else if (path == "/healthz") {
             response.body = "ok\n";
           } else {
@@ -70,7 +80,7 @@ Session::Session(Options options)
     if (started.ok()) {
       DISTME_LOG(Info) << "telemetry endpoint on 127.0.0.1:"
                        << endpoint_->port()
-                       << " (/metrics, /flight, /explain)";
+                       << " (/metrics, /flight, /explain, /gpu)";
     } else {
       DISTME_LOG(Warning) << "telemetry endpoint disabled: "
                           << started.ToString();
@@ -182,6 +192,11 @@ Result<Matrix> Session::MultiplyWith(const Matrix& a, const Matrix& b,
         }
       }
       last_explain_json_.store(std::move(json), std::memory_order_release);
+      if (last_explain_->has_gpu) {
+        last_gpu_json_.store(std::make_shared<const std::string>(
+                                 last_explain_->gpu.ToJson()),
+                             std::memory_order_release);
+      }
     }
   }
   DISTME_RETURN_NOT_OK(run.report.outcome);

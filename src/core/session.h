@@ -210,6 +210,11 @@ class Session {
   // Lock-free handoff: the run thread publishes a fresh immutable string,
   // the endpoint thread loads whatever is current (null before first run).
   std::atomic<std::shared_ptr<const std::string>> last_explain_json_;
+  // Last run's GPU timeline analysis JSON for GET /gpu — the same
+  // obs::GpuTimelineAnalysis the explain report embeds, so the two routes
+  // (and distme_analyze.py --gpu on a dump) report identical numbers. Null
+  // before the first run that recorded device interval events.
+  std::atomic<std::shared_ptr<const std::string>> last_gpu_json_;
   // Telemetry subsystems, declared after the registries they observe so
   // reverse-order destruction tears them down first; ~Session() also stops
   // their threads explicitly (endpoint → watchdog → sampler).

@@ -148,6 +148,37 @@ std::string ExplainReport::ToTable() const {
       out += buf;
     }
   }
+  if (has_gpu) {
+    const obs::OverlapReport& run = gpu.run;
+    std::snprintf(buf, sizeof(buf),
+                  "  gpu: %zu device%s | window %s | kernel busy %.0f%% | "
+                  "overlap %.0f%% of copies | %lld bubble%s (%s)\n",
+                  gpu.devices.size(), gpu.devices.size() == 1 ? "" : "s",
+                  FormatSeconds(static_cast<double>(run.window_us()) * 1e-6)
+                      .c_str(),
+                  run.kernel_utilization() * 100.0,
+                  run.overlap_ratio() * 100.0,
+                  static_cast<long long>(run.bubble_count),
+                  run.bubble_count == 1 ? "" : "s",
+                  FormatSeconds(static_cast<double>(run.bubble_us) * 1e-6)
+                      .c_str());
+    out += buf;
+    const obs::GpuWindowFractions f = run.WindowFractions();
+    std::snprintf(buf, sizeof(buf),
+                  "  gpu window: kernel-bound %.0f%% | h2d-bound %.0f%% | "
+                  "d2h-bound %.0f%% | bubble %.0f%%\n",
+                  f.kernel_bound * 100.0, f.h2d_bound * 100.0,
+                  f.d2h_bound * 100.0, f.bubble * 100.0);
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  gpu pcie: %s/s effective of %s/s peak | occupancy high-water %s\n",
+        FormatBytes(run.effective_pcie_bytes_per_sec()).c_str(),
+        FormatBytes(run.pcie_peak_bytes_per_sec).c_str(),
+        FormatBytes(static_cast<double>(gpu.occupancy_high_water_bytes))
+            .c_str());
+    out += buf;
+  }
   return out;
 }
 
@@ -215,6 +246,10 @@ std::string ExplainReport::ToJson() const {
                       elapsed_seconds
                 : 0.0);
   }
+  if (has_gpu) {
+    w.Key("gpu");
+    gpu.AppendJson(&w);
+  }
   w.EndObject();
   return w.str();
 }
@@ -269,9 +304,22 @@ Result<ExplainReport> BuildExplainReport(const MMReport& report,
   if (obs.comm_delta != nullptr) explain.comm = *obs.comm_delta;
 
   if (obs.flight_events != nullptr) {
+    // GPU overlap analysis first: its window fractions split the critical
+    // path's opaque "gpu" attribution bucket. The PCI-E peak comes from the
+    // cluster's hardware model (the roofline the copies are measured
+    // against).
+    explain.gpu = obs::AnalyzeGpuTimeline(*obs.flight_events,
+                                          cluster.hw.pcie_bandwidth);
+    explain.has_gpu = !explain.gpu.empty();
     const obs::CausalGraph graph = obs::BuildCausalGraph(*obs.flight_events);
     if (graph.wall_us() > 0) {
-      explain.critical_path = obs::AnalyzeCriticalPath(graph);
+      obs::GpuWindowFractions fractions;
+      const obs::GpuWindowFractions* split = nullptr;
+      if (explain.has_gpu && explain.gpu.run.window_us() > 0) {
+        fractions = explain.gpu.run.WindowFractions();
+        split = &fractions;
+      }
+      explain.critical_path = obs::AnalyzeCriticalPath(graph, split);
       explain.has_critical_path = explain.critical_path.path_us > 0;
     }
   }

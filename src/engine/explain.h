@@ -18,6 +18,7 @@
 #include "obs/comm_matrix.h"
 #include "obs/critical_path.h"
 #include "obs/flight_recorder.h"
+#include "obs/gpu_timeline.h"
 #include "obs/metrics.h"
 
 namespace distme::engine {
@@ -66,6 +67,14 @@ struct ExplainReport {
   /// events were supplied to BuildExplainReport and held a complete run).
   bool has_critical_path = false;
   obs::CriticalPathAnalysis critical_path;
+
+  /// GPU pipeline overlap analysis (only when flight events were supplied
+  /// and contained schema-3 device interval events). When present, the
+  /// critical path's "gpu" attribution is split by its window fractions.
+  /// This is the same object `GET /gpu` serves and distme_analyze.py --gpu
+  /// recomputes — all three report identical numbers for one run.
+  bool has_gpu = false;
+  obs::GpuTimelineAnalysis gpu;
 
   /// \brief Aligned text table: stage rows, task/straggler summary, and the
   /// comm-matrix summary line.

@@ -13,6 +13,7 @@
 #include "gpu/device.h"
 #include "gpumm/streaming.h"
 #include "matrix/serialize.h"
+#include "obs/gpu_timeline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -181,7 +182,21 @@ class RealExecutor::Impl {
       plan_span.AddArg("tasks", static_cast<int64_t>(tasks.size()));
       plan_span.AddArg("lpt", static_cast<int64_t>(options.lpt_scheduling));
     }
+    // Attach (or detach) the run's recorder to every device before any task
+    // touches one: schema-3 interval events carry the device's (node,
+    // ordinal) identity. `seq_before_run` lets the end-of-run overlap
+    // analysis cut the ring to exactly this run's events.
+    uint64_t seq_before_run = 0;
+    if (config_.has_gpu) {
+      for (size_t n = 0; n < devices_.size(); ++n) {
+        for (size_t d = 0; d < devices_[n].size(); ++d) {
+          devices_[n][d]->AttachFlight(flight, static_cast<int32_t>(n),
+                                       static_cast<int32_t>(d));
+        }
+      }
+    }
     if (flight != nullptr) {
+      seq_before_run = flight->TotalRecorded();
       flight->Record(obs::FlightEventType::kRunStart, /*node=*/-1,
                      /*slot=*/-1, static_cast<int64_t>(tasks.size()));
     }
@@ -639,6 +654,33 @@ class RealExecutor::Impl {
           ->Set(static_cast<int64_t>(pcie));
       metrics->GetGauge("distme.gpu.utilization_permille")
           ->Set(static_cast<int64_t>(result.report.gpu_utilization * 1000.0));
+      if (flight != nullptr) {
+        // Overlap gauges from the reconstructed device timelines. The ring
+        // may hold earlier runs (and the device virtual clock spans them),
+        // so cut to events recorded during this run by sequence number.
+        const std::vector<obs::FlightEvent> all_events = flight->Snapshot();
+        std::vector<obs::FlightEvent> run_events;
+        run_events.reserve(all_events.size());
+        for (const obs::FlightEvent& e : all_events) {
+          if (e.seq > seq_before_run) run_events.push_back(e);
+        }
+        const obs::GpuTimelineAnalysis gpu_analysis =
+            obs::AnalyzeGpuTimeline(run_events, config_.hw.pcie_bandwidth);
+        const obs::OverlapReport& run = gpu_analysis.run;
+        metrics->GetGauge("distme.gpu.window_us")->Set(run.window_us());
+        metrics->GetGauge("distme.gpu.h2d_busy_us")->Set(run.h2d_busy_us);
+        metrics->GetGauge("distme.gpu.d2h_busy_us")->Set(run.d2h_busy_us);
+        metrics->GetGauge("distme.gpu.kernel_busy_us")
+            ->Set(run.kernel_busy_us);
+        metrics->GetGauge("distme.gpu.overlapped_us")->Set(run.overlapped_us);
+        metrics->GetGauge("distme.gpu.bubble_us")->Set(run.bubble_us);
+        metrics->GetGauge("distme.gpu.overlap_permille")
+            ->Set(static_cast<int64_t>(run.overlap_ratio() * 1000.0));
+        metrics->GetGauge("distme.gpu.effective_pcie_bytes_per_sec")
+            ->Set(static_cast<int64_t>(run.effective_pcie_bytes_per_sec()));
+        metrics->GetGauge("distme.gpu.occupancy_high_water_bytes")
+            ->Set(gpu_analysis.occupancy_high_water_bytes);
+      }
     }
     if (flight != nullptr) {
       flight->Record(obs::FlightEventType::kRunFinish, /*node=*/-1,

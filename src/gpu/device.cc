@@ -1,8 +1,44 @@
 #include "gpu/device.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/gpu_timeline.h"
 
 namespace distme::gpu {
+
+namespace {
+
+// Device virtual clock (seconds) → flight-event µs.
+int64_t ToMicros(double seconds) { return std::llround(seconds * 1e6); }
+
+}  // namespace
+
+void Device::AttachFlight(obs::FlightRecorder* flight, int32_t node,
+                          int32_t ordinal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flight_ = flight;
+  node_ = node;
+  ordinal_ = ordinal;
+}
+
+void Device::EmitInterval(obs::FlightEventType begin, obs::FlightEventType end,
+                          StreamId stream, int64_t payload, int64_t tag,
+                          double start, double duration) {
+  if (flight_ == nullptr) return;
+  // Stamp this device's ordinal into the tag; untagged (block-level) work
+  // packs the no-cuboid sentinel so the analyzer still attributes the
+  // interval to the right device.
+  const int64_t packed = tag >= 0 ? obs::GpuTagWithOrdinal(ordinal_, tag)
+                                  : obs::PackGpuTag(ordinal_, -1, 0);
+  // Both events of the pair are recorded back to back under mutex_, so the
+  // k-th begin on a (node, ordinal, engine) matches the k-th end in
+  // sequence order — the pairing invariant obs::AnalyzeGpuTimeline relies
+  // on. Timestamps are the *virtual* start/completion, known at enqueue.
+  flight_->RecordAt(ToMicros(start), begin, node_, stream, payload, packed);
+  flight_->RecordAt(ToMicros(start + duration), end, node_, stream, payload,
+                    packed);
+}
 
 Result<BufferId> Device::Allocate(int64_t bytes, const std::string& label) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -18,6 +54,11 @@ Result<BufferId> Device::Allocate(int64_t bytes, const std::string& label) {
   stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, memory_used_);
   const BufferId id = next_buffer_++;
   buffers_.emplace_back(id, bytes);
+  if (flight_ != nullptr) {
+    flight_->RecordAt(ToMicros(last_completion_),
+                      obs::FlightEventType::kGpuAlloc, node_, -1,
+                      memory_used_, obs::PackGpuTag(ordinal_, -1, 0), "alloc");
+  }
   return id;
 }
 
@@ -27,6 +68,12 @@ Status Device::Free(BufferId id) {
     if (it->first == id) {
       memory_used_ -= it->second;
       buffers_.erase(it);
+      if (flight_ != nullptr) {
+        flight_->RecordAt(ToMicros(last_completion_),
+                          obs::FlightEventType::kGpuAlloc, node_, -1,
+                          memory_used_, obs::PackGpuTag(ordinal_, -1, 0),
+                          "free");
+      }
       return Status::OK();
     }
   }
@@ -46,7 +93,7 @@ Status Device::ValidateStream(StreamId stream) const {
   return Status::OK();
 }
 
-Status Device::EnqueueH2D(StreamId stream, int64_t bytes) {
+Status Device::EnqueueH2D(StreamId stream, int64_t bytes, int64_t tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   DISTME_RETURN_NOT_OK(ValidateStream(stream));
   auto& s = streams_[static_cast<size_t>(stream)];
@@ -58,10 +105,13 @@ Status Device::EnqueueH2D(StreamId stream, int64_t bytes) {
   stats_.h2d_seconds += duration;
   ++stats_.h2d_copies;
   last_completion_ = std::max(last_completion_, start + duration);
+  EmitInterval(obs::FlightEventType::kGpuH2dBegin,
+               obs::FlightEventType::kGpuH2dEnd, stream, bytes, tag, start,
+               duration);
   return Status::OK();
 }
 
-Status Device::EnqueueD2H(StreamId stream, int64_t bytes) {
+Status Device::EnqueueD2H(StreamId stream, int64_t bytes, int64_t tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   DISTME_RETURN_NOT_OK(ValidateStream(stream));
   auto& s = streams_[static_cast<size_t>(stream)];
@@ -72,11 +122,15 @@ Status Device::EnqueueD2H(StreamId stream, int64_t bytes) {
   stats_.d2h_seconds += duration;
   ++stats_.d2h_copies;
   last_completion_ = std::max(last_completion_, start + duration);
+  EmitInterval(obs::FlightEventType::kGpuD2hBegin,
+               obs::FlightEventType::kGpuD2hEnd, stream, bytes, tag, start,
+               duration);
   return Status::OK();
 }
 
 Status Device::EnqueueKernel(StreamId stream, int64_t flops,
-                             const std::function<void()>& body, bool sparse) {
+                             const std::function<void()>& body, bool sparse,
+                             int64_t tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   DISTME_RETURN_NOT_OK(ValidateStream(stream));
   auto& s = streams_[static_cast<size_t>(stream)];
@@ -89,6 +143,9 @@ Status Device::EnqueueKernel(StreamId stream, int64_t flops,
   stats_.kernel_seconds += duration;
   ++stats_.kernel_calls;
   last_completion_ = std::max(last_completion_, start + duration);
+  EmitInterval(obs::FlightEventType::kGpuKernelBegin,
+               obs::FlightEventType::kGpuKernelEnd, stream, flops, tag, start,
+               duration);
   if (body) body();
   return Status::OK();
 }

@@ -17,6 +17,7 @@
 
 #include "cluster/config.h"
 #include "common/result.h"
+#include "obs/flight_recorder.h"
 #include "sim/timeline.h"
 
 namespace distme::gpu {
@@ -61,11 +62,24 @@ class Device {
   /// \brief Creates a new stream; ops on the same stream are FIFO.
   StreamId CreateStream();
 
-  /// \brief Enqueues a host→device copy of `bytes` on `stream`.
-  [[nodiscard]] Status EnqueueH2D(StreamId stream, int64_t bytes);
+  /// \brief Attaches a flight recorder: every subsequent H2D/D2H/kernel
+  /// enqueue emits a begin/end interval pair (flight schema 3) timestamped
+  /// on the device's *virtual* clock, and Allocate/Free emit `gpu_alloc`
+  /// occupancy marks. `node`/`ordinal` identify this device in the events
+  /// (the ordinal is stamped into the packed tag, see obs/gpu_timeline.h).
+  /// Passing nullptr detaches.
+  void AttachFlight(obs::FlightRecorder* flight, int32_t node,
+                    int32_t ordinal);
+
+  /// \brief Enqueues a host→device copy of `bytes` on `stream`. `tag` is an
+  /// optional packed (cuboid, subcuboid) label carried into the flight
+  /// events (obs::PackGpuTag); negative = untagged.
+  [[nodiscard]] Status EnqueueH2D(StreamId stream, int64_t bytes,
+                                  int64_t tag = -1);
 
   /// \brief Enqueues a device→host copy of `bytes` on `stream`.
-  [[nodiscard]] Status EnqueueD2H(StreamId stream, int64_t bytes);
+  [[nodiscard]] Status EnqueueD2H(StreamId stream, int64_t bytes,
+                                  int64_t tag = -1);
 
   /// \brief Enqueues a kernel of `flops` work; `body` (may be empty) runs
   /// immediately (the "device computation"), timing is virtual.
@@ -73,7 +87,7 @@ class Device {
   /// cublasDgemm).
   [[nodiscard]] Status EnqueueKernel(StreamId stream, int64_t flops,
                        const std::function<void()>& body = nullptr,
-                       bool sparse = false);
+                       bool sparse = false, int64_t tag = -1);
 
   /// \brief Waits for all streams; returns the virtual time at which the
   /// last enqueued operation completes.
@@ -89,6 +103,12 @@ class Device {
  private:
   [[nodiscard]] Status ValidateStream(StreamId stream) const;
 
+  // Emits a begin/end interval pair for [start, start + duration) (virtual
+  // seconds) under mutex_. No-op when no recorder is attached.
+  void EmitInterval(obs::FlightEventType begin, obs::FlightEventType end,
+                    StreamId stream, int64_t payload, int64_t tag,
+                    double start, double duration);
+
   GpuSpec spec_;
   HardwareModel hw_;
   mutable std::mutex mutex_;
@@ -101,6 +121,9 @@ class Device {
   int64_t next_buffer_ = 1;
   std::vector<std::pair<BufferId, int64_t>> buffers_;
   double last_completion_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
+  int32_t node_ = -1;
+  int32_t ordinal_ = 0;
 };
 
 }  // namespace distme::gpu

@@ -1,10 +1,12 @@
 #include "gpumm/streaming.h"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "blas/block_ops.h"
 #include "mm/method.h"
+#include "obs/gpu_timeline.h"
 
 namespace distme::gpumm {
 
@@ -17,6 +19,46 @@ double DenseBytes(const BlockedShape& shape, int64_t row_blocks,
   return static_cast<double>(row_blocks) * col_blocks * bs * bs *
          kElementBytes;
 }
+
+// Process-wide cuboid id for flight-event tagging: every RunCuboidOnGpu
+// invocation gets a distinct label so per-cuboid overlap reports never mix
+// two cuboids, even across concurrent tasks. Wraps short of the packed-tag
+// field's untagged sentinel.
+int64_t NextCuboidId() {
+  static std::atomic<int64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) %
+         obs::kGpuNoCuboidId;
+}
+
+// Frees the cuboid's device buffers on every exit path: an early error
+// return (a failed BlockSource fetch, an enqueue failure) must not leak
+// device memory. The success path frees through FreeAll() so a Free error
+// still surfaces as a Status.
+class BufferGuard {
+ public:
+  explicit BufferGuard(gpu::Device* device) : device_(device) {}
+  BufferGuard(const BufferGuard&) = delete;
+  BufferGuard& operator=(const BufferGuard&) = delete;
+  ~BufferGuard() {
+    for (const gpu::BufferId id : ids_) device_->Free(id).IgnoreError();
+  }
+
+  void Add(gpu::BufferId id) { ids_.push_back(id); }
+
+  [[nodiscard]] Status FreeAll() {
+    Status first = Status::OK();
+    for (const gpu::BufferId id : ids_) {
+      Status st = device_->Free(id);
+      if (!st.ok() && first.ok()) first = std::move(st);
+    }
+    ids_.clear();
+    return first;
+  }
+
+ private:
+  gpu::Device* device_;
+  std::vector<gpu::BufferId> ids_;
+};
 
 }  // namespace
 
@@ -66,9 +108,17 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
   const int64_t buf_a = static_cast<int64_t>(sp.a_bytes / (p2 * r2)) + 1;
   const int64_t buf_b = static_cast<int64_t>(sp.b_bytes / (r2 * q2)) + 1;
   const int64_t buf_c = static_cast<int64_t>(sp.c_bytes / (p2 * q2)) + 1;
+  BufferGuard buffers(device);
   DISTME_ASSIGN_OR_RETURN(gpu::BufferId a_id, device->Allocate(buf_a, "BufA"));
+  buffers.Add(a_id);
   DISTME_ASSIGN_OR_RETURN(gpu::BufferId b_id, device->Allocate(buf_b, "BufB"));
+  buffers.Add(b_id);
   DISTME_ASSIGN_OR_RETURN(gpu::BufferId c_id, device->Allocate(buf_c, "BufC"));
+  buffers.Add(c_id);
+
+  // Flight-event tag for this cuboid's device intervals; the device stamps
+  // its own ordinal into the packed value (see obs/gpu_timeline.h).
+  const int64_t cuboid_id = NextCuboidId();
 
   GpuCuboidResult result;
   result.subcuboid = sub;
@@ -129,7 +179,10 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
           }
           chunk_span.AddArg("bytes", a_chunk_bytes);
         }
-        DISTME_RETURN_NOT_OK(device->EnqueueH2D(streams[0], a_chunk_bytes));
+        const int64_t sub_tag =
+            obs::PackGpuTag(0, cuboid_id, sub_index);
+        DISTME_RETURN_NOT_OK(
+            device->EnqueueH2D(streams[0], a_chunk_bytes, sub_tag));
 
         // Lines 13-18: per (k, j), async-copy B block on stream j, then
         // launch I' kernels on the same stream.
@@ -139,7 +192,7 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
             DISTME_ASSIGN_OR_RETURN(
                 Block b_blk, source->GetB(box.k0() + k, box.j0() + j));
             DISTME_RETURN_NOT_OK(
-                device->EnqueueH2D(stream, b_blk.SizeBytes()));
+                device->EnqueueH2D(stream, b_blk.SizeBytes(), sub_tag));
             for (int64_t i = ir.start; i < ir.end; ++i) {
               const Block& a_blk =
                   a_blocks[static_cast<size_t>(i - ir.start)]
@@ -163,7 +216,7 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                       kernel_status = std::move(st);
                     }
                   },
-                  sparse));
+                  sparse, sub_tag));
             }
           }
         }
@@ -177,7 +230,7 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                   ensure_acc(box.i0() + i, box.j0() + j)->SizeBytes();
             }
             DISTME_RETURN_NOT_OK(device->EnqueueD2H(
-                streams[static_cast<size_t>(j)], c_col_bytes));
+                streams[static_cast<size_t>(j)], c_col_bytes, sub_tag));
           }
         }
 
@@ -202,9 +255,7 @@ Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
   result.stats.h2d_copies = after.h2d_copies - before.h2d_copies;
   result.stats.d2h_copies = after.d2h_copies - before.d2h_copies;
 
-  DISTME_RETURN_NOT_OK(device->Free(a_id));
-  DISTME_RETURN_NOT_OK(device->Free(b_id));
-  DISTME_RETURN_NOT_OK(device->Free(c_id));
+  DISTME_RETURN_NOT_OK(buffers.FreeAll());
   return result;
 }
 

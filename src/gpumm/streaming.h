@@ -71,7 +71,16 @@ struct GpuCuboidResult {
 ///
 /// When `flight` is non-null, a gpu_submit/gpu_complete flight-recorder
 /// event pair brackets each subcuboid's device work (node/slot taken from
-/// the calling thread's current trace track).
+/// the calling thread's current trace track). Independently, when the
+/// device itself has a recorder attached (gpu::Device::AttachFlight), every
+/// H2D chunk copy, B-block copy, kernel launch, and D2H writeback this
+/// function enqueues becomes a schema-3 interval event pair tagged with a
+/// process-wide cuboid id and the subcuboid index, which
+/// obs::AnalyzeGpuTimeline folds into per-cuboid overlap reports.
+///
+/// Device buffers are released on every exit path — a failing BlockSource
+/// or enqueue mid-stream returns a clean Status without leaking device
+/// memory.
 [[nodiscard]] Result<GpuCuboidResult> RunCuboidOnGpu(const mm::VoxelSet& box,
                                        const BlockedShape& a_shape,
                                        const BlockedShape& b_shape,

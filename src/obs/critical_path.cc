@@ -24,6 +24,51 @@ int64_t Clamp(int64_t v, int64_t lo, int64_t hi) {
   return std::max(lo, std::min(v, hi));
 }
 
+// Splits the opaque "gpu" attribution bucket into {gpu-kernel, gpu-h2d,
+// gpu-d2h, gpu-bubble} by the device-window fractions. Largest-remainder
+// rounding keeps the split exact: the pieces sum to the original "gpu" µs,
+// so path_us and the tiling invariant are untouched. Mirrored by
+// scripts/distme_analyze.py — keep the arithmetic identical.
+void SplitGpuAttribution(const GpuWindowFractions& f,
+                         std::map<std::string, int64_t>* attribution) {
+  const auto it = attribution->find("gpu");
+  if (it == attribution->end() || it->second <= 0) return;
+  const double fsum = f.kernel_bound + f.h2d_bound + f.d2h_bound + f.bubble;
+  if (fsum <= 0.0) return;  // no window info: leave "gpu" opaque
+  const int64_t total = it->second;
+  attribution->erase(it);
+  struct Part {
+    const char* name;
+    double frac;
+    int64_t whole = 0;
+    double remainder = 0.0;
+  };
+  Part parts[4] = {{"gpu-kernel", f.kernel_bound},
+                   {"gpu-h2d", f.h2d_bound},
+                   {"gpu-d2h", f.d2h_bound},
+                   {"gpu-bubble", f.bubble}};
+  int64_t assigned = 0;
+  for (Part& p : parts) {
+    const double exact = static_cast<double>(total) * (p.frac / fsum);
+    p.whole = static_cast<int64_t>(exact);
+    p.remainder = exact - static_cast<double>(p.whole);
+    assigned += p.whole;
+  }
+  int64_t leftover = total - assigned;
+  std::stable_sort(std::begin(parts), std::end(parts),
+                   [](const Part& l, const Part& r) {
+                     return l.remainder > r.remainder;
+                   });
+  for (Part& p : parts) {
+    if (leftover <= 0) break;
+    ++p.whole;
+    --leftover;
+  }
+  for (const Part& p : parts) {
+    if (p.whole > 0) (*attribution)[p.name] += p.whole;
+  }
+}
+
 }  // namespace
 
 std::string CriticalPathAnalysis::bottleneck() const {
@@ -46,7 +91,8 @@ double CriticalPathAnalysis::bottleneck_fraction() const {
   return static_cast<double>(it->second) / static_cast<double>(path_us);
 }
 
-CriticalPathAnalysis AnalyzeCriticalPath(const CausalGraph& graph) {
+CriticalPathAnalysis AnalyzeCriticalPath(const CausalGraph& graph,
+                                         const GpuWindowFractions* gpu_split) {
   CriticalPathAnalysis out;
   out.wall_us = graph.wall_us();
   out.run_ok = graph.run_ok;
@@ -209,6 +255,9 @@ CriticalPathAnalysis AnalyzeCriticalPath(const CausalGraph& graph) {
   for (const CriticalHop& hop : out.hops) {
     out.attribution_us[hop.resource] += hop.duration_us();
     out.path_us += hop.duration_us();
+  }
+  if (gpu_split != nullptr) {
+    SplitGpuAttribution(*gpu_split, &out.attribution_us);
   }
   return out;
 }

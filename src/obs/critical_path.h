@@ -21,6 +21,7 @@
 
 #include "obs/causal_graph.h"
 #include "obs/export.h"
+#include "obs/gpu_timeline.h"
 
 namespace distme::obs {
 
@@ -85,6 +86,14 @@ struct CriticalPathAnalysis {
 
 /// \brief Runs the analysis. An empty graph yields an empty analysis
 /// (wall_us == 0, no hops).
-CriticalPathAnalysis AnalyzeCriticalPath(const CausalGraph& graph);
+///
+/// When `gpu_split` is non-null (window fractions from a GPU overlap
+/// report, see obs/gpu_timeline.h), the opaque "gpu" attribution bucket is
+/// apportioned into {gpu-kernel, gpu-h2d, gpu-d2h, gpu-bubble} by the
+/// device-window fractions, using largest-remainder rounding so the split
+/// pieces sum to the original "gpu" µs exactly (path_us is unchanged).
+/// Individual hops keep the "gpu" resource label; only the rollup splits.
+CriticalPathAnalysis AnalyzeCriticalPath(
+    const CausalGraph& graph, const GpuWindowFractions* gpu_split = nullptr);
 
 }  // namespace distme::obs

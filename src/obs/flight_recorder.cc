@@ -32,6 +32,13 @@ constexpr const char* kFlightEventTypeNames[] = {
     "dep_edge",            // kDepEdge
     "stage_begin",         // kStageBegin
     "stage_end",           // kStageEnd
+    "gpu_h2d_begin",       // kGpuH2dBegin
+    "gpu_h2d_end",         // kGpuH2dEnd
+    "gpu_d2h_begin",       // kGpuD2hBegin
+    "gpu_d2h_end",         // kGpuD2hEnd
+    "gpu_kernel_begin",    // kGpuKernelBegin
+    "gpu_kernel_end",      // kGpuKernelEnd
+    "gpu_alloc",           // kGpuAlloc
 };
 
 static_assert(std::size(kFlightEventTypeNames) ==
@@ -179,11 +186,14 @@ std::string FlightRecorder::ToJson() const {
   const std::vector<FlightEvent> events = Snapshot();
   JsonWriter w;
   w.BeginObject();
-  // Schema 2 adds the wall-clock anchor: event ts_us values are µs since
+  // Schema 2 added the wall-clock anchor: event ts_us values are µs since
   // the recorder's construction, which happened at `wall_epoch_us` on the
   // system clock (and `steady_epoch_us` on the process steady clock).
+  // Schema 3 adds the per-engine GPU interval events (gpu_h2d/gpu_d2h/
+  // gpu_kernel begin/end pairs + gpu_alloc), whose ts_us values sit on the
+  // emitting device's virtual clock instead.
   w.Key("schema");
-  w.Value(static_cast<int64_t>(2));
+  w.Value(static_cast<int64_t>(3));
   w.Key("wall_epoch_us");
   w.Value(wall_epoch_us_);
   w.Key("steady_epoch_us");

@@ -49,6 +49,21 @@ enum class FlightEventType : uint8_t {
   kDepEdge,            ///< causal edge (a = task id, b = µs, detail = kind)
   kStageBegin,         ///< stage barrier opens (detail = stage name)
   kStageEnd,           ///< stage barrier closes (detail = stage name)
+  // Schema 3: per-engine GPU interval events. All six interval kinds share
+  // one payload layout — ts_us is the device's *virtual* clock in µs, node
+  // is the device's node, slot is the stream id, `a` is bytes (copies) or
+  // flops (kernels), and `b` is a packed tag (device ordinal + cuboid id +
+  // subcuboid index; see obs/gpu_timeline.h). Begin/end pairs are emitted
+  // back to back under the device mutex, so the k-th begin on a
+  // (node, ordinal, engine) matches the k-th end in sequence order.
+  kGpuH2dBegin,        ///< H2D chunk copy starts on the copy-in engine
+  kGpuH2dEnd,          ///< H2D chunk copy completes
+  kGpuD2hBegin,        ///< D2H writeback starts on the copy-out engine
+  kGpuD2hEnd,          ///< D2H writeback completes
+  kGpuKernelBegin,     ///< kernel starts on the compute engine (a = flops)
+  kGpuKernelEnd,       ///< kernel completes
+  kGpuAlloc,           ///< device buffer alloc/free (a = memory in use,
+                       ///< detail = "alloc"/"free") for θg occupancy
   kNumTypes            // sentinel — keep last
 };
 
@@ -156,7 +171,7 @@ class FlightRecorder {
   /// overwritten concurrently are skipped, never torn.
   std::vector<FlightEvent> Snapshot() const;
 
-  /// \brief JSON dump: {"schema":2, "wall_epoch_us":…, "steady_epoch_us":…,
+  /// \brief JSON dump: {"schema":3, "wall_epoch_us":…, "steady_epoch_us":…,
   /// "total_recorded":…, "capacity":…, "events":[…]}.
   std::string ToJson() const;
 

@@ -554,6 +554,36 @@ TEST(SessionTelemetryTest, ExplainRouteIs404UntilARunCompletes) {
   EXPECT_NE(after.find("\"critical_path\""), std::string::npos);
 }
 
+TEST(SessionTelemetryTest, GpuRouteIs404UntilAGpuRunCompletes) {
+  core::Session::Options options = TelemetrySessionOptions();
+  options.http_port = 0;  // ephemeral
+  options.mode = engine::ComputeMode::kGpuStreaming;
+  core::Session session(options);
+  ASSERT_GT(session.http_port(), 0);
+
+  const std::string before = HttpRequest(session.http_port(), "/gpu");
+  EXPECT_NE(before.find("404"), std::string::npos);
+  EXPECT_NE(before.find("no run with GPU device events"), std::string::npos);
+
+  auto a = session.Generate(Gen(32, 24, 41));
+  auto b = session.Generate(Gen(24, 16, 42));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(session.Multiply(*a, *b).ok());
+
+  const std::string after = HttpRequest(session.http_port(), "/gpu");
+  EXPECT_NE(after.find("200"), std::string::npos);
+  EXPECT_NE(after.find("application/json"), std::string::npos);
+  EXPECT_NE(after.find("\"kernel_busy_us\""), std::string::npos);
+  EXPECT_NE(after.find("\"overlap_ratio\""), std::string::npos);
+
+  // The route serves the explain report's GPU section verbatim, so the two
+  // surfaces cannot disagree.
+  auto explain = session.ExplainLastRun();
+  ASSERT_TRUE(explain.ok());
+  ASSERT_TRUE(explain->has_gpu);
+  EXPECT_NE(after.find(explain->gpu.ToJson()), std::string::npos);
+}
+
 TEST(SessionTelemetryTest, InjectedFailureDumpsFlightRecorder) {
   const std::string dump_path =
       testing::TempDir() + "/flight_failure_dump.json";

@@ -3,6 +3,8 @@
 #include "blas/local_mm.h"
 #include "gpumm/streaming.h"
 #include "matrix/generator.h"
+#include "obs/flight_recorder.h"
+#include "obs/gpu_timeline.h"
 
 namespace distme::gpumm {
 namespace {
@@ -152,6 +154,112 @@ TEST(StreamingTest, SparseInputsWork) {
   EXPECT_LT(DenseMatrix::MaxAbsDiff(AssembleC(*result, expected->shape(), bs),
                                     expected->ToDense()),
             1e-9);
+}
+
+// BlockSource that fails after serving `budget` blocks — exercises the
+// error paths in the middle of the streaming loop.
+class FailingBlockSource : public BlockSource {
+ public:
+  FailingBlockSource(const BlockGrid* a, const BlockGrid* b, int budget,
+                     bool fail_a)
+      : inner_(a, b), budget_(budget), fail_a_(fail_a) {}
+
+  [[nodiscard]] Result<Block> GetA(int64_t i, int64_t k) override {
+    if (fail_a_ && --budget_ < 0) {
+      return Status::IOError("injected GetA failure");
+    }
+    return inner_.GetA(i, k);
+  }
+  [[nodiscard]] Result<Block> GetB(int64_t k, int64_t j) override {
+    if (!fail_a_ && --budget_ < 0) {
+      return Status::IOError("injected GetB failure");
+    }
+    return inner_.GetB(k, j);
+  }
+
+ private:
+  GridBlockSource inner_;
+  int budget_ = 0;
+  bool fail_a_ = true;
+};
+
+// A failing source mid-stream must surface a clean Status, release every
+// device allocation (no leak), and leave the flight ring with balanced
+// begin/end interval events — AnalyzeGpuTimeline still produces a
+// well-formed report from the truncated run.
+TEST(StreamingTest, FailingSourcePropagatesAndLeaksNothing) {
+  const int64_t bs = 8;
+  Inputs s = MakeInputs(32, 48, 32, bs);
+  const auto box = mm::VoxelSet::Box(0, 4, 0, 4, 0, 6);
+  for (const bool fail_a : {true, false}) {
+    for (const int budget : {0, 1, 3, 7}) {
+      FailingBlockSource source(&s.a, &s.b, budget, fail_a);
+      gpu::Device device(GpuSpec{}, HardwareModel{});
+      obs::FlightRecorder flight(4096);
+      device.AttachFlight(&flight, 0, 0);
+      const int64_t memory_before = device.memory_used();
+      auto result = RunCuboidOnGpu(box, s.a.shape(), s.b.shape(), &source,
+                                   &device, 4 * kMiB, nullptr, &flight);
+      ASSERT_FALSE(result.ok())
+          << "fail_a=" << fail_a << " budget=" << budget;
+      EXPECT_NE(result.status().ToString().find("injected"),
+                std::string::npos)
+          << result.status().ToString();
+      // All device buffers released on the error path.
+      EXPECT_EQ(device.memory_used(), memory_before)
+          << "fail_a=" << fail_a << " budget=" << budget;
+      // Every emitted begin has its end (pairs are emitted back to back).
+      int begins = 0;
+      int ends = 0;
+      for (const obs::FlightEvent& e : flight.Snapshot()) {
+        switch (e.type) {
+          case obs::FlightEventType::kGpuH2dBegin:
+          case obs::FlightEventType::kGpuD2hBegin:
+          case obs::FlightEventType::kGpuKernelBegin:
+            ++begins;
+            break;
+          case obs::FlightEventType::kGpuH2dEnd:
+          case obs::FlightEventType::kGpuD2hEnd:
+          case obs::FlightEventType::kGpuKernelEnd:
+            ++ends;
+            break;
+          default:
+            break;
+        }
+      }
+      EXPECT_EQ(begins, ends);
+      // The truncated timeline still tiles its window.
+      const obs::GpuTimelineAnalysis analysis =
+          obs::AnalyzeGpuTimeline(flight.Snapshot());
+      for (const obs::GpuDeviceTimeline& dev : analysis.devices) {
+        EXPECT_EQ(dev.report.kernel_bound_us + dev.report.h2d_bound_us +
+                      dev.report.d2h_bound_us + dev.report.bubble_us,
+                  dev.report.window_us());
+      }
+    }
+  }
+}
+
+// The success path releases the A/B/C buffers too: memory returns to the
+// pre-call level and the occupancy marks recorded the high water.
+TEST(StreamingTest, SuccessReleasesAllDeviceBuffers) {
+  const int64_t bs = 8;
+  Inputs s = MakeInputs(16, 16, 16, bs);
+  GridBlockSource source(&s.a, &s.b);
+  gpu::Device device(GpuSpec{}, HardwareModel{});
+  obs::FlightRecorder flight(4096);
+  device.AttachFlight(&flight, 0, 0);
+  const auto box = mm::VoxelSet::Box(0, 2, 0, 2, 0, 2);
+  auto result = RunCuboidOnGpu(box, s.a.shape(), s.b.shape(), &source,
+                               &device, 4 * kMiB);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(device.memory_used(), 0);
+  const obs::GpuTimelineAnalysis analysis =
+      obs::AnalyzeGpuTimeline(flight.Snapshot());
+  ASSERT_EQ(analysis.devices.size(), 1u);
+  EXPECT_GT(analysis.devices[0].occupancy_high_water_bytes, 0);
+  // One cuboid id tagged throughout.
+  EXPECT_EQ(analysis.devices[0].cuboids.size(), 1u);
 }
 
 TEST(StreamingTest, DeviceTimeAdvances) {
