@@ -8,18 +8,27 @@
 #      fixture suite (see scripts/distme_lint.py)
 #   5. with --bench: the perf-regression baseline check (deterministic
 #      bench outputs vs BENCH_BASELINE.json, >15% drift fails)
+#   6. with --analyze: the lock-discipline gates — distme-lint's
+#      lock-annotate/lock-held/atomic-order passes (always) and, when a
+#      clang++ is installed, a -DDISTME_THREAD_SAFETY=ON build that turns
+#      the DISTME_* annotations into clang -Werror=thread-safety errors.
+#      Without clang the compiler stage prints a visible skip notice; the
+#      Python passes are the portable floor and always run.
 #
-# Usage: scripts/check_tier1.sh [--bench] [--lint]   (from the repo root)
+# Usage: scripts/check_tier1.sh [--bench] [--lint] [--analyze]
+#   (from the repo root)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench_check=0
 run_lint=0
+run_analyze=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench_check=1 ;;
     --lint) run_lint=1 ;;
+    --analyze) run_analyze=1 ;;
     *) echo "check_tier1: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -48,6 +57,26 @@ if [[ "$run_lint" -eq 1 ]]; then
   echo
   echo "== distme-lint fixture suite =="
   python3 scripts/distme_lint_test.py
+fi
+
+if [[ "$run_analyze" -eq 1 ]]; then
+  echo
+  echo "== lock discipline: distme-lint lock-annotate / lock-held / atomic-order =="
+  # The lock rules are part of the default rule set; run the full linter and
+  # the fixture suite so a green --analyze means the same thing everywhere.
+  python3 scripts/distme_lint.py src/ tests/ bench/
+  python3 scripts/distme_lint_test.py
+  echo
+  echo "== lock discipline: clang -Wthread-safety =="
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DDISTME_THREAD_SAFETY=ON >/dev/null
+    cmake --build build-tsa -j "$(nproc)"
+  else
+    echo "check_tier1: clang++ not installed — skipping the -Wthread-safety"
+    echo "check_tier1: build stage; the distme-lint lock rules above are the"
+    echo "check_tier1: enforced floor in this environment"
+  fi
 fi
 
 if [[ "$run_bench_check" -eq 1 ]]; then

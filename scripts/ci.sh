@@ -4,12 +4,20 @@
 # flight dump must analyze and self-diff cleanly). This is the command CI
 # runs and the command to run locally before sending a change.
 #
-# Usage: scripts/ci.sh [--sanitize] [--lint]   (from anywhere in the repo)
+# Usage: scripts/ci.sh [--sanitize] [--lint] [--analyze]
+#   (from anywhere in the repo)
 #
 #   --lint       distme-lint over src/ tests/ bench/, the linter's own
 #                fixture suite, and (when clang-tidy is installed) an
 #                advisory clang-tidy pass — tidy findings are printed, never
 #                fatal; the distme-lint stages are mandatory.
+#   --analyze    the lock-discipline gates (DESIGN.md §4.8): distme-lint's
+#                lock-annotate/lock-held/atomic-order passes + fixture suite
+#                (always, fatal), a clang -DDISTME_THREAD_SAFETY=ON build
+#                when clang++ is installed, and the *enforced* clang-tidy
+#                concurrency profile (.clang-tidy-enforced, fatal) when
+#                clang-tidy is installed. The clang stages print a visible
+#                skip notice in gcc-only environments.
 #   --sanitize   the sanitizer matrix: the full tier-1 ctest suite under
 #                ASan+UBSan (build-asan/), and the concurrency stress +
 #                live-telemetry suites under TSan (build-tsan/). Suppression
@@ -21,10 +29,12 @@ cd "$(dirname "$0")/.."
 
 run_sanitize=0
 run_lint=0
+run_analyze=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) run_sanitize=1 ;;
     --lint) run_lint=1 ;;
+    --analyze) run_analyze=1 ;;
     *) echo "ci: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -32,6 +42,9 @@ done
 tier1_args=(--bench)
 if [[ "$run_lint" -eq 1 ]]; then
   tier1_args+=(--lint)
+fi
+if [[ "$run_analyze" -eq 1 ]]; then
+  tier1_args+=(--analyze)
 fi
 scripts/check_tier1.sh "${tier1_args[@]}"
 
@@ -97,6 +110,22 @@ if [[ "$run_lint" -eq 1 ]]; then
       || echo "ci: clang-tidy reported findings (advisory, not fatal)"
   else
     echo "ci: clang-tidy not installed — skipping advisory pass"
+  fi
+fi
+
+if [[ "$run_analyze" -eq 1 ]]; then
+  echo
+  echo "== clang-tidy (enforced concurrency profile) =="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    # Fatal, unlike the --lint advisory pass: .clang-tidy-enforced holds the
+    # concurrency-* / use-after-move subset we always fix.
+    clang-tidy -p build --quiet --config-file=.clang-tidy-enforced \
+      $(git ls-files 'src/*.cc' 2>/dev/null || find src -name '*.cc')
+  else
+    echo "ci: clang-tidy not installed — skipping the enforced concurrency"
+    echo "ci: profile (.clang-tidy-enforced); distme-lint's lock rules ran"
+    echo "ci: above and remain the enforced floor"
   fi
 fi
 

@@ -1,7 +1,18 @@
 #!/usr/bin/env python3
 """distme-lint: fast, AST-free checker for DistME repo invariants.
 
-Usage: distme_lint.py [--list-rules] <path> [<path> ...]
+Usage: distme_lint.py [options] <path> [<path> ...]
+
+Options:
+  --list-rules     print the rule names, one per line, and exit
+  --changed-only   report findings only in files changed vs git HEAD
+                   (unstaged, staged, and untracked); the cross-file class
+                   model is still built from every given path, so rules
+                   that look across files keep seeing unchanged
+                   declarations. Outside a git checkout this falls back to
+                   linting everything (with a notice on stderr).
+  --jobs N         lint up to N files in parallel (default: the CPU count;
+                   1 runs everything inline in this process)
 
 Paths may be files or directories (directories are walked for .h/.cc files).
 Prints one `path:line: [rule] message` per finding and exits nonzero if any
@@ -27,14 +38,39 @@ finding is produced. Rules (see DESIGN.md "Correctness tooling"):
                      kFlightEdgeKindNames table stays entry-for-entry in
                      sync with FlightEdgeKind (before kNumKinds)
 
+  Lock-discipline pass (src/ only; see DESIGN.md §"Lock discipline" and
+  src/common/thread_annotations.h):
+
+  lock-annotate      a class owning a std::mutex/std::shared_mutex or a
+                     std::atomic must annotate every other mutable member
+                     with DISTME_GUARDED_BY / DISTME_SHARDED_BY /
+                     DISTME_LOCKFREE(reason) / DISTME_UNSHARED(reason).
+                     Exempt on their own: the synchronization members
+                     themselves (mutexes, condition variables), members
+                     whose declared type is a std::atomic, const values,
+                     and static/constexpr constants
+  lock-held          a method body that touches a DISTME_GUARDED_BY (or
+                     DISTME_SHARDED_BY) member must visibly hold the named
+                     mutex — a lock_guard/scoped_lock/unique_lock/
+                     shared_lock naming it in the body, a manual .lock()
+                     on it, or the method annotated DISTME_REQUIRES(mutex).
+                     Constructors and destructors are exempt (no concurrent
+                     access can exist yet / any concurrent access is
+                     already a use-after-free)
+  atomic-order       std::atomic loads/stores/RMWs in src/ must state an
+                     explicit std::memory_order — seq_cst-by-default hides
+                     the author's intent and costs fences on ARM
+
 Suppressing a finding: append `// distme-lint: allow(<rule>)` to the line, or
 add the file to the rule's allowlist below with a one-line justification.
 Suppressions are themselves part of the reviewed diff, so every escape hatch
 is visible in code review.
 """
 
+import multiprocessing
 import os
 import re
+import subprocess
 import sys
 
 # --- allowlists ------------------------------------------------------------
@@ -153,6 +189,9 @@ class File:
     def allows(self, lineno, rule):
         return rule in self.suppressed.get(lineno, set())
 
+    def allows_range(self, first, last, rule):
+        return any(self.allows(n, rule) for n in range(first, last + 1))
+
 
 def norm(path):
     return os.path.relpath(path).replace(os.sep, "/")
@@ -160,6 +199,288 @@ def norm(path):
 
 def in_any(path, prefixes):
     return any(path.startswith(p) or ("/" + p) in path for p in prefixes)
+
+
+# --- structure parser (classes, members, method bodies) --------------------
+#
+# A brace-depth scanner over the comment/literal-stripped lines. It is not a
+# C++ parser; it recognizes exactly the shapes the lock-discipline rules
+# need: class/struct bodies with their member statements, and function
+# bodies (inline in a class, or `Class::Method` definitions at namespace
+# depth) with their extents. Preprocessor lines are blanked first.
+
+PREPROC = re.compile(r"^\s*#")
+ACCESS_LABEL = re.compile(r"\b(?:public|private|protected)\s*:")
+ANNOT_PAREN = re.compile(r"\bDISTME_[A-Z_]+\s*\((?:[^()]|\([^()]*\))*\)")
+ANNOT_BARE = re.compile(r"\bDISTME_[A-Z_]+\b")
+CLASS_HEAD = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_][\w:]*)\s*(?:final\s*)?(?::[^;{]*)?$")
+REQUIRES_ANNOT = re.compile(r"\bDISTME_REQUIRES(?:_SHARED)?\s*\(([^()]*)\)")
+GUARD_ANNOT = re.compile(
+    r"\bDISTME_(GUARDED_BY|PT_GUARDED_BY|SHARDED_BY)\s*\(([^()]*)\)")
+EXEMPT_ANNOT = re.compile(r"\bDISTME_(LOCKFREE|UNSHARED)\s*\(")
+SYNC_TYPE = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?)\b")
+ATOMIC_TYPE = re.compile(r"\bstd\s*::\s*atomic\b")
+MEMBER_SKIP = re.compile(
+    r"^(?:using\b|typedef\b|friend\b|static_assert\b|template\b|class\b|"
+    r"struct\b|enum\b|union\b|operator\b|extern\b|static\b|constexpr\b|"
+    r"inline\b|\[\[)")
+DECLARATOR_NAME = re.compile(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*$")
+FUNC_QUAL_TAIL = re.compile(r"(?:\bconst|\bnoexcept|\boverride|\bfinal|&&|&)\s*$")
+TRAILING_RETURN = re.compile(r"->\s*[\w:<>,\s&*\[\]]+$")
+QUALIFIED_NAME_TAIL = re.compile(r"((?:[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)$")
+
+
+def _blank_preproc(code_lines):
+    out = []
+    cont = False
+    for line in code_lines:
+        if cont or PREPROC.match(line):
+            cont = line.rstrip().endswith("\\")
+            out.append("")
+        else:
+            out.append(line)
+    return out
+
+
+def strip_annotations(text):
+    return ANNOT_BARE.sub(" ", ANNOT_PAREN.sub(" ", text))
+
+
+def first_toplevel_paren(text):
+    """Index of the first '(' outside template angle brackets, or -1."""
+    depth = 0
+    for i, c in enumerate(text):
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth = max(0, depth - 1)
+        elif c == "(" and depth == 0:
+            return i
+    return -1
+
+
+def parse_requires(text):
+    """Mutex names from DISTME_REQUIRES(...) annotations: the last
+    identifier of each comma-separated argument (`impl_->mutex_` names
+    `mutex_`)."""
+    out = set()
+    for m in REQUIRES_ANNOT.finditer(text):
+        for part in m.group(1).split(","):
+            ids = re.findall(r"[A-Za-z_]\w*", part)
+            if ids:
+                out.add(ids[-1])
+    return out
+
+
+def looks_like_function(head):
+    s = head.rstrip()
+    while True:
+        m = FUNC_QUAL_TAIL.search(s)
+        if not m:
+            break
+        s = s[:m.start()].rstrip()
+    m = TRAILING_RETURN.search(s)
+    if m:
+        s = s[:m.start()].rstrip()
+    return s.endswith(")") and first_toplevel_paren(s) >= 0
+
+
+def func_name(head):
+    """The (possibly Class::qualified) name before the parameter list."""
+    pos = first_toplevel_paren(head)
+    if pos < 0:
+        return None
+    prefix = head[:pos].rstrip()
+    m = QUALIFIED_NAME_TAIL.search(prefix)
+    return re.sub(r"\s+", "", m.group(1)) if m else None
+
+
+def _parse_member(info, stmt, first_line, last_line):
+    """Classifies one `;`-terminated statement inside a class body."""
+    sa = " ".join(ACCESS_LABEL.sub(" ", stmt).split())
+    if not sa:
+        return
+    plain = " ".join(strip_annotations(sa).split())
+    if not plain:
+        return
+    if SYNC_TYPE.search(plain):
+        # The synchronization itself (or a collection of it, e.g.
+        # std::vector<std::mutex>): triggers the class, needs no annotation.
+        info["triggered"] = True
+        return
+    if ATOMIC_TYPE.search(plain):
+        info["triggered"] = True
+    if first_toplevel_paren(plain) >= 0:
+        # A method declaration; harvest DISTME_REQUIRES for rule lock-held.
+        reqs = parse_requires(sa)
+        if reqs:
+            name = func_name(plain)
+            if name:
+                info["methods"].setdefault(name.split("::")[-1],
+                                           set()).update(reqs)
+        return
+    if MEMBER_SKIP.match(plain):
+        return
+    guard = GUARD_ANNOT.search(sa)
+    decl = plain[8:] if plain.startswith("mutable ") else plain
+    member = {
+        "line": first_line,
+        "end_line": last_line,
+        "name": None,
+        "guard": None,      # (kind, mutex) for GUARDED_BY/SHARDED_BY
+        "needs": False,     # unannotated member of a triggered class
+    }
+    # Declarator name: strip any initializer, then take the last identifier.
+    name_part = re.split(r"=", decl, maxsplit=1)[0]
+    name_part = re.sub(r"\{[^{}]*\}\s*$", "", name_part).rstrip()
+    m = DECLARATOR_NAME.search(name_part)
+    if m:
+        member["name"] = m.group(1)
+    if guard:
+        ids = re.findall(r"[A-Za-z_]\w*", guard.group(2))
+        if ids:
+            member["guard"] = (guard.group(1), ids[-1])
+    elif not EXEMPT_ANNOT.search(sa):
+        exempt = (decl.startswith("std::atomic") or
+                  (decl.startswith("const ") and "*" not in decl))
+        member["needs"] = not exempt
+    info["members"].append(member)
+
+
+def parse_structures(code_lines):
+    """Returns {"classes": [...], "functions": [...]} for one file.
+
+    A class dict: name, line, triggered (owns a mutex or atomic), members
+    (see _parse_member), methods (name -> set of required mutexes).
+    A function dict: name (possibly qualified), cls (owning class name or
+    None), requires (mutex names from def-site DISTME_REQUIRES), body
+    (text), body_line (1-based first body line).
+    """
+    lines = _blank_preproc(code_lines)
+    classes, functions = [], []
+    stack = []
+    buf = []
+    stmt_line = None
+
+    def reset():
+        nonlocal stmt_line
+        buf.clear()
+        stmt_line = None
+
+    def classify(head):
+        top = stack[-1]["kind"] if stack else None
+        if top in ("func", "nested"):
+            return ("nested", None)
+        sa = " ".join(ACCESS_LABEL.sub(" ", strip_annotations(head)).split())
+        if re.search(r"\benum\b", sa):
+            return ("other", None)
+        if re.search(r"\bnamespace\b", sa):
+            return ("other", None)
+        m = CLASS_HEAD.search(sa)
+        if m:
+            return ("class", m.group(1).split("::")[-1])
+        if looks_like_function(sa):
+            return ("func", (func_name(sa), parse_requires(head)))
+        s = sa.rstrip()
+        if s.endswith(("=", ",", "(", "[")) or re.search(r"[\w>\]]$", s):
+            return ("init", None)
+        return ("other", None)
+
+    for lineno, line in enumerate(lines, start=1):
+        i = 0
+        while i < len(line):
+            c = line[i]
+            if c == "{":
+                kind, payload = classify("".join(buf))
+                if kind == "init":
+                    buf.append(c)
+                    stack.append({"kind": "init"})
+                elif kind == "class":
+                    stack.append({"kind": "class", "info": {
+                        "name": payload, "line": stmt_line or lineno,
+                        "triggered": False, "members": [], "methods": {}}})
+                    reset()
+                elif kind == "func":
+                    name, requires = payload
+                    cls = None
+                    enclosing = stack[-1] if stack else None
+                    if enclosing is not None and enclosing["kind"] == "class":
+                        cls = enclosing["info"]["name"]
+                    elif name and "::" in name:
+                        cls = name.split("::")[-2].lstrip("~")
+                    stack.append({"kind": "func", "name": name, "cls": cls,
+                                  "requires": requires,
+                                  "start": (lineno, i + 1)})
+                    reset()
+                else:
+                    stack.append({"kind": kind})
+                    reset()
+            elif c == "}":
+                if stack:
+                    fr = stack.pop()
+                    if fr["kind"] == "init":
+                        buf.append(c)
+                        i += 1
+                        continue
+                    if fr["kind"] == "func":
+                        sl, sc = fr["start"]
+                        if sl == lineno:
+                            body = lines[sl - 1][sc:i]
+                        else:
+                            body = "\n".join(
+                                [lines[sl - 1][sc:]] +
+                                lines[sl:lineno - 1] +
+                                [lines[lineno - 1][:i]])
+                        functions.append({
+                            "name": fr["name"], "cls": fr["cls"],
+                            "requires": fr["requires"], "body": body,
+                            "body_line": sl})
+                    elif fr["kind"] == "class":
+                        classes.append(fr["info"])
+                    reset()
+            elif c == ";":
+                if stack and stack[-1]["kind"] == "class":
+                    _parse_member(stack[-1]["info"], "".join(buf),
+                                  stmt_line or lineno, lineno)
+                reset()
+            else:
+                buf.append(c)
+                if stmt_line is None and not c.isspace():
+                    stmt_line = lineno
+            i += 1
+        if buf:
+            buf.append("\n")
+    return {"classes": classes, "functions": functions}
+
+
+def build_model_entry(structure):
+    """Per-file slice of the cross-file class model: for every parsed class,
+    its guarded members and the per-method DISTME_REQUIRES sets."""
+    entry = {}
+    for cls in structure["classes"]:
+        guarded = {m["name"]: m["guard"] for m in cls["members"]
+                   if m["guard"] is not None and m["name"] is not None}
+        methods = {name: sorted(reqs)
+                   for name, reqs in cls["methods"].items()}
+        if guarded or methods:
+            slot = entry.setdefault(cls["name"],
+                                    {"guarded": {}, "methods": {}})
+            slot["guarded"].update(guarded)
+            slot["methods"].update(methods)
+    return entry
+
+
+def merge_model(entries):
+    model = {}
+    for entry in entries:
+        for name, slot in entry.items():
+            dst = model.setdefault(name, {"guarded": {}, "methods": {}})
+            dst["guarded"].update(slot["guarded"])
+            dst["methods"].update(slot["methods"])
+    return model
 
 
 # --- rules -----------------------------------------------------------------
@@ -390,6 +711,91 @@ def rule_flight_edge_sync(f, rel, report):
                    f"wants \"{expected}\" — table and enum have drifted")
 
 
+# --- lock-discipline rules (src/ only) -------------------------------------
+
+ATOMIC_OP = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\(")
+
+
+def rule_lock_annotate(f, rel, structure, model, report):
+    del model
+    for cls in structure["classes"]:
+        if not cls["triggered"]:
+            continue
+        for member in cls["members"]:
+            if not member["needs"]:
+                continue
+            if f.allows_range(member["line"], member["end_line"],
+                              "lock-annotate"):
+                continue
+            name = member["name"] or "<member>"
+            report(member["line"], "lock-annotate",
+                   f"`{name}` in mutex/atomic-owning class `{cls['name']}` "
+                   "has no annotation — state its synchronization with "
+                   "DISTME_GUARDED_BY(m) / DISTME_SHARDED_BY(m) / "
+                   "DISTME_LOCKFREE(reason) / DISTME_UNSHARED(reason)")
+
+
+def _lock_visible(body, mutex):
+    if re.search(r"\b(?:lock_guard|scoped_lock|unique_lock|shared_lock)\b"
+                 r"[^;]*?\b" + re.escape(mutex) + r"\b", body):
+        return True
+    return re.search(r"\b" + re.escape(mutex) +
+                     r"\b\s*(?:\[[^\]]*\])?\s*\.\s*lock\s*\(", body) is not None
+
+
+def rule_lock_held(f, rel, structure, model, report):
+    for fn in structure["functions"]:
+        cls = fn["cls"]
+        if cls is None:
+            continue
+        cinfo = model.get(cls)
+        if not cinfo or not cinfo["guarded"]:
+            continue
+        short = (fn["name"] or "").split("::")[-1]
+        if short in (cls, "~" + cls):
+            continue  # ctors/dtors run before/after any sharing
+        requires = set(fn["requires"]) | set(cinfo["methods"].get(short, []))
+        body = fn["body"]
+        for member, (kind, mutex) in sorted(cinfo["guarded"].items()):
+            m = re.search(r"\b" + re.escape(member) + r"\b", body)
+            if m is None:
+                continue
+            if mutex in requires or _lock_visible(body, mutex):
+                continue
+            lineno = fn["body_line"] + body[:m.start()].count("\n")
+            if f.allows(lineno, "lock-held"):
+                continue
+            what = "DISTME_SHARDED_BY" if kind == "SHARDED_BY" \
+                else "DISTME_GUARDED_BY"
+            report(lineno, "lock-held",
+                   f"`{member}` is {what}({mutex}) but `{fn['name']}` "
+                   f"neither holds a visible `{mutex}` lock "
+                   "(lock_guard/scoped_lock/unique_lock/shared_lock or "
+                   f"`.lock()`) nor is annotated DISTME_REQUIRES({mutex})")
+
+
+def rule_atomic_order(f, rel, structure, model, report):
+    del structure, model
+    for lineno, line in enumerate(f.code, start=1):
+        for m in ATOMIC_OP.finditer(line):
+            stmt = line[m.start():]
+            j = lineno
+            while ";" not in stmt and j < lineno + 8 and j < len(f.code):
+                stmt += " " + f.code[j]
+                j += 1
+            if "memory_order" in stmt:
+                continue
+            if f.allows(lineno, "atomic-order"):
+                continue
+            report(lineno, "atomic-order",
+                   f"std::atomic `.{m.group(1)}()` without an explicit "
+                   "std::memory_order — seq_cst-by-default hides intent; "
+                   "say memory_order_relaxed/acquire/release/... explicitly")
+
+
 RULES = [
     rule_pragma_once,
     rule_concurrency,
@@ -401,9 +807,16 @@ RULES = [
     rule_flight_edge_sync,
 ]
 
+LOCK_RULES = [
+    rule_lock_annotate,
+    rule_lock_held,
+    rule_atomic_order,
+]
+
 RULE_NAMES = [
     "pragma-once", "concurrency", "naked-new", "no-cout", "include-order",
     "nodiscard-status", "flight-enum-sync", "flight-edge-sync",
+    "lock-annotate", "lock-held", "atomic-order",
 ]
 
 
@@ -422,35 +835,123 @@ def collect(paths):
     return files
 
 
+# --- drivers (inline and multiprocessing) ----------------------------------
+
+def parse_for_model(path):
+    """Phase 1 worker: one file's slice of the class model."""
+    try:
+        f = File(path)
+    except OSError:
+        return {}
+    return build_model_entry(parse_structures(f.code))
+
+
+_MODEL = None  # worker-global, set by the pool initializer
+
+
+def _pool_init(model):
+    global _MODEL
+    _MODEL = model
+
+
+def lint_file(path, model=None):
+    """Phase 2 worker: all rules over one file. Returns finding tuples."""
+    if model is None:
+        model = _MODEL
+    rel = norm(path)
+    findings = []
+
+    def report(lineno, rule, message):
+        findings.append((rel, lineno, rule, message))
+
+    try:
+        f = File(path)
+    except OSError as e:
+        return [(rel, 0, "io", f"unreadable: {e}")]
+    for rule in RULES:
+        rule(f, rel, report)
+    if in_any(rel, ("src/",)):
+        structure = parse_structures(f.code)
+        for rule in LOCK_RULES:
+            rule(f, rel, structure, model or {}, report)
+    return findings
+
+
+def changed_file_set():
+    """Repo-relative paths changed vs HEAD plus untracked files, or None
+    when not in a git checkout."""
+    def run(*argv):
+        return subprocess.run(argv, capture_output=True, text=True)
+
+    diff = run("git", "diff", "--name-only", "HEAD")
+    if diff.returncode != 0:
+        return None
+    untracked = run("git", "ls-files", "--others", "--exclude-standard")
+    toplevel = run("git", "rev-parse", "--show-toplevel")
+    root = toplevel.stdout.strip() if toplevel.returncode == 0 else os.getcwd()
+    changed = set()
+    for line in diff.stdout.splitlines() + untracked.stdout.splitlines():
+        if line:
+            changed.add(os.path.relpath(os.path.join(root, line))
+                        .replace(os.sep, "/"))
+    return changed
+
+
 def main(argv):
-    args = [a for a in argv[1:] if a != "--list-rules"]
-    if len(args) != len(argv) - 1:
-        print("\n".join(RULE_NAMES))
-        return 0
-    if not args:
+    paths = []
+    jobs = None
+    changed_only = False
+    args = iter(argv[1:])
+    for a in args:
+        if a == "--list-rules":
+            print("\n".join(RULE_NAMES))
+            return 0
+        if a == "--changed-only":
+            changed_only = True
+        elif a == "--jobs":
+            jobs = int(next(args, "1"))
+        elif a.startswith("--jobs="):
+            jobs = int(a.split("=", 1)[1])
+        elif a.startswith("--"):
+            print(f"distme-lint: unknown option {a}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    findings = 0
-    for path in collect(args):
-        rel = norm(path)
-        try:
-            f = File(path)
-        except OSError as e:
-            print(f"{rel}:0: [io] unreadable: {e}", file=sys.stderr)
-            findings += 1
-            continue
+    files = collect(paths)
+    lint_targets = files
+    if changed_only:
+        changed = changed_file_set()
+        if changed is None:
+            print("distme-lint: --changed-only outside a git checkout — "
+                  "linting everything", file=sys.stderr)
+        else:
+            lint_targets = [p for p in files if norm(p) in changed]
 
-        def report(lineno, rule, message):
-            nonlocal findings
-            findings += 1
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(lint_targets) or 1))
+
+    if jobs == 1:
+        model = merge_model(parse_for_model(p) for p in files)
+        results = [lint_file(p, model) for p in lint_targets]
+    else:
+        with multiprocessing.Pool(jobs) as pool:
+            model = merge_model(pool.map(parse_for_model, files))
+        with multiprocessing.Pool(jobs, _pool_init, (model,)) as pool:
+            results = pool.map(lint_file, lint_targets)
+
+    findings = sorted(f for per_file in results for f in per_file)
+    for rel, lineno, rule, message in findings:
+        if rule == "io":
+            print(f"{rel}:{lineno}: [io] {message}", file=sys.stderr)
+        else:
             print(f"{rel}:{lineno}: [{rule}] {message}")
-
-        for rule in RULES:
-            rule(f, rel, report)
-
     if findings:
-        print(f"distme-lint: {findings} finding(s)", file=sys.stderr)
+        print(f"distme-lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
     return 0
 

@@ -295,6 +295,312 @@ class LintFixtureTest(unittest.TestCase):
             "src/obs/flight_recorder.h": header_without_edges,
             "src/obs/flight_recorder.cc": self.flight_cc(["run_start"])})
 
+    # --- lock-annotate ----------------------------------------------------
+
+    # A minimal mutex-owning class with one guarded and one bare member.
+    # src/engine/ is on the concurrency allowlist, so only the lock rules
+    # fire on these fixtures.
+    def counter_header(self, extra_member="  int bare_;\n"):
+        return ("#pragma once\n"
+                "#include <mutex>\n"
+                "class Counter {\n"
+                " public:\n"
+                "  void Add(int d);\n"
+                " private:\n"
+                "  mutable std::mutex mutex_;\n"
+                "  int total_ DISTME_GUARDED_BY(mutex_) = 0;\n"
+                f"{extra_member}"
+                "};\n")
+
+    def test_unannotated_member_in_mutex_class(self):
+        self.assert_flags("lock-annotate", {
+            "src/engine/counter.h": self.counter_header()})
+
+    def test_fully_annotated_class_is_clean(self):
+        self.assert_clean({
+            "src/engine/counter.h": self.counter_header(
+                "  int hits_ DISTME_GUARDED_BY(mutex_) = 0;\n")})
+
+    def test_lockfree_and_unshared_annotations_are_accepted(self):
+        self.assert_clean({
+            "src/engine/counter.h": self.counter_header(
+                '  int epoch_ DISTME_LOCKFREE("set in ctor") = 0;\n'
+                '  int scratch_ DISTME_UNSHARED("owner-thread only") = 0;\n')})
+
+    def test_atomic_member_triggers_and_is_exempt(self):
+        # An atomic makes the class concurrency-relevant (so `bare_` is
+        # flagged) but needs no annotation itself.
+        self.assert_flags("lock-annotate", {
+            "src/engine/gauge.h":
+                "#pragma once\n"
+                "#include <atomic>\n"
+                "class Gauge {\n"
+                "  std::atomic<int> level_{0};\n"
+                "  int bare_;\n"
+                "};\n"})
+
+    def test_const_member_is_exempt(self):
+        self.assert_clean({
+            "src/engine/counter.h": self.counter_header(
+                "  const int capacity_ = 8;\n")})
+
+    def test_plain_class_without_mutex_is_clean(self):
+        self.assert_clean({
+            "src/engine/point.h":
+                "#pragma once\n"
+                "class Point {\n"
+                "  int x_ = 0;\n"
+                "  int y_ = 0;\n"
+                "};\n"})
+
+    def test_lock_annotate_allow_escape(self):
+        self.assert_clean({
+            "src/engine/counter.h": self.counter_header(
+                "  int bare_;  // distme-lint: allow(lock-annotate)\n")})
+
+    def test_lock_annotate_skipped_outside_src(self):
+        self.assert_clean({
+            "tests/counter_test.cc":
+                "#include <mutex>\n"
+                "class Harness {\n"
+                "  std::mutex mutex_;\n"
+                "  int bare_;\n"
+                "};\n"})
+
+    # --- lock-held --------------------------------------------------------
+
+    def counter_cc(self, body):
+        return ('#include "engine/counter.h"\n'
+                f"void Counter::Add(int d) {{\n{body}}}\n")
+
+    def test_guarded_member_touched_without_lock(self):
+        self.assert_flags("lock-held", {
+            "src/engine/counter.h": self.counter_header(""),
+            "src/engine/counter.cc": self.counter_cc(
+                "  total_ += d;\n")})
+
+    def test_guarded_member_under_lock_guard_is_clean(self):
+        self.assert_clean({
+            "src/engine/counter.h": self.counter_header(""),
+            "src/engine/counter.cc": self.counter_cc(
+                "  std::lock_guard<std::mutex> lock(mutex_);\n"
+                "  total_ += d;\n")})
+
+    def test_requires_annotation_satisfies_lock_held(self):
+        header = ("#pragma once\n"
+                  "#include <mutex>\n"
+                  "class Counter {\n"
+                  " public:\n"
+                  "  void Add(int d);\n"
+                  " private:\n"
+                  "  void AddLocked(int d) DISTME_REQUIRES(mutex_);\n"
+                  "  mutable std::mutex mutex_;\n"
+                  "  int total_ DISTME_GUARDED_BY(mutex_) = 0;\n"
+                  "};\n")
+        self.assert_clean({
+            "src/engine/counter.h": header,
+            "src/engine/counter.cc":
+                '#include "engine/counter.h"\n'
+                "void Counter::Add(int d) {\n"
+                "  std::lock_guard<std::mutex> lock(mutex_);\n"
+                "  AddLocked(d);\n"
+                "}\n"
+                "void Counter::AddLocked(int d) { total_ += d; }\n"})
+
+    def test_ctor_is_exempt_from_lock_held(self):
+        self.assert_clean({
+            "src/engine/counter.h": self.counter_header(""),
+            "src/engine/counter.cc":
+                '#include "engine/counter.h"\n'
+                "Counter::Counter() { total_ = 0; }\n"})
+
+    def test_inline_header_method_without_lock(self):
+        self.assert_flags("lock-held", {
+            "src/engine/counter.h":
+                "#pragma once\n"
+                "#include <mutex>\n"
+                "class Counter {\n"
+                " public:\n"
+                "  int total() const { return total_; }\n"
+                " private:\n"
+                "  mutable std::mutex mutex_;\n"
+                "  int total_ DISTME_GUARDED_BY(mutex_) = 0;\n"
+                "};\n"})
+
+    def test_sharded_by_locked_collection_is_clean(self):
+        self.assert_clean({
+            "src/engine/table.h":
+                "#pragma once\n"
+                "#include <mutex>\n"
+                "#include <vector>\n"
+                "class Table {\n"
+                " public:\n"
+                "  void Put(int node, int v);\n"
+                " private:\n"
+                "  std::vector<std::vector<int>> stores_\n"
+                "      DISTME_SHARDED_BY(mutexes_);\n"
+                "  mutable std::vector<std::mutex> mutexes_;\n"
+                "};\n",
+            "src/engine/table.cc":
+                '#include "engine/table.h"\n'
+                "void Table::Put(int node, int v) {\n"
+                "  std::lock_guard<std::mutex> lock(mutexes_[node]);\n"
+                "  stores_[node].push_back(v);\n"
+                "}\n"})
+
+    def test_sharded_by_without_lock_is_flagged(self):
+        self.assert_flags("lock-held", {
+            "src/engine/table.h":
+                "#pragma once\n"
+                "#include <mutex>\n"
+                "#include <vector>\n"
+                "class Table {\n"
+                " public:\n"
+                "  void Put(int node, int v);\n"
+                " private:\n"
+                "  std::vector<std::vector<int>> stores_\n"
+                "      DISTME_SHARDED_BY(mutexes_);\n"
+                "  mutable std::vector<std::mutex> mutexes_;\n"
+                "};\n",
+            "src/engine/table.cc":
+                '#include "engine/table.h"\n'
+                "void Table::Put(int node, int v) {\n"
+                "  stores_[node].push_back(v);\n"
+                "}\n"})
+
+    def test_lock_held_allow_escape(self):
+        self.assert_clean({
+            "src/engine/counter.h": self.counter_header(""),
+            "src/engine/counter.cc": self.counter_cc(
+                "  total_ += d;  // distme-lint: allow(lock-held)\n")})
+
+    # --- atomic-order -----------------------------------------------------
+
+    def test_atomic_load_without_order(self):
+        self.assert_flags("atomic-order", {
+            "src/engine/foo.cc":
+                "#include <atomic>\n"
+                "std::atomic<int> a{0};\n"
+                "int f() { return a.load(); }\n"})
+
+    def test_atomic_store_with_order_is_clean(self):
+        self.assert_clean({
+            "src/engine/foo.cc":
+                "#include <atomic>\n"
+                "std::atomic<int> a{0};\n"
+                "void f() { a.store(1, std::memory_order_release); }\n"})
+
+    def test_atomic_fetch_add_without_order(self):
+        self.assert_flags("atomic-order", {
+            "src/engine/foo.cc":
+                "#include <atomic>\n"
+                "std::atomic<int> a{0};\n"
+                "void f() { a.fetch_add(1); }\n"})
+
+    def test_multiline_atomic_call_with_order_is_clean(self):
+        # The order token lands on a later line of the same statement.
+        self.assert_clean({
+            "src/engine/foo.cc":
+                "#include <atomic>\n"
+                "std::atomic<bool> flag{false};\n"
+                "bool f() {\n"
+                "  bool expected = false;\n"
+                "  return flag.compare_exchange_strong(\n"
+                "      expected, true,\n"
+                "      std::memory_order_acq_rel);\n"
+                "}\n"})
+
+    def test_atomic_order_allow_escape(self):
+        self.assert_clean({
+            "src/engine/foo.cc":
+                "#include <atomic>\n"
+                "std::atomic<int> a{0};\n"
+                "int f() {\n"
+                "  return a.load();  // distme-lint: allow(atomic-order)\n"
+                "}\n"})
+
+    def test_atomic_order_skipped_in_tests(self):
+        self.assert_clean({
+            "tests/foo_test.cc":
+                "#include <atomic>\n"
+                "std::atomic<int> a{0};\n"
+                "int f() { return a.load(); }\n"})
+
+    # --- real sources & driver flags --------------------------------------
+
+    def test_the_real_tree_passes_lock_rules(self):
+        # The annotation sweep must stay complete: lint the repo's own src/
+        # in place and require zero lock-discipline findings.
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        proc = subprocess.run(
+            [sys.executable, LINT, "src/"],
+            cwd=repo, capture_output=True, text=True)
+        for rule in ("lock-annotate", "lock-held", "atomic-order"):
+            self.assertNotIn(f"[{rule}]", proc.stdout,
+                             f"real tree fails {rule}\n{proc.stdout}")
+
+    def test_list_rules_names_the_lock_rules(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, "--list-rules"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("lock-annotate", "lock-held", "atomic-order"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_parallel_jobs_match_serial(self):
+        # --jobs 2 must report exactly what the in-process path reports.
+        files = {
+            "src/engine/counter.h": self.counter_header(),
+            "src/engine/counter.cc": self.counter_cc("  total_ += d;\n"),
+        }
+        with tempfile.TemporaryDirectory() as tmp:
+            for rel, content in files.items():
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(content)
+            serial = subprocess.run(
+                [sys.executable, LINT, "--jobs", "1"] + sorted(files),
+                cwd=tmp, capture_output=True, text=True)
+            par = subprocess.run(
+                [sys.executable, LINT, "--jobs", "2"] + sorted(files),
+                cwd=tmp, capture_output=True, text=True)
+        self.assertEqual(serial.stdout, par.stdout)
+        self.assertEqual(serial.returncode, par.returncode)
+        self.assertIn("[lock-annotate]", par.stdout)
+        self.assertIn("[lock-held]", par.stdout)
+
+    def test_changed_only_lints_only_dirty_files(self):
+        # In a fresh git repo with one committed-clean file and one dirty
+        # violating file, --changed-only must flag the dirty one only.
+        files = {
+            "src/engine/clean.h": "#pragma once\nclass Clean {};\n",
+            "src/engine/foo.cc":
+                "#include <atomic>\n"
+                "std::atomic<int> a{0};\n"
+                "int f() { return a.load(); }\n",
+        }
+        with tempfile.TemporaryDirectory() as tmp:
+            for rel, content in files.items():
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(content)
+            env = dict(os.environ,
+                       GIT_AUTHOR_NAME="t", GIT_AUTHOR_EMAIL="t@t",
+                       GIT_COMMITTER_NAME="t", GIT_COMMITTER_EMAIL="t@t")
+            for cmd in (["git", "init", "-q"],
+                        ["git", "add", "src/engine/clean.h"],
+                        ["git", "commit", "-qm", "seed"]):
+                subprocess.run(cmd, cwd=tmp, env=env, check=True,
+                               capture_output=True)
+            proc = subprocess.run(
+                [sys.executable, LINT, "--changed-only", "src/"],
+                cwd=tmp, capture_output=True, text=True)
+        self.assertIn("[atomic-order]", proc.stdout)
+        self.assertIn("foo.cc", proc.stdout)
+        self.assertNotIn("clean.h", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main(verbosity=2)

@@ -67,7 +67,10 @@ void InvokeFatalHook() {
   // At most one invocation per process: a second fatal (including one
   // raised from inside the hook itself) goes straight to abort.
   bool expected = false;
-  if (!g_fatal_hook_ran.compare_exchange_strong(expected, true)) return;
+  if (!g_fatal_hook_ran.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+    return;
+  }
   const FatalHook hook = g_fatal_hook.load(std::memory_order_acquire);
   if (hook != nullptr) hook();
 }

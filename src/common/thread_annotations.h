@@ -1,0 +1,112 @@
+// Thread-safety (capability) annotations for DistME's lock discipline.
+//
+// Under clang the DISTME_* macros expand to the thread-safety attributes
+// that `-Wthread-safety` proves statically (see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); under every other
+// compiler they expand to nothing, so annotated code is byte-for-byte
+// identical to unannotated code (tests/annotations_test.cc asserts layout,
+// overload-resolution, and behavior parity against unannotated twins).
+//
+// Three macros are *documentation-only* and expand to nothing under every
+// compiler — they exist so scripts/distme_lint.py (rule `lock-annotate`)
+// can prove that every shared member of a mutex- or atomic-owning class
+// states its synchronization story:
+//
+//   DISTME_GUARDED_BY(m)   member is read/written only while holding `m`
+//                          (clang-checked where clang is available, and
+//                          lint-checked everywhere via rule `lock-held`)
+//   DISTME_SHARDED_BY(m)   member is guarded element-wise by the lock
+//                          array/collection `m` (e.g. stores_[n] under
+//                          mutexes_[n]) — clang's analysis cannot express
+//                          per-element capabilities, so this one is
+//                          lint-only, but rule `lock-held` still demands a
+//                          visible lock on `m` at every use
+//   DISTME_LOCKFREE(why)   member is shared across threads WITHOUT the
+//                          class mutex, and `why` states the mechanism
+//                          that makes that safe (atomics, seqlock
+//                          publication, immutable-after-construction, ...)
+//   DISTME_UNSHARED(why)   member is never touched concurrently, and `why`
+//                          states the ownership rule (owner-thread only,
+//                          set in ctor before any thread exists, ...)
+//
+// Members whose declared type *is* a std::atomic, and the mutexes /
+// condition variables themselves, need no annotation — they are the
+// synchronization. Everything else in a class that owns a mutex or an
+// atomic must carry one of the four, or an inline
+// `// distme-lint: allow(lock-annotate)` escape (reviewed in the diff).
+//
+// DESIGN.md §4.8 "Lock discipline" documents the conventions and the
+// review policy for DISTME_LOCKFREE rationales.
+
+#pragma once
+
+// clang >= 3.5 understands the GNU attribute spellings below (the
+// [[clang::...]] spellings exist only in newer clangs, so the GNU form is
+// the portable way to reach the same analysis). Define
+// DISTME_NO_THREAD_SAFETY_ATTRIBUTES to force the no-op expansion, e.g.
+// for a tool that chokes on the attributes.
+#if defined(__clang__) && !defined(DISTME_NO_THREAD_SAFETY_ATTRIBUTES)
+#define DISTME_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DISTME_TSA_ATTRIBUTE(x)  // expands to nothing outside clang
+#endif
+
+/// Declares a type to be a capability ("mutex"), e.g. a lock wrapper.
+#define DISTME_CAPABILITY(x) DISTME_TSA_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires on construction, releases on
+/// destruction (std::lock_guard-shaped wrappers).
+#define DISTME_SCOPED_CAPABILITY DISTME_TSA_ATTRIBUTE(scoped_lockable)
+
+/// Member is protected by the capability `x`.
+#define DISTME_GUARDED_BY(x) DISTME_TSA_ATTRIBUTE(guarded_by(x))
+
+/// Pointee (not the pointer) is protected by the capability `x`.
+#define DISTME_PT_GUARDED_BY(x) DISTME_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the capability/ies held on entry (and does not
+/// release them).
+#define DISTME_REQUIRES(...) \
+  DISTME_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define DISTME_REQUIRES_SHARED(...) \
+  DISTME_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability/ies.
+#define DISTME_ACQUIRE(...) \
+  DISTME_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define DISTME_ACQUIRE_SHARED(...) \
+  DISTME_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define DISTME_RELEASE(...) \
+  DISTME_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define DISTME_RELEASE_SHARED(...) \
+  DISTME_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define DISTME_TRY_ACQUIRE(...) \
+  DISTME_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability/ies (it will
+/// acquire them itself — deadlock guard).
+#define DISTME_EXCLUDES(...) DISTME_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, for the analysis) that the capability is held.
+#define DISTME_ASSERT_CAPABILITY(x) \
+  DISTME_TSA_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the capability `x`.
+#define DISTME_RETURN_CAPABILITY(x) DISTME_TSA_ATTRIBUTE(lock_returned(x))
+
+/// Opts a function out of the clang analysis (use sparingly; prefer an
+/// inline distme-lint allow with a reason).
+#define DISTME_NO_THREAD_SAFETY_ANALYSIS \
+  DISTME_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Documentation-only (all compilers): shared member that is safe without
+/// the class mutex for the stated reason. Reviewed per DESIGN.md §4.8.
+#define DISTME_LOCKFREE(...)
+
+/// Documentation-only (all compilers): member never accessed concurrently;
+/// the reason states the ownership rule.
+#define DISTME_UNSHARED(...)
+
+/// Documentation-only (all compilers): member guarded element-wise by the
+/// lock collection `m` (clang cannot express per-element capabilities).
+#define DISTME_SHARDED_BY(m)

@@ -372,8 +372,6 @@ Result<Matrix> Session::ColSums(const Matrix& a) {
 }
 
 Result<double> Session::Sum(const Matrix& a) {
-  std::atomic<int64_t> dummy{0};
-  (void)dummy;
   double total = 0.0;
   a.distributed().ForEachBlock(
       [&](int /*node*/, BlockIndex /*idx*/, const Block& block) {

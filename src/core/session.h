@@ -14,6 +14,7 @@
 #include "blas/block_ops.h"
 #include "cluster/config.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/planner.h"
 #include "engine/distributed_matrix.h"
 #include "engine/explain.h"
@@ -199,13 +200,20 @@ class Session {
   }
 
  private:
-  Options options_;
-  std::unique_ptr<engine::RealExecutor> executor_;
-  std::vector<engine::MMReport> history_;
-  obs::MetricsRegistry metrics_;
-  obs::Tracer tracer_;
-  obs::CommMatrix comm_;
-  std::optional<engine::ExplainReport> last_explain_;
+  // The Session API itself is single-threaded (one driver thread calls
+  // Multiply/Collect/...); the members below are shared only with the
+  // telemetry threads, and each one that is states its mechanism.
+  Options options_ DISTME_UNSHARED("driver-thread only; set in ctor");
+  std::unique_ptr<engine::RealExecutor> executor_
+      DISTME_UNSHARED("driver-thread only");
+  std::vector<engine::MMReport> history_ DISTME_UNSHARED("driver-thread only");
+  obs::MetricsRegistry metrics_
+      DISTME_LOCKFREE("internally synchronized (registry mutex + atomics)");
+  obs::Tracer tracer_
+      DISTME_LOCKFREE("internally synchronized (per-thread buffers)");
+  obs::CommMatrix comm_ DISTME_LOCKFREE("internally synchronized (atomics)");
+  std::optional<engine::ExplainReport> last_explain_
+      DISTME_UNSHARED("driver-thread only; endpoint reads the JSON atomics");
   // Last completed run's explain JSON for the endpoint's GET /explain.
   // Lock-free handoff: the run thread publishes a fresh immutable string,
   // the endpoint thread loads whatever is current (null before first run).
@@ -218,10 +226,14 @@ class Session {
   // Telemetry subsystems, declared after the registries they observe so
   // reverse-order destruction tears them down first; ~Session() also stops
   // their threads explicitly (endpoint → watchdog → sampler).
-  obs::FlightRecorder flight_;
-  std::unique_ptr<obs::Sampler> sampler_;
-  std::unique_ptr<obs::Watchdog> watchdog_;
-  std::unique_ptr<obs::HttpEndpoint> endpoint_;
+  obs::FlightRecorder flight_
+      DISTME_LOCKFREE("internally synchronized (seqlock ring)");
+  std::unique_ptr<obs::Sampler> sampler_
+      DISTME_UNSHARED("pointer set in ctor; pointee internally synchronized");
+  std::unique_ptr<obs::Watchdog> watchdog_
+      DISTME_UNSHARED("pointer set in ctor; pointee internally synchronized");
+  std::unique_ptr<obs::HttpEndpoint> endpoint_
+      DISTME_UNSHARED("pointer set in ctor; pointee internally synchronized");
 };
 
 }  // namespace distme::core

@@ -11,6 +11,7 @@
 
 #include "cluster/config.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "engine/partitioner.h"
 #include "matrix/block_grid.h"
 #include "mm/descriptor.h"
@@ -32,13 +33,18 @@ class DistributedMatrix {
   DistributedMatrix(DistributedMatrix&&) = default;
 
   const BlockedShape& shape() const { return shape_; }
-  int num_nodes() const { return static_cast<int>(stores_.size()); }
+  int num_nodes() const {
+    // The store vector itself never grows or shrinks after construction;
+    // only the per-node maps inside it mutate (under their shard lock).
+    return static_cast<int>(stores_.size());  // distme-lint: allow(lock-held)
+  }
   const Partitioner& partitioner() const { return partitioner_; }
 
   /// \brief Node owning the block at `idx` under the current partitioning.
   int NodeOf(BlockIndex idx) const {
     return static_cast<int>(partitioner_.PartitionOf(idx) %
-                            static_cast<int64_t>(stores_.size()));
+                            static_cast<int64_t>(
+                                stores_.size()));  // distme-lint: allow(lock-held)
   }
 
   /// \brief Inserts or replaces a block at its home node.
@@ -80,9 +86,10 @@ class DistributedMatrix {
                                           int num_nodes);
 
  private:
-  BlockedShape shape_;
-  Partitioner partitioner_;
-  std::vector<std::unordered_map<BlockIndex, Block, BlockIndexHash>> stores_;
+  BlockedShape shape_ DISTME_LOCKFREE("set in ctor, immutable after");
+  Partitioner partitioner_ DISTME_LOCKFREE("set in ctor, immutable after");
+  std::vector<std::unordered_map<BlockIndex, Block, BlockIndexHash>> stores_
+      DISTME_SHARDED_BY(mutexes_);
   mutable std::vector<std::mutex> mutexes_;
 };
 

@@ -459,7 +459,7 @@ class RealExecutor::Impl {
     for (int w = 0; w < std::max(num_workers, 1); ++w) {
       workers.emplace_back([&, w]() {
         while (true) {
-          const int64_t t = next_task.fetch_add(1);
+          const int64_t t = next_task.fetch_add(1, std::memory_order_relaxed);
           if (t >= static_cast<int64_t>(tasks.size())) break;
           {
             std::lock_guard<std::mutex> lock(failure_mutex);

@@ -17,6 +17,7 @@
 
 #include "cluster/config.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/flight_recorder.h"
 #include "sim/timeline.h"
 
@@ -93,37 +94,47 @@ class Device {
   /// last enqueued operation completes.
   double Synchronize();
 
-  const DeviceStats& stats() const { return stats_; }
+  /// \brief Copy of the accumulated counters. By value: `stats_` is guarded
+  /// by mutex_, so a reference would let callers read it while another task
+  /// thread enqueues work on the device.
+  DeviceStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
   const GpuSpec& spec() const { return spec_; }
-  int64_t memory_used() const { return memory_used_; }
+  int64_t memory_used() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memory_used_;
+  }
 
   /// \brief Resets timelines and counters (memory stays allocated).
   void ResetTimeline();
 
  private:
-  [[nodiscard]] Status ValidateStream(StreamId stream) const;
+  [[nodiscard]] Status ValidateStream(StreamId stream) const
+      DISTME_REQUIRES(mutex_);
 
   // Emits a begin/end interval pair for [start, start + duration) (virtual
   // seconds) under mutex_. No-op when no recorder is attached.
   void EmitInterval(obs::FlightEventType begin, obs::FlightEventType end,
                     StreamId stream, int64_t payload, int64_t tag,
-                    double start, double duration);
+                    double start, double duration) DISTME_REQUIRES(mutex_);
 
-  GpuSpec spec_;
-  HardwareModel hw_;
+  GpuSpec spec_ DISTME_LOCKFREE("set in ctor, immutable after");
+  HardwareModel hw_ DISTME_LOCKFREE("set in ctor, immutable after");
   mutable std::mutex mutex_;
-  std::vector<sim::ResourceTimeline> streams_;
-  sim::ResourceTimeline h2d_engine_;
-  sim::ResourceTimeline d2h_engine_;
-  sim::ResourceTimeline kernel_engine_;
-  DeviceStats stats_;
-  int64_t memory_used_ = 0;
-  int64_t next_buffer_ = 1;
-  std::vector<std::pair<BufferId, int64_t>> buffers_;
-  double last_completion_ = 0;
-  obs::FlightRecorder* flight_ = nullptr;
-  int32_t node_ = -1;
-  int32_t ordinal_ = 0;
+  std::vector<sim::ResourceTimeline> streams_ DISTME_GUARDED_BY(mutex_);
+  sim::ResourceTimeline h2d_engine_ DISTME_GUARDED_BY(mutex_);
+  sim::ResourceTimeline d2h_engine_ DISTME_GUARDED_BY(mutex_);
+  sim::ResourceTimeline kernel_engine_ DISTME_GUARDED_BY(mutex_);
+  DeviceStats stats_ DISTME_GUARDED_BY(mutex_);
+  int64_t memory_used_ DISTME_GUARDED_BY(mutex_) = 0;
+  int64_t next_buffer_ DISTME_GUARDED_BY(mutex_) = 1;
+  std::vector<std::pair<BufferId, int64_t>> buffers_ DISTME_GUARDED_BY(mutex_);
+  double last_completion_ DISTME_GUARDED_BY(mutex_) = 0;
+  obs::FlightRecorder* flight_ DISTME_GUARDED_BY(mutex_) = nullptr;
+  int32_t node_ DISTME_GUARDED_BY(mutex_) = -1;
+  int32_t ordinal_ DISTME_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace distme::gpu

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace distme::obs {
 
 class JsonWriter;
@@ -110,7 +112,8 @@ class CommMatrix {
            static_cast<size_t>(dst);
   }
 
-  std::unique_ptr<std::atomic<int64_t>[]> cells_;
+  std::unique_ptr<std::atomic<int64_t>[]> cells_
+      DISTME_LOCKFREE("pointer fixed in ctor; cells are relaxed atomics");
   std::atomic<int> max_node_{-1};
 };
 

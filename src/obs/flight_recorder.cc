@@ -297,12 +297,15 @@ void FatalDumpAll() {
   // Reentrancy guard: a crash inside the dump must not recurse.
   static std::atomic<bool> dumping{false};
   bool expected = false;
-  if (!dumping.compare_exchange_strong(expected, true)) return;
+  if (!dumping.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return;
+  }
   for (auto& slot : g_fatal_recorders) {
     const FlightRecorder* recorder = slot.load(std::memory_order_acquire);
     if (recorder != nullptr) recorder->FatalDumpToStderr();
   }
-  dumping.store(false);
+  dumping.store(false, std::memory_order_release);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace distme::obs {
 
@@ -198,12 +199,14 @@ class FlightRecorder {
   bool ReadSlot(const Slot& slot, FlightEvent* out) const;
 
   const size_t capacity_;  // power of two
-  std::unique_ptr<Slot[]> slots_;
+  std::unique_ptr<Slot[]> slots_
+      DISTME_LOCKFREE("pointer fixed in ctor; slots are per-slot seqlocks");
   std::atomic<uint64_t> next_{0};
   const std::chrono::steady_clock::time_point epoch_;
-  int64_t wall_epoch_us_ = 0;
-  int64_t steady_epoch_us_ = 0;
-  bool fatal_dump_installed_ = false;
+  int64_t wall_epoch_us_ DISTME_LOCKFREE("written once in ctor") = 0;
+  int64_t steady_epoch_us_ DISTME_LOCKFREE("written once in ctor") = 0;
+  bool fatal_dump_installed_
+      DISTME_UNSHARED("Install/Uninstall are owner-thread calls") = false;
 };
 
 }  // namespace distme::obs

@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace distme::obs {
 
@@ -62,8 +63,8 @@ class HttpEndpoint {
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  Handler handler_;
-  std::thread thread_;
+  Handler handler_ DISTME_LOCKFREE("set in ctor, immutable after");
+  std::thread thread_ DISTME_UNSHARED("touched only by Start/Stop callers");
   std::atomic<int> listen_fd_{-1};
   std::atomic<int> port_{-1};
   std::atomic<bool> running_{false};

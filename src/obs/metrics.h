@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace distme::obs {
 
 /// \brief A (key, value) label list, e.g. {{"reason", "injected_crash"}}.
@@ -88,7 +90,8 @@ class Histogram {
  private:
   static int BucketFor(double value);
 
-  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{}
+      DISTME_LOCKFREE("array of relaxed atomics; each cell is independent");
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   /// +inf until the first observation: a CAS-min can then race-freely fold
@@ -180,8 +183,8 @@ class MetricsRegistry {
                       MetricKind kind);
 
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  std::unordered_map<std::string, Entry*> index_;
+  std::vector<std::unique_ptr<Entry>> entries_ DISTME_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, Entry*> index_ DISTME_GUARDED_BY(mutex_);
 };
 
 }  // namespace distme::obs

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/comm_matrix.h"
 #include "obs/metrics.h"
 
@@ -82,18 +83,20 @@ class Sampler {
  private:
   void Loop();
 
-  const MetricsRegistry* registry_;
-  const CommMatrix* comm_;
-  SamplerOptions options_;
+  const MetricsRegistry* registry_
+      DISTME_LOCKFREE("set in ctor, immutable; pointee internally synchronized");
+  const CommMatrix* comm_
+      DISTME_LOCKFREE("set in ctor, immutable; pointee internally synchronized");
+  SamplerOptions options_ DISTME_LOCKFREE("set in ctor, immutable after");
 
-  std::thread thread_;
+  std::thread thread_ DISTME_UNSHARED("touched only by Start/Stop callers");
   std::atomic<bool> running_{false};
   std::atomic<int64_t> total_samples_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_requested_ = false;  // guarded by mutex_
-  std::deque<Sample> samples_;   // guarded by mutex_
+  bool stop_requested_ DISTME_GUARDED_BY(mutex_) = false;
+  std::deque<Sample> samples_ DISTME_GUARDED_BY(mutex_);
 };
 
 }  // namespace distme::obs

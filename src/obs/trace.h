@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace distme::obs {
 
 /// \brief A trace-event argument value: integer, double, or string.
@@ -99,10 +101,15 @@ class Tracer {
   /// \brief Names the (`pid`, `tid`) track ("slot3", ...).
   void SetThreadName(int pid, int tid, std::string name);
 
-  const std::map<int, std::string>& process_names() const {
+  /// \brief Copies of the track-name tables. By value: the maps are guarded
+  /// by mutex_, so handing out a reference would let callers read them while
+  /// SetProcessName/SetThreadName mutate concurrently.
+  std::map<int, std::string> process_names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return process_names_;
   }
-  const std::map<std::pair<int, int>, std::string>& thread_names() const {
+  std::map<std::pair<int, int>, std::string> thread_names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return thread_names_;
   }
 
@@ -128,7 +135,7 @@ class Tracer {
  private:
   struct ThreadBuffer {
     std::mutex mutex;  // uncontended except while draining
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events DISTME_GUARDED_BY(mutex);
   };
 
   ThreadBuffer* BufferForThisThread();
@@ -138,9 +145,10 @@ class Tracer {
   const std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::map<int, std::string> process_names_;
-  std::map<std::pair<int, int>, std::string> thread_names_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ DISTME_GUARDED_BY(mutex_);
+  std::map<int, std::string> process_names_ DISTME_GUARDED_BY(mutex_);
+  std::map<std::pair<int, int>, std::string> thread_names_
+      DISTME_GUARDED_BY(mutex_);
 };
 
 /// \brief RAII span: stamps start on construction, records a complete event

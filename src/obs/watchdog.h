@@ -23,6 +23,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/thread_annotations.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
@@ -102,20 +103,24 @@ class Watchdog {
 
   void Loop();
 
-  MetricsRegistry* registry_;
-  FlightRecorder* flight_;
-  WatchdogOptions options_;
-  Counter* straggler_counter_;
+  MetricsRegistry* registry_
+      DISTME_LOCKFREE("set in ctor, immutable; pointee internally synchronized");
+  FlightRecorder* flight_
+      DISTME_LOCKFREE("set in ctor, immutable; pointee is a seqlock ring");
+  WatchdogOptions options_ DISTME_LOCKFREE("set in ctor, immutable after");
+  Counter* straggler_counter_
+      DISTME_LOCKFREE("set in ctor, immutable; Counter is relaxed atomics");
 
-  std::unique_ptr<TaskSlot[]> slots_;
+  std::unique_ptr<TaskSlot[]> slots_
+      DISTME_LOCKFREE("pointer fixed in ctor; slots are CAS-claimed atomics");
 
-  std::thread thread_;
+  std::thread thread_ DISTME_UNSHARED("touched only by Start/Stop callers");
   std::atomic<bool> running_{false};
   std::atomic<int64_t> flagged_total_{0};
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_requested_ = false;  // guarded by mutex_
+  bool stop_requested_ DISTME_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace distme::obs

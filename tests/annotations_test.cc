@@ -1,0 +1,206 @@
+// Proves the DISTME_* thread-safety macros are exact no-ops under
+// non-clang compilers (and benign under clang): annotated types must be
+// layout-identical to unannotated twins, annotations must not perturb
+// overload resolution or member-pointer identity, and the documentation-only
+// macros (LOCKFREE/UNSHARED/SHARDED_BY) must expand to nothing everywhere.
+//
+// The point: we annotate every mutex-owning class in src/, so a macro layer
+// that silently changed ABI or semantics on the production compiler would be
+// a tree-wide regression. This test is the contract the sweep relies on.
+
+#include <atomic>
+#include <cstddef>
+#include <gtest/gtest.h>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace distme {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layout parity: annotated struct vs byte-for-byte unannotated twin.
+// ---------------------------------------------------------------------------
+
+struct PlainTwin {
+  std::mutex mutex_;
+  int counter_ = 0;
+  double gauge_ = 0.0;
+  std::vector<int> items_;
+  std::atomic<int> ticks_{0};
+  void* handle_ = nullptr;
+};
+
+struct AnnotatedTwin {
+  std::mutex mutex_;
+  int counter_ DISTME_GUARDED_BY(mutex_) = 0;
+  double gauge_ DISTME_GUARDED_BY(mutex_) = 0.0;
+  std::vector<int> items_ DISTME_GUARDED_BY(mutex_);
+  std::atomic<int> ticks_ DISTME_LOCKFREE("relaxed counter");
+  void* handle_ DISTME_UNSHARED("owner-thread only") = nullptr;
+};
+
+static_assert(sizeof(PlainTwin) == sizeof(AnnotatedTwin),
+              "annotations must not change object size");
+static_assert(alignof(PlainTwin) == alignof(AnnotatedTwin),
+              "annotations must not change alignment");
+static_assert(offsetof(PlainTwin, counter_) ==
+                  offsetof(AnnotatedTwin, counter_),
+              "annotations must not move members");
+static_assert(offsetof(PlainTwin, gauge_) == offsetof(AnnotatedTwin, gauge_),
+              "annotations must not move members");
+static_assert(offsetof(PlainTwin, ticks_) == offsetof(AnnotatedTwin, ticks_),
+              "annotations must not move members");
+static_assert(offsetof(PlainTwin, handle_) ==
+                  offsetof(AnnotatedTwin, handle_),
+              "annotations must not move members");
+
+// Member types are untouched: GUARDED_BY decorates the declaration, it does
+// not wrap the type.
+static_assert(
+    std::is_same_v<decltype(AnnotatedTwin::counter_), int>,
+    "GUARDED_BY must not change the declared type");
+static_assert(
+    std::is_same_v<decltype(AnnotatedTwin::items_), std::vector<int>>,
+    "GUARDED_BY must not change the declared type");
+static_assert(
+    std::is_same_v<decltype(AnnotatedTwin::ticks_), std::atomic<int>>,
+    "LOCKFREE must not change the declared type");
+
+// ---------------------------------------------------------------------------
+// Documentation-only macros expand to nothing on every compiler, including
+// clang: they may appear after brace-or-equals initializers where a real
+// attribute would be a syntax error.
+// ---------------------------------------------------------------------------
+
+#define DISTME_TEST_STR_INNER(x) #x
+#define DISTME_TEST_STR(x) DISTME_TEST_STR_INNER(x)
+
+static_assert(sizeof(DISTME_TEST_STR(DISTME_LOCKFREE("why"))) == 1,
+              "DISTME_LOCKFREE must expand to nothing on all compilers");
+static_assert(sizeof(DISTME_TEST_STR(DISTME_UNSHARED("why"))) == 1,
+              "DISTME_UNSHARED must expand to nothing on all compilers");
+static_assert(sizeof(DISTME_TEST_STR(DISTME_SHARDED_BY(mutexes_))) == 1,
+              "DISTME_SHARDED_BY must expand to nothing on all compilers");
+
+#if !defined(__clang__)
+// Under gcc (the production compiler here) the attribute macros are empty
+// too — stringification proves total erasure, not just benign expansion.
+static_assert(sizeof(DISTME_TEST_STR(DISTME_GUARDED_BY(mutex_))) == 1,
+              "DISTME_GUARDED_BY must be an exact no-op under gcc");
+static_assert(sizeof(DISTME_TEST_STR(DISTME_REQUIRES(mutex_))) == 1,
+              "DISTME_REQUIRES must be an exact no-op under gcc");
+static_assert(sizeof(DISTME_TEST_STR(DISTME_EXCLUDES(mutex_))) == 1,
+              "DISTME_EXCLUDES must be an exact no-op under gcc");
+static_assert(sizeof(DISTME_TEST_STR(DISTME_ACQUIRE(mutex_))) == 1,
+              "DISTME_ACQUIRE must be an exact no-op under gcc");
+static_assert(sizeof(DISTME_TEST_STR(DISTME_RELEASE(mutex_))) == 1,
+              "DISTME_RELEASE must be an exact no-op under gcc");
+#endif
+
+#undef DISTME_TEST_STR
+#undef DISTME_TEST_STR_INNER
+
+// ---------------------------------------------------------------------------
+// Overload resolution: a REQUIRES-annotated function is the same function.
+// ---------------------------------------------------------------------------
+
+class Resolver {
+ public:
+  int Pick(int v) DISTME_REQUIRES(mutex_) { return v; }
+  int Pick(double v) { return static_cast<int>(v) + 100; }
+
+  std::mutex mutex_;
+};
+
+TEST(AnnotationsTest, AnnotatedOverloadResolvesIdentically) {
+  Resolver r;
+  std::lock_guard<std::mutex> lock(r.mutex_);
+  EXPECT_EQ(r.Pick(7), 7);        // int overload, REQUIRES-annotated
+  EXPECT_EQ(r.Pick(7.0), 107);    // double overload, unannotated
+}
+
+// ---------------------------------------------------------------------------
+// A CAPABILITY/ACQUIRE/RELEASE-annotated lock wrapper compiles and behaves
+// like the raw mutex it wraps (this is the shape DESIGN.md §4.8 recommends
+// for new lock types).
+// ---------------------------------------------------------------------------
+
+class DISTME_CAPABILITY("mutex") AnnotatedLock {
+ public:
+  void Acquire() DISTME_ACQUIRE() { mu_.lock(); }
+  void Release() DISTME_RELEASE() { mu_.unlock(); }
+  bool TryAcquire() DISTME_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+TEST(AnnotationsTest, AnnotatedLockWrapperWorks) {
+  AnnotatedLock lock;
+  lock.Acquire();
+  EXPECT_FALSE(lock.TryAcquire());  // already held
+  lock.Release();
+  EXPECT_TRUE(lock.TryAcquire());
+  lock.Release();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime parity: annotated and unannotated twins behave identically,
+// including under death. EXPECT_DEATH on both proves the annotation did not
+// alter control flow or the abort path.
+// ---------------------------------------------------------------------------
+
+struct PlainGuard {
+  std::mutex mutex_;
+  int value_ = 0;
+  [[noreturn]] void Die() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ = 1;
+    std::abort();
+  }
+};
+
+struct AnnotatedGuard {
+  std::mutex mutex_;
+  int value_ DISTME_GUARDED_BY(mutex_) = 0;
+  [[noreturn]] void Die() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ = 1;
+    std::abort();
+  }
+};
+
+TEST(AnnotationsDeathTest, AnnotatedAbortMatchesUnannotated) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PlainGuard plain;
+  AnnotatedGuard annotated;
+  EXPECT_DEATH(plain.Die(), "");
+  EXPECT_DEATH(annotated.Die(), "");
+}
+
+TEST(AnnotationsTest, TwinsBehaveIdentically) {
+  PlainTwin plain;
+  AnnotatedTwin annotated;
+  {
+    std::lock_guard<std::mutex> lock_p(plain.mutex_);
+    std::lock_guard<std::mutex> lock_a(annotated.mutex_);
+    plain.counter_ = 41;
+    annotated.counter_ = 41;
+    plain.items_.push_back(3);
+    annotated.items_.push_back(3);
+  }
+  plain.ticks_.fetch_add(1, std::memory_order_relaxed);
+  annotated.ticks_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock_p(plain.mutex_);
+  std::lock_guard<std::mutex> lock_a(annotated.mutex_);
+  EXPECT_EQ(plain.counter_, annotated.counter_);
+  EXPECT_EQ(plain.items_, annotated.items_);
+  EXPECT_EQ(plain.ticks_.load(std::memory_order_relaxed),
+            annotated.ticks_.load(std::memory_order_relaxed));
+}
+
+}  // namespace
+}  // namespace distme

@@ -10,16 +10,19 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "core/session.h"
+#include "gpu/device.h"
 #include "obs/comm_matrix.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/trace.h"
 
 namespace distme {
 namespace {
@@ -193,6 +196,99 @@ TEST(StressConcurrencyTest, FlightRecorderAndSamplerHammer) {
   for (size_t i = 1; i < samples.size(); ++i) {
     EXPECT_LT(samples[i - 1].ts_us, samples[i].ts_us);
   }
+}
+
+// --- GpuDevice --------------------------------------------------------------
+
+// The lock-discipline sweep found Device::stats() and memory_used() returning
+// unguarded state while enqueue threads mutate it; both now copy under the
+// device mutex. This hammer races enqueuers + allocators against continuous
+// readers — under -DDISTME_SANITIZE=thread it is the regression test for
+// that fix.
+TEST(StressConcurrencyTest, GpuDeviceStatsReaderHammer) {
+  GpuSpec spec;
+  spec.memory_bytes = 1 << 20;
+  gpu::Device device(spec, HardwareModel{});
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const gpu::DeviceStats stats = device.stats();
+      EXPECT_GE(stats.h2d_bytes, 0);
+      EXPECT_GE(stats.kernel_calls, 0);
+      EXPECT_GE(stats.peak_memory_bytes, device.memory_used());
+      EXPECT_GE(device.Synchronize(), 0.0);
+    }
+  });
+
+  RunOnThreads([&](int t) {
+    const gpu::StreamId stream = device.CreateStream();
+    for (int i = 0; i < kItersPerThread / 4; ++i) {
+      ASSERT_TRUE(device.EnqueueH2D(stream, 256).ok());
+      ASSERT_TRUE(device.EnqueueKernel(stream, 1024, {}).ok());
+      ASSERT_TRUE(device.EnqueueD2H(stream, 128).ok());
+      auto buffer = device.Allocate(64, "stress");
+      if (buffer.ok()) {
+        EXPECT_TRUE(device.Free(*buffer).ok());
+      }
+      (void)t;
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const gpu::DeviceStats stats = device.stats();
+  const int64_t per_thread = kItersPerThread / 4;
+  EXPECT_EQ(stats.h2d_copies, int64_t{kThreads} * per_thread);
+  EXPECT_EQ(stats.d2h_copies, int64_t{kThreads} * per_thread);
+  EXPECT_EQ(stats.kernel_calls, int64_t{kThreads} * per_thread);
+  EXPECT_EQ(device.memory_used(), 0);
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+// Same story for Tracer: process_names()/thread_names() used to hand back
+// const references to maps that SetProcessName/SetThreadName mutate; they
+// now copy under the tracer mutex. Readers iterate their snapshots while
+// writers rename tracks and record events into the per-thread buffers.
+TEST(StressConcurrencyTest, TracerNameMapReaderHammer) {
+  obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::map<int, std::string> pids = tracer.process_names();
+      for (const auto& [pid, name] : pids) {
+        EXPECT_EQ(name, "node-" + std::to_string(pid));
+      }
+      const auto tids = tracer.thread_names();
+      for (const auto& [key, name] : tids) {
+        EXPECT_FALSE(name.empty());
+      }
+      EXPECT_GE(tracer.EventCount(), size_t{0});
+    }
+  });
+
+  RunOnThreads([&](int t) {
+    for (int i = 0; i < kItersPerThread / 4; ++i) {
+      tracer.SetProcessName(t, "node-" + std::to_string(t));
+      tracer.SetThreadName(t, i % 4, "slot-" + std::to_string(i % 4));
+      obs::TraceEvent event;
+      event.name = "stress";
+      event.pid = t;
+      event.tid = i % 4;
+      tracer.Record(std::move(event));
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(tracer.process_names().size(), size_t{kThreads});
+  EXPECT_EQ(tracer.EventCount(),
+            size_t{kThreads} * static_cast<size_t>(kItersPerThread / 4));
+  EXPECT_EQ(tracer.Drain().size(),
+            size_t{kThreads} * static_cast<size_t>(kItersPerThread / 4));
 }
 
 // --- RealExecutor / Session -------------------------------------------------
