@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include <chrono>
+#include <cstdlib>
 #include <string_view>
 
 #include "bench_util.h"
@@ -402,6 +403,106 @@ int RunAnalyzerOverheadOnly(bench::BenchObs* obs) {
   return 0;
 }
 
+// Prefetch-pipeline overlap: how much of the fleet's fetch-wait time does
+// the async pipeline hide? Each measurement runs the analyzer workload
+// (384x384, block 64, RMM on 3x2 slots, serialized transfers) with a fresh
+// flight ring and reads the critical-path analyzer's fleet-wide
+// aggregate_us["fetch_wait"] — at depth 0 that is every attempt's full
+// synchronous fetch; pipelined (depth 4 by default, --prefetch-depth=<k>
+// overrides) it is only the residual stall where a compute worker outran
+// its fetch stage. The recorded key is the ratio
+// depth-4 / depth-0 fetch-wait, floored at 0.35: the baseline gate (1.00
+// relative tolerance on a 0.35 base) fails exactly when the ratio exceeds
+// 0.70, i.e. when the pipeline stops hiding at least 30% of fetch waits.
+// Outputs of the two modes are also checked bit-identical here, so the
+// perf gate can never pass on a run that changed result bits.
+int RunPipelineOverlapOnly(bench::BenchObs* obs, int prefetch_depth) {
+  const ClusterConfig cluster = ClusterConfig::Local(3, 2);
+  GeneratorOptions ga;
+  ga.rows = ga.cols = 384;
+  ga.block_size = 64;
+  ga.sparsity = 1.0;
+  ga.seed = 13;
+  GeneratorOptions gb = ga;
+  gb.seed = 14;
+  engine::DistributedMatrix a =
+      engine::DistributedMatrix::FromGridHashed(GenerateUniform(ga), 3);
+  engine::DistributedMatrix b =
+      engine::DistributedMatrix::FromGridHashed(GenerateUniform(gb), 3);
+  mm::RmmMethod method;
+  engine::RealExecutor executor(cluster);
+
+  struct Measured {
+    int64_t fetch_wait_us = 0;
+    DenseMatrix dense;
+  };
+  auto run_once = [&](int depth) -> Result<Measured> {
+    obs::FlightRecorder flight(4096);
+    engine::RealOptions options;
+    options.mode = engine::ComputeMode::kCpu;
+    options.prefetch_depth = depth;
+    obs->Wire(&options);
+    options.flight = &flight;  // Wire installs the shared ring; this bench
+                               // needs a fresh per-run ring to analyze
+    DISTME_ASSIGN_OR_RETURN(engine::RealRunResult result,
+                            executor.Run(a, b, method, options));
+    DISTME_RETURN_NOT_OK(result.report.outcome);
+    const obs::CausalGraph graph = obs::BuildCausalGraph(flight.Snapshot());
+    const obs::CriticalPathAnalysis analysis =
+        obs::AnalyzeCriticalPath(graph);
+    if (analysis.path_us <= 0 || analysis.path_us != analysis.wall_us) {
+      return Status::Internal("critical-path self-check failed");
+    }
+    Measured m;
+    const auto it = analysis.aggregate_us.find("fetch_wait");
+    m.fetch_wait_us = it == analysis.aggregate_us.end() ? 0 : it->second;
+    m.dense = result.output->Collect().ToDense();
+    return m;
+  };
+
+  // Warm both paths, then alternate reps and keep each side's best (the
+  // fetch-wait floor): scheduling noise only ever adds stall time.
+  constexpr int kReps = 5;
+  int64_t best0 = 0;
+  int64_t best4 = 0;
+  for (int rep = -1; rep < kReps; ++rep) {
+    auto m0 = run_once(/*depth=*/0);
+    auto m4 = run_once(prefetch_depth);
+    if (!m0.ok() || !m4.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   (!m0.ok() ? m0.status() : m4.status()).ToString().c_str());
+      return 1;
+    }
+    if (m0->dense.rows() != m4->dense.rows() ||
+        m0->dense.cols() != m4->dense.cols() ||
+        DenseMatrix::MaxAbsDiff(m0->dense, m4->dense) != 0.0) {
+      std::fprintf(stderr,
+                   "pipeline self-check failed: depth-4 output differs from "
+                   "depth-0\n");
+      return 1;
+    }
+    if (rep < 0) continue;  // warm-up
+    if (rep == 0 || m0->fetch_wait_us < best0) best0 = m0->fetch_wait_us;
+    if (rep == 0 || m4->fetch_wait_us < best4) best4 = m4->fetch_wait_us;
+  }
+  if (best0 <= 0) {
+    std::fprintf(stderr,
+                 "pipeline self-check failed: depth-0 run recorded no "
+                 "fetch-wait time\n");
+    return 1;
+  }
+
+  const double raw_ratio =
+      static_cast<double>(best4) / static_cast<double>(best0);
+  const double ratio = std::max(0.35, raw_ratio);
+  std::printf("pipeline overlap: %d reps, best fetch-wait depth0 %lld us, "
+              "depth%d %lld us (ratio %.4f raw %.4f)\n",
+              kReps, static_cast<long long>(best0), prefetch_depth,
+              static_cast<long long>(best4), ratio, raw_ratio);
+  obs->AddResult("pipeline_fetch_wait_ratio", ratio);
+  return 0;
+}
+
 // GPU-observability overhead, same min-of-alternating-reps shape as the
 // sampler/analyzer measurements. The workload is Algorithm 1 itself
 // (RunCuboidOnGpu on a software device); the "on" side attaches a flight
@@ -616,10 +717,11 @@ int RunSimFlightDump(const std::string& path) {
 // valid (metadata-only) trace file so every bench binary accepts it.
 //
 // --sampler-overhead-only / --analyzer-overhead-only /
-// --gpu-obs-overhead-only bypass google-benchmark entirely and run the
-// deterministic on/off comparisons (recorded via --bench-json=). The flags
-// compose: one invocation records all ratios into the same bench-json
-// results map. --sim-flight-dump=<path> and --gpu-flight-dump=<path> (also
+// --gpu-obs-overhead-only / --pipeline-overlap-only bypass google-benchmark
+// entirely and run the deterministic on/off comparisons (recorded via
+// --bench-json=). The flags compose: one invocation records all ratios into
+// the same bench-json results map. --prefetch-depth=<k> sets the pipelined
+// depth the overlap comparison uses (default 4). --sim-flight-dump=<path> and --gpu-flight-dump=<path> (also
 // google-benchmark-free) write deterministic flight dumps — the simulated
 // causal timeline and a real GPU-streaming run with schema-3 device
 // interval events — for scripts/distme_analyze.py.
@@ -629,10 +731,13 @@ int main(int argc, char** argv) {
   bool sampler_overhead_only = false;
   bool analyzer_overhead_only = false;
   bool gpu_obs_overhead_only = false;
+  bool pipeline_overlap_only = false;
+  int prefetch_depth = 4;
   std::string sim_flight_dump;
   std::string gpu_flight_dump;
   constexpr std::string_view kDumpFlag = "--sim-flight-dump=";
   constexpr std::string_view kGpuDumpFlag = "--gpu-flight-dump=";
+  constexpr std::string_view kDepthFlag = "--prefetch-depth=";
   for (auto it = args.begin(); it != args.end();) {
     if (*it != nullptr &&
         std::string_view(*it) == "--sampler-overhead-only") {
@@ -647,6 +752,14 @@ int main(int argc, char** argv) {
       gpu_obs_overhead_only = true;
       it = args.erase(it);
     } else if (*it != nullptr &&
+               std::string_view(*it) == "--pipeline-overlap-only") {
+      pipeline_overlap_only = true;
+      it = args.erase(it);
+    } else if (*it != nullptr &&
+               std::string_view(*it).starts_with(kDepthFlag)) {
+      prefetch_depth = std::atoi(*it + kDepthFlag.size());
+      it = args.erase(it);
+    } else if (*it != nullptr &&
                std::string_view(*it).starts_with(kDumpFlag)) {
       sim_flight_dump = std::string_view(*it).substr(kDumpFlag.size());
       it = args.erase(it);
@@ -659,12 +772,15 @@ int main(int argc, char** argv) {
     }
   }
   if (sampler_overhead_only || analyzer_overhead_only ||
-      gpu_obs_overhead_only || !sim_flight_dump.empty() ||
-      !gpu_flight_dump.empty()) {
+      gpu_obs_overhead_only || pipeline_overlap_only ||
+      !sim_flight_dump.empty() || !gpu_flight_dump.empty()) {
     int rc = 0;
     if (sampler_overhead_only) rc |= distme::RunSamplerOverheadOnly(&obs);
     if (analyzer_overhead_only) rc |= distme::RunAnalyzerOverheadOnly(&obs);
     if (gpu_obs_overhead_only) rc |= distme::RunGpuObsOverheadOnly(&obs);
+    if (pipeline_overlap_only) {
+      rc |= distme::RunPipelineOverlapOnly(&obs, prefetch_depth);
+    }
     if (!sim_flight_dump.empty()) {
       rc |= distme::RunSimFlightDump(sim_flight_dump);
     }

@@ -145,6 +145,10 @@ if [[ "$run_sanitize" -eq 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" \
     --target stress_concurrency_test --target live_telemetry_test \
     --target gpu_timeline_test
+  # Includes PipelinedMultiplyHammer: 8-slot prefetch pipelines (fetch /
+  # compute / emit threads crossing bounded queues and prefetch gates)
+  # racing a 1 ms sampler and watchdog — the TSan regression test for the
+  # RealExecutor async handoff.
   TSAN_OPTIONS="suppressions=$PWD/scripts/sanitizers/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
     ./build-tsan/tests/stress_concurrency_test
   # The live-telemetry suite races the sampler/watchdog/endpoint threads

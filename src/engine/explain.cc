@@ -148,6 +148,22 @@ std::string ExplainReport::ToTable() const {
       out += buf;
     }
   }
+  if (has_pipeline) {
+    const int64_t pops = pipeline.prefetch_hits + pipeline.prefetch_stalls;
+    std::snprintf(buf, sizeof(buf),
+                  "  pipeline: depth %lld | hits %lld/%lld (%.0f%%) | "
+                  "stalled %s | backpressure %lld | queue high-water %lld\n",
+                  static_cast<long long>(pipeline.prefetch_depth),
+                  static_cast<long long>(pipeline.prefetch_hits),
+                  static_cast<long long>(pops),
+                  pops > 0 ? 100.0 * static_cast<double>(pipeline.prefetch_hits) /
+                                 static_cast<double>(pops)
+                           : 0.0,
+                  FormatSeconds(pipeline.stall_seconds).c_str(),
+                  static_cast<long long>(pipeline.backpressure_waits),
+                  static_cast<long long>(pipeline.queue_high_water));
+    out += buf;
+  }
   if (has_gpu) {
     const obs::OverlapReport& run = gpu.run;
     std::snprintf(buf, sizeof(buf),
@@ -246,6 +262,23 @@ std::string ExplainReport::ToJson() const {
                       elapsed_seconds
                 : 0.0);
   }
+  if (has_pipeline) {
+    w.Key("pipeline");
+    w.BeginObject();
+    w.Key("prefetch_depth");
+    w.Value(pipeline.prefetch_depth);
+    w.Key("prefetch_hits");
+    w.Value(pipeline.prefetch_hits);
+    w.Key("prefetch_stalls");
+    w.Value(pipeline.prefetch_stalls);
+    w.Key("stall_seconds");
+    w.Value(pipeline.stall_seconds);
+    w.Key("backpressure_waits");
+    w.Value(pipeline.backpressure_waits);
+    w.Key("queue_high_water");
+    w.Value(pipeline.queue_high_water);
+    w.EndObject();
+  }
   if (has_gpu) {
     w.Key("gpu");
     gpu.AppendJson(&w);
@@ -300,6 +333,9 @@ Result<ExplainReport> BuildExplainReport(const MMReport& report,
   explain.tasks = TaskStatsFromSnapshots(obs.before, obs.after);
   if (explain.tasks.count == 0) explain.tasks.count = report.num_tasks;
   explain.tasks.retries = report.task_retries;
+
+  explain.has_pipeline = report.pipeline.prefetch_depth > 0;
+  explain.pipeline = report.pipeline;
 
   if (obs.comm_delta != nullptr) explain.comm = *obs.comm_delta;
 

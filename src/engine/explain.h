@@ -68,6 +68,13 @@ struct ExplainReport {
   bool has_critical_path = false;
   obs::CriticalPathAnalysis critical_path;
 
+  /// Prefetch-pipeline counters (only when the run executed with
+  /// prefetch_depth > 0): how often compute found staged inputs waiting vs
+  /// stalled on the fetch stage, and how hard the staging-memory gate
+  /// pushed back.
+  bool has_pipeline = false;
+  PipelineStats pipeline;
+
   /// GPU pipeline overlap analysis (only when flight events were supplied
   /// and contained schema-3 device interval events). When present, the
   /// critical path's "gpu" attribution is split by its window fractions.

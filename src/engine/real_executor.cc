@@ -1,15 +1,22 @@
 #include "engine/real_executor.h"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <functional>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "blas/block_ops.h"
 #include "cluster/memory_tracker.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "engine/pipeline.h"
 #include "gpu/device.h"
 #include "gpumm/streaming.h"
 #include "matrix/serialize.h"
@@ -21,29 +28,51 @@ namespace distme::engine {
 
 namespace {
 
-// A fetched input block plus whether it crossed the network.
-struct FetchedBlock {
+// One buffered output block of a task attempt, held until the commit point.
+// `k_origin` is the k coordinate the partial came from (a box task's k0, a
+// strided task's voxel k): aggregation merges partials for an output block
+// in ascending k_origin, so the floating-point reduction order — and hence
+// the result bits — is independent of worker count, prefetch depth, and
+// arrival order.
+struct PendingEmit {
+  BlockIndex idx;
   Block block;
-  bool remote = false;
+  int64_t k_origin = 0;
 };
 
-// Local cache of a task's inputs, also a gpumm::BlockSource.
-class TaskInputs : public gpumm::BlockSource {
- public:
-  Result<Block> GetA(int64_t i, int64_t k) override {
-    auto it = a_.find({i, k});
-    if (it == a_.end()) return Status::KeyError("A block not prefetched");
-    return it->second;
-  }
-  Result<Block> GetB(int64_t k, int64_t j) override {
-    auto it = b_.find({k, j});
-    if (it == b_.end()) return Status::KeyError("B block not prefetched");
-    return it->second;
-  }
-
-  std::unordered_map<BlockIndex, Block, BlockIndexHash> a_;
-  std::unordered_map<BlockIndex, Block, BlockIndexHash> b_;
+// A committed attempt's outputs, in flight from compute to the emit stage.
+struct EmitBatch {
+  int node = 0;
+  std::vector<PendingEmit> outputs;
 };
+
+// A task whose first-attempt inputs were prefetched by the fetch stage.
+// Moves through the per-worker BoundedQueue, so exactly one stage owns it
+// at any instant. A failed prefetch travels as a null `inputs` plus the
+// error in `fetch_status`; the compute stage treats it as a failed first
+// attempt and retries synchronously.
+struct StagedTask {
+  int64_t index = -1;  // into the materialized task list
+  std::unique_ptr<gpumm::StagedBlockSource> inputs;
+  std::unique_ptr<MemoryTracker> tracker;
+  Status fetch_status = Status::OK();
+  bool injected = false;     // fetch_status is an injected mid-prefetch crash
+  int64_t staged_bytes = 0;  // charged against the node's PrefetchGate
+};
+
+// Deterministic per-(task, attempt) crash decision — a pure function, so
+// retry counts are identical across fault points, prefetch depths, and
+// worker counts (the fetch stage and the compute stage can both evaluate
+// it and agree).
+bool CrashDecision(int64_t task_id, int attempt, double rate) {
+  if (rate <= 0.0) return false;
+  uint64_t h = static_cast<uint64_t>(task_id) * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(attempt) * 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 29;
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+}
 
 // Label for the distme.task.retries{reason} counter. Returns string
 // literals so the flight recorder can keep the pointer without copying.
@@ -94,6 +123,9 @@ class RealExecutor::Impl {
     if (options.mode != ComputeMode::kCpu && !config_.has_gpu) {
       return Status::Invalid("GPU mode requested on a GPU-less cluster");
     }
+    if (options.prefetch_depth < 0) {
+      return Status::Invalid("prefetch_depth must be >= 0");
+    }
 
     ComputeMode mode = options.mode;
     if (mode == ComputeMode::kGpuStreaming && !method.SupportsGpuStreaming()) {
@@ -133,6 +165,15 @@ class RealExecutor::Impl {
         metrics->GetGauge("distme.memory.task_used_bytes");
     obs::Counter* oom_rejections =
         metrics->GetCounter("distme.memory.oom_rejections");
+    // Prefetch-pipeline instruments (stay at zero when prefetch_depth == 0).
+    obs::Counter* prefetch_hits =
+        metrics->GetCounter("distme.pipeline.prefetch_hits");
+    obs::Counter* prefetch_stalls =
+        metrics->GetCounter("distme.pipeline.prefetch_stalls");
+    obs::Counter* pipeline_stall_nanos =
+        metrics->GetCounter("distme.pipeline.stall_nanos");
+    obs::Counter* backpressure_waits =
+        metrics->GetCounter("distme.pipeline.backpressure_waits");
 
     // One consistent cut over the whole registry (a single lock acquisition)
     // rather than per-instrument reads: when two Sessions share a process,
@@ -149,10 +190,20 @@ class RealExecutor::Impl {
     const int64_t base_agg_nanos =
         base.TotalValue("distme.step.aggregation_nanos");
     const int64_t base_retries = base.TotalValue("distme.task.retries");
+    const int64_t base_prefetch_hits =
+        base.TotalValue("distme.pipeline.prefetch_hits");
+    const int64_t base_prefetch_stalls =
+        base.TotalValue("distme.pipeline.prefetch_stalls");
+    const int64_t base_stall_nanos =
+        base.TotalValue("distme.pipeline.stall_nanos");
+    const int64_t base_backpressure_waits =
+        base.TotalValue("distme.pipeline.backpressure_waits");
     obs::CommMatrixSnapshot comm_base;
     if (options.comm != nullptr) comm_base = options.comm->Snapshot();
     // Gauges describe the current run; the peak resets at each run start.
     peak_memory->Set(0);
+    metrics->GetGauge("distme.pipeline.prefetch_depth")
+        ->Set(options.prefetch_depth);
 
     const int driver_pid = config_.num_nodes;  // trace track for the driver
     if (tracer != nullptr && tracer->enabled()) {
@@ -206,11 +257,16 @@ class RealExecutor::Impl {
         BlockedShape{a.shape().rows, b.shape().cols, a.shape().block_size},
         config_.num_nodes, Partitioner::Hash(config_.num_nodes));
 
-    // Aggregation state: partial C blocks keyed by (i, j), reduced
-    // incrementally under a sharded lock.
+    // Aggregation state: partial C blocks keyed by (i, j), each holding its
+    // contributions keyed by k_origin. The finalize step merges every
+    // block's partials in ascending k_origin, making the reduction order —
+    // and the result bits — deterministic no matter which worker, attempt,
+    // or emit thread delivered each partial first.
     constexpr size_t kShards = 64;
     std::array<std::mutex, kShards> agg_mutexes;
-    std::array<std::unordered_map<BlockIndex, Block, BlockIndexHash>, kShards>
+    std::array<
+        std::unordered_map<BlockIndex, std::map<int64_t, Block>, BlockIndexHash>,
+        kShards>
         agg_partials;
 
     std::atomic<int64_t> next_task{0};
@@ -222,6 +278,10 @@ class RealExecutor::Impl {
     auto record_failure = [&](Status st) {
       std::lock_guard<std::mutex> lock(failure_mutex);
       if (failure.ok()) failure = std::move(st);
+    };
+    auto run_failed = [&]() {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      return !failure.ok();
     };
 
     auto fetch = [&](const DistributedMatrix& m, BlockIndex idx, int node,
@@ -258,7 +318,48 @@ class RealExecutor::Impl {
       return blk;
     };
 
-    auto emit = [&](BlockIndex idx, Block block, int producer_node) -> Status {
+    // Fetches every input block of `task` into `inputs`. Box tasks fetch
+    // each distinct block once (communication sharing); strided tasks fetch
+    // per voxel. When `crash_mid_prefetch`, the injected crash strikes right
+    // after the first block lands — the kMidPrefetch fault point.
+    auto fetch_inputs = [&](const mm::LocalTask& task, int node,
+                            gpumm::StagedBlockSource* inputs,
+                            MemoryTracker* tracker_ptr,
+                            bool crash_mid_prefetch, bool* injected,
+                            int64_t* staged_bytes) -> Status {
+      Status fetch_status = Status::OK();
+      auto need_a = [&](int64_t i, int64_t k) -> Status {
+        if (task.inputs_shared && inputs->HasA(i, k)) return Status::OK();
+        DISTME_ASSIGN_OR_RETURN(Block blk,
+                                fetch(a, BlockIndex{i, k}, node, tracker_ptr));
+        *staged_bytes += blk.SizeBytes();
+        inputs->StageA(i, k, std::move(blk));
+        return Status::OK();
+      };
+      auto need_b = [&](int64_t k, int64_t j) -> Status {
+        if (task.inputs_shared && inputs->HasB(k, j)) return Status::OK();
+        DISTME_ASSIGN_OR_RETURN(Block blk,
+                                fetch(b, BlockIndex{k, j}, node, tracker_ptr));
+        *staged_bytes += blk.SizeBytes();
+        inputs->StageB(k, j, std::move(blk));
+        return Status::OK();
+      };
+      task.voxels.ForEach([&](mm::Voxel v) {
+        if (!fetch_status.ok()) return;
+        Status st = need_a(v.i, v.k);
+        if (st.ok() && crash_mid_prefetch) {
+          // The attempt dies holding its first in-flight prefetched block.
+          *injected = true;
+          st = Status::Internal("injected task crash");
+        }
+        if (st.ok()) st = need_b(v.k, v.j);
+        if (!st.ok()) fetch_status = std::move(st);
+      });
+      return fetch_status;
+    };
+
+    auto emit = [&](BlockIndex idx, Block block, int64_t k_origin,
+                    int producer_node) -> Status {
       if (!needs_agg) {
         // Final block — write in place (output writes are not part of the
         // shuffle cost, matching Table 2's zero aggregation for BMM).
@@ -289,72 +390,27 @@ class RealExecutor::Impl {
       }
       const size_t shard = BlockIndexHash()(idx) % kShards;
       std::lock_guard<std::mutex> lock(agg_mutexes[shard]);
-      auto it = agg_partials[shard].find(idx);
-      if (it == agg_partials[shard].end()) {
-        agg_partials[shard].emplace(idx, std::move(block));
+      auto& by_k = agg_partials[shard][idx];
+      auto it = by_k.find(k_origin);
+      if (it == by_k.end()) {
+        by_k.emplace(k_origin, std::move(block));
         return Status::OK();
       }
+      // Same (block, k_origin) twice — not produced by any current method,
+      // but reduce defensively rather than dropping a partial.
       DISTME_ASSIGN_OR_RETURN(Block summed,
                               blas::AddBlocks(it->second, block));
       it->second = std::move(summed);
       return Status::OK();
     };
 
-    auto run_task = [&](const mm::LocalTask& task, int slot,
-                        bool crash_before_commit) -> Status {
-      const int node = static_cast<int>(task.id % config_.num_nodes);
-      MemoryTracker tracker("task " + std::to_string(task.id),
-                            config_.task_memory_bytes);
-      tracker.AttachMetrics(used_memory, peak_memory, oom_rejections);
-      tracker.AttachFlight(flight, node, slot);
-      MemoryTracker* tracker_ptr =
-          options.enforce_task_memory ? &tracker : nullptr;
-
-      Stopwatch fetch_clock;
-      obs::TraceSpan fetch_span(tracer, "task.fetch", "task");
-      TaskInputs inputs;
-      // Prefetch the task's input blocks. Box tasks fetch each distinct
-      // block once (communication sharing); strided tasks fetch per voxel.
-      Status fetch_status = Status::OK();
-      auto need_a = [&](int64_t i, int64_t k) -> Status {
-        BlockIndex idx{i, k};
-        if (task.inputs_shared && inputs.a_.count(idx)) return Status::OK();
-        DISTME_ASSIGN_OR_RETURN(Block blk, fetch(a, idx, node, tracker_ptr));
-        inputs.a_[idx] = std::move(blk);
-        return Status::OK();
-      };
-      auto need_b = [&](int64_t k, int64_t j) -> Status {
-        BlockIndex idx{k, j};
-        if (task.inputs_shared && inputs.b_.count(idx)) return Status::OK();
-        DISTME_ASSIGN_OR_RETURN(Block blk, fetch(b, idx, node, tracker_ptr));
-        inputs.b_[idx] = std::move(blk);
-        return Status::OK();
-      };
-      task.voxels.ForEach([&](mm::Voxel v) {
-        if (!fetch_status.ok()) return;
-        Status st = need_a(v.i, v.k);
-        if (st.ok()) st = need_b(v.k, v.j);
-        if (!st.ok()) fetch_status = std::move(st);
-      });
-      fetch_span.End();
-      const double fetch_seconds = fetch_clock.ElapsedSeconds();
-      fetch_nanos->Add(static_cast<int64_t>(fetch_seconds * 1e9));
-      if (flight != nullptr) {
-        flight->RecordEdge(obs::FlightEdgeKind::kFetchWait, node, slot,
-                           task.id,
-                           static_cast<int64_t>(fetch_seconds * 1e6));
-      }
-      DISTME_RETURN_NOT_OK(fetch_status);
-
-      // Outputs are buffered and committed atomically after the task
-      // finishes, so a crashed attempt (fault injection) leaves no trace
-      // and the retry is safe — the lineage-recovery property of RDDs.
-      std::vector<std::pair<BlockIndex, Block>> buffered;
-      auto buffer_output = [&buffered](BlockIndex idx, Block block) {
-        buffered.emplace_back(idx, std::move(block));
-        return Status::OK();
-      };
-
+    // Compute phase of one attempt: consumes the staged inputs, buffers the
+    // attempt's output partials into `outputs`. Side-effect free w.r.t. the
+    // output matrix — everything before the commit is replayable.
+    auto compute_task = [&](const mm::LocalTask& task, int node, int slot,
+                            gpumm::StagedBlockSource& inputs,
+                            MemoryTracker* tracker_ptr,
+                            std::vector<PendingEmit>* outputs) -> Status {
       Stopwatch compute_clock;
       double gpu_seconds = 0;  // time this attempt spent bound on the GPU
       obs::TraceSpan compute_span(tracer, "task.compute", "task");
@@ -368,8 +424,9 @@ class RealExecutor::Impl {
                                   tracer, flight));
         gpu_seconds += gpu_clock.ElapsedSeconds();
         for (auto& [key, dense] : gpu_result.c_blocks) {
-          DISTME_RETURN_NOT_OK(buffer_output({key.first, key.second},
-                                             Block::Dense(std::move(dense))));
+          outputs->push_back(PendingEmit{BlockIndex{key.first, key.second},
+                                         Block::Dense(std::move(dense)),
+                                         task.voxels.k0()});
         }
       } else if (task.aggregate_local && task.voxels.is_box()) {
         // Accumulate over the task's k range; emit one block per (i, j).
@@ -382,8 +439,8 @@ class RealExecutor::Impl {
               DISTME_RETURN_NOT_OK(tracker_ptr->Allocate(acc.SizeBytes()));
             }
             for (int64_t k = box.k0(); k < box.k1(); ++k) {
-              const Block& ab = inputs.a_.at({i, k});
-              const Block& bb = inputs.b_.at({k, j});
+              const Block& ab = inputs.A(i, k);
+              const Block& bb = inputs.B(k, j);
               if (ab.nnz() == 0 || bb.nnz() == 0) continue;
               if (mode == ComputeMode::kGpuBlock) {
                 DISTME_RETURN_NOT_OK(
@@ -393,8 +450,9 @@ class RealExecutor::Impl {
               }
             }
             if (acc.CountNonZeros() > 0) {
-              DISTME_RETURN_NOT_OK(
-                  buffer_output({i, j}, Block::Dense(std::move(acc))));
+              outputs->push_back(PendingEmit{BlockIndex{i, j},
+                                             Block::Dense(std::move(acc)),
+                                             box.k0()});
             }
             if (tracker_ptr != nullptr) {
               tracker_ptr->Free(0);  // acc ownership moved to the shuffle
@@ -406,8 +464,8 @@ class RealExecutor::Impl {
         Status voxel_status = Status::OK();
         task.voxels.ForEach([&](mm::Voxel v) {
           if (!voxel_status.ok()) return;
-          const Block& ab = inputs.a_.at({v.i, v.k});
-          const Block& bb = inputs.b_.at({v.k, v.j});
+          const Block& ab = inputs.A(v.i, v.k);
+          const Block& bb = inputs.B(v.k, v.j);
           if (ab.nnz() == 0 || bb.nnz() == 0) return;
           DenseMatrix acc(a.shape().BlockRowsAt(v.i),
                           b.shape().BlockColsAt(v.j));
@@ -416,7 +474,9 @@ class RealExecutor::Impl {
                   ? RunBlockKernel(node, task.id, ab, bb, &acc, &gpu_seconds)
                   : blas::MultiplyAccumulate(ab, bb, &acc);
           if (st.ok() && acc.CountNonZeros() > 0) {
-            st = buffer_output({v.i, v.j}, Block::Dense(std::move(acc)));
+            outputs->push_back(PendingEmit{BlockIndex{v.i, v.j},
+                                           Block::Dense(std::move(acc)),
+                                           v.k});
           }
           if (!st.ok()) voxel_status = std::move(st);
         });
@@ -429,112 +489,428 @@ class RealExecutor::Impl {
         flight->RecordEdge(obs::FlightEdgeKind::kGpuWait, node, slot, task.id,
                            static_cast<int64_t>(gpu_seconds * 1e6));
       }
+      return Status::OK();
+    };
 
-      // Commit point: everything before this line is side-effect free.
-      if (crash_before_commit) {
-        // Injected fault: the attempt dies holding its uncommitted outputs.
+    // One synchronous attempt: fetch + compute on the calling thread, the
+    // legacy (depth 0) execution path — also the retry path at any depth.
+    // Returns the pre-commit status; on OK, `*outputs` is ready to commit.
+    auto run_attempt_sync = [&](const mm::LocalTask& task, int slot,
+                                bool crash, std::vector<PendingEmit>* outputs,
+                                bool* injected) -> Status {
+      const int node = static_cast<int>(task.id % config_.num_nodes);
+      MemoryTracker tracker("task " + std::to_string(task.id),
+                                     config_.task_memory_bytes);
+      tracker.AttachMetrics(used_memory, peak_memory, oom_rejections);
+      tracker.AttachFlight(flight, node, slot);
+      MemoryTracker* tracker_ptr =
+          options.enforce_task_memory ? &tracker : nullptr;
+
+      gpumm::StagedBlockSource inputs;
+      Stopwatch fetch_clock;
+      obs::TraceSpan fetch_span(tracer, "task.fetch", "task");
+      int64_t staged_bytes = 0;
+      Status fetch_status = fetch_inputs(
+          task, node, &inputs, tracker_ptr,
+          crash && options.fault_point == FaultPoint::kMidPrefetch, injected,
+          &staged_bytes);
+      fetch_span.End();
+      const double fetch_seconds = fetch_clock.ElapsedSeconds();
+      fetch_nanos->Add(static_cast<int64_t>(fetch_seconds * 1e9));
+      if (flight != nullptr) {
+        flight->RecordEdge(obs::FlightEdgeKind::kFetchWait, node, slot,
+                           task.id,
+                           static_cast<int64_t>(fetch_seconds * 1e6));
+      }
+      DISTME_RETURN_NOT_OK(fetch_status);
+      if (crash && options.fault_point == FaultPoint::kBeforeCompute) {
+        // The fetched inputs (and their reservations) die with the attempt.
+        *injected = true;
         return Status::Internal("injected task crash");
       }
-      for (auto& [idx, block] : buffered) {
-        DISTME_RETURN_NOT_OK(emit(idx, std::move(block), node));
+      DISTME_RETURN_NOT_OK(
+          compute_task(task, node, slot, inputs, tracker_ptr, outputs));
+      if (crash && options.fault_point == FaultPoint::kBeforeCommit) {
+        // Injected fault: the attempt dies holding its uncommitted outputs.
+        *injected = true;
+        outputs->clear();
+        return Status::Internal("injected task crash");
       }
       return Status::OK();
     };
 
-    // Worker pool: one thread per task slot.
+    // How an attempt's buffered outputs reach the aggregation/output matrix:
+    // inline at depth 0, via the per-worker emit queue at depth > 0. Set
+    // below, once the pipeline (if any) exists; execute_task calls through
+    // this indirection.
+    std::function<Status(int, int, std::vector<PendingEmit>&&)> commit_fn;
+
+    // The attempt loop for one task on compute slot `slot`. When `staged`
+    // is non-null (depth > 0) the first attempt consumes the prefetched
+    // inputs and its fetch_wait is the pop stall (`pop_stall_seconds`,
+    // started at flight timestamp `pipeline_start_us`); retries fall back
+    // to the synchronous path. Commit errors are run-fatal — a partially
+    // applied commit is never replayed, so reducer blocks cannot be
+    // double-counted.
+    auto execute_task = [&](const mm::LocalTask& task, int slot,
+                            StagedTask* staged, int64_t pipeline_start_us,
+                            double pop_stall_seconds) -> Status {
+      const int node = static_cast<int>(task.id % config_.num_nodes);
+      Status st = Status::OK();
+      for (int attempt = 0; attempt < options.max_task_attempts; ++attempt) {
+        const bool crash =
+            CrashDecision(task.id, attempt, options.task_failure_rate);
+        const bool pipelined = staged != nullptr && attempt == 0;
+        task_attempts->Add(1);
+        if (flight != nullptr) {
+          if (pipelined) {
+            // The attempt began when the worker started waiting on the
+            // fetch stage, so the stall edge below lands inside the
+            // attempt's [start, finish] span.
+            flight->RecordAt(pipeline_start_us,
+                             obs::FlightEventType::kTaskStart, node, slot,
+                             task.id, attempt);
+          } else {
+            flight->Record(obs::FlightEventType::kTaskStart, node, slot,
+                           task.id, attempt);
+          }
+        }
+        const int wd_token =
+            options.watchdog != nullptr
+                ? options.watchdog->TaskStarted(task.id, node, slot)
+                : -1;
+        Stopwatch attempt_clock;
+        obs::TraceSpan attempt_span(tracer, "task.attempt", "task");
+        attempt_span.AddArg("task", task.id);
+        attempt_span.AddArg("attempt", static_cast<int64_t>(attempt));
+        attempt_span.AddArg("voxels", task.voxels.size());
+        std::vector<PendingEmit> outputs;
+        bool injected = false;
+        if (pipelined) {
+          // With prefetch, the attempt's fetch_wait is only the time the
+          // worker actually stalled waiting for staged inputs — the
+          // overlap the critical-path analyzer should see.
+          if (flight != nullptr) {
+            flight->RecordEdge(
+                obs::FlightEdgeKind::kFetchWait, node, slot, task.id,
+                static_cast<int64_t>(pop_stall_seconds * 1e6));
+          }
+          st = staged->fetch_status;
+          injected = staged->injected;
+          if (st.ok() && crash &&
+              options.fault_point == FaultPoint::kBeforeCompute) {
+            injected = true;
+            st = Status::Internal("injected task crash");
+          }
+          if (st.ok()) {
+            MemoryTracker* tracker_ptr =
+                options.enforce_task_memory ? staged->tracker.get() : nullptr;
+            st = compute_task(task, node, slot, *staged->inputs, tracker_ptr,
+                              &outputs);
+          }
+          if (st.ok() && crash &&
+              options.fault_point == FaultPoint::kBeforeCommit) {
+            injected = true;
+            outputs.clear();
+            st = Status::Internal("injected task crash");
+          }
+          // Attempt 0 is done with the staged state either way. A crashed
+          // attempt releases its prefetched blocks and memory reservations
+          // here — the lineage contract at the pipeline boundary.
+          staged->inputs.reset();
+          staged->tracker.reset();
+        } else {
+          st = run_attempt_sync(task, slot, crash, &outputs, &injected);
+        }
+        bool commit_failed = false;
+        if (st.ok() && !outputs.empty()) {
+          Status commit_status = commit_fn(slot, node, std::move(outputs));
+          if (!commit_status.ok()) {
+            commit_failed = true;
+            st = std::move(commit_status);
+          }
+        }
+        const double attempt_seconds =
+            (pipelined ? pop_stall_seconds : 0.0) +
+            attempt_clock.ElapsedSeconds();
+        task_seconds->Observe(attempt_seconds);
+        if (!st.ok()) attempt_span.AddArg("error", st.ToString());
+        attempt_span.End();
+        if (options.watchdog != nullptr) {
+          options.watchdog->TaskFinished(wd_token);
+        }
+        if (flight != nullptr) {
+          flight->Record(obs::FlightEventType::kTaskFinish, node, slot,
+                         task.id,
+                         static_cast<int64_t>(attempt_seconds * 1e6));
+        }
+        if (st.ok()) break;
+        if (commit_failed) break;  // a partial commit must never be retried
+        const char* reason = RetryReason(st, injected);
+        if (flight != nullptr) {
+          flight->Record(obs::FlightEventType::kTaskRetry, node, slot,
+                         task.id, attempt, reason);
+        }
+        DISTME_LOG(Warning) << "task " << task.id << " attempt " << attempt
+                            << " failed (" << reason << "): "
+                            << st.ToString();
+        metrics->GetCounter("distme.task.retries", {{"reason", reason}})
+            ->Add(1);
+      }
+      return st;
+    };
+
+    // Worker pool: one compute thread per task slot. At depth > 0 each
+    // compute worker w is flanked by its own fetch thread (stages the next
+    // up-to-depth tasks' inputs through stage_queues[w], throttled per node
+    // by a PrefetchGate) and its own emit thread (drains committed outputs
+    // through emit_queues[w]) — fetch, compute, and emit overlap.
     const int num_workers = static_cast<int>(
         std::min<int64_t>(config_.total_slots(),
                           static_cast<int64_t>(tasks.size())));
+    const int pool = std::max(num_workers, 1);
+    const bool pipelined_run = options.prefetch_depth > 0;
     if (tracer != nullptr && tracer->enabled()) {
       // Workers pull tasks for any node, so each (node, slot) track can host
       // spans from any worker; name them all up front.
       for (int n = 0; n < config_.num_nodes; ++n) {
-        for (int w = 0; w < std::max(num_workers, 1); ++w) {
+        for (int w = 0; w < pool; ++w) {
           tracer->SetThreadName(n, w, "slot" + std::to_string(w));
+          if (pipelined_run) {
+            tracer->SetThreadName(n, pool + w, "fetch" + std::to_string(w));
+            tracer->SetThreadName(n, 2 * pool + w,
+                                  "emit" + std::to_string(w));
+          }
         }
       }
     }
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(std::max(num_workers, 1)));
-    for (int w = 0; w < std::max(num_workers, 1); ++w) {
-      workers.emplace_back([&, w]() {
-        while (true) {
-          const int64_t t = next_task.fetch_add(1, std::memory_order_relaxed);
-          if (t >= static_cast<int64_t>(tasks.size())) break;
-          {
-            std::lock_guard<std::mutex> lock(failure_mutex);
-            if (!failure.ok()) break;
-          }
-          const mm::LocalTask& task = tasks[static_cast<size_t>(t)];
-          const int node = static_cast<int>(task.id % config_.num_nodes);
-          // All spans opened under this worker (task body, shuffle
-          // transfers, GPU chunks) land on the (node, slot) track.
-          obs::Tracer::ScopedTrack track(node, w);
-          // Attempt loop with deterministic fault injection: whether an
-          // attempt crashes depends only on (task id, attempt number).
-          Status st = Status::OK();
-          for (int attempt = 0; attempt < options.max_task_attempts;
-               ++attempt) {
-            bool crash = false;
-            if (options.task_failure_rate > 0.0) {
-              uint64_t h = static_cast<uint64_t>(task.id) * 0x9e3779b97f4a7c15ULL +
-                           static_cast<uint64_t>(attempt) * 0xff51afd7ed558ccdULL;
-              h ^= h >> 33;
-              h *= 0xc4ceb9fe1a85ec53ULL;
-              h ^= h >> 29;
-              crash = static_cast<double>(h >> 11) * 0x1.0p-53 <
-                      options.task_failure_rate;
-            }
-            task_attempts->Add(1);
-            if (flight != nullptr) {
-              flight->Record(obs::FlightEventType::kTaskStart, node, w,
-                             task.id, attempt);
-            }
-            const int wd_token =
-                options.watchdog != nullptr
-                    ? options.watchdog->TaskStarted(task.id, node, w)
-                    : -1;
-            Stopwatch attempt_clock;
-            obs::TraceSpan attempt_span(tracer, "task.attempt", "task");
-            attempt_span.AddArg("task", task.id);
-            attempt_span.AddArg("attempt", static_cast<int64_t>(attempt));
-            attempt_span.AddArg("voxels", task.voxels.size());
-            st = run_task(task, w, crash);
-            if (!st.ok()) attempt_span.AddArg("error", st.ToString());
-            attempt_span.End();
-            const double attempt_seconds = attempt_clock.ElapsedSeconds();
-            task_seconds->Observe(attempt_seconds);
-            if (options.watchdog != nullptr) {
-              options.watchdog->TaskFinished(wd_token);
-            }
-            if (flight != nullptr) {
-              flight->Record(obs::FlightEventType::kTaskFinish, node, w,
-                             task.id,
-                             static_cast<int64_t>(attempt_seconds * 1e6));
-            }
-            if (st.ok()) break;
-            const char* reason = RetryReason(st, crash);
-            if (flight != nullptr) {
-              flight->Record(obs::FlightEventType::kTaskRetry, node, w,
-                             task.id, attempt, reason);
-            }
-            DISTME_LOG(Warning) << "task " << task.id << " attempt "
-                                << attempt << " failed (" << reason << "): "
-                                << st.ToString();
-            metrics
-                ->GetCounter("distme.task.retries", {{"reason", reason}})
-                ->Add(1);
-          }
-          if (!st.ok()) record_failure(std::move(st));
+
+    std::vector<std::unique_ptr<PrefetchGate>> gates;
+    std::vector<std::unique_ptr<BoundedQueue<StagedTask>>> stage_queues;
+    std::vector<std::unique_ptr<BoundedQueue<EmitBatch>>> emit_queues;
+    if (pipelined_run) {
+      const auto depth = static_cast<size_t>(options.prefetch_depth);
+      const int64_t staging_budget = options.prefetch_staging_bytes > 0
+                                         ? options.prefetch_staging_bytes
+                                         : config_.node_memory_bytes;
+      for (int n = 0; n < config_.num_nodes; ++n) {
+        gates.push_back(std::make_unique<PrefetchGate>(staging_budget));
+      }
+      for (int w = 0; w < pool; ++w) {
+        stage_queues.push_back(
+            std::make_unique<BoundedQueue<StagedTask>>(depth));
+        emit_queues.push_back(std::make_unique<BoundedQueue<EmitBatch>>(depth));
+      }
+      commit_fn = [&](int slot, int node,
+                      std::vector<PendingEmit>&& outputs) -> Status {
+        // Hand the committed batch to the emit stage. Push only fails when
+        // the run is already tearing down on a recorded failure, and then
+        // dropping the batch is moot.
+        EmitBatch batch;
+        batch.node = node;
+        batch.outputs = std::move(outputs);
+        (void)emit_queues[static_cast<size_t>(slot)]->Push(std::move(batch));
+        return Status::OK();
+      };
+    } else {
+      commit_fn = [&](int /*slot*/, int node,
+                      std::vector<PendingEmit>&& outputs) -> Status {
+        for (PendingEmit& pe : outputs) {
+          DISTME_RETURN_NOT_OK(
+              emit(pe.idx, std::move(pe.block), pe.k_origin, node));
         }
-      });
+        return Status::OK();
+      };
     }
-    for (auto& w : workers) w.join();
+
+    std::vector<std::thread> fetchers;
+    std::vector<std::thread> emitters;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(pool));
+    if (pipelined_run) {
+      fetchers.reserve(static_cast<size_t>(pool));
+      emitters.reserve(static_cast<size_t>(pool));
+      for (int w = 0; w < pool; ++w) {
+        // Fetch stage: claims tasks from the shared cursor and prefetches
+        // their first-attempt inputs ahead of worker w's compute.
+        fetchers.emplace_back([&, w]() {
+          while (true) {
+            const int64_t t =
+                next_task.fetch_add(1, std::memory_order_relaxed);
+            if (t >= static_cast<int64_t>(tasks.size())) break;
+            if (run_failed()) break;
+            const mm::LocalTask& task = tasks[static_cast<size_t>(t)];
+            const int node = static_cast<int>(task.id % config_.num_nodes);
+            obs::Tracer::ScopedTrack track(node, pool + w);
+            if (gates[static_cast<size_t>(node)]->WaitForHeadroom()) {
+              backpressure_waits->Add(1);
+            }
+            StagedTask staged;
+            staged.index = t;
+            staged.inputs = std::make_unique<gpumm::StagedBlockSource>();
+            staged.tracker = std::make_unique<MemoryTracker>(
+                "task " + std::to_string(task.id), config_.task_memory_bytes);
+            staged.tracker->AttachMetrics(used_memory, peak_memory,
+                                          oom_rejections);
+            staged.tracker->AttachFlight(flight, node, w);
+            MemoryTracker* tracker_ptr =
+                options.enforce_task_memory ? staged.tracker.get() : nullptr;
+            const bool crash_mid =
+                options.fault_point == FaultPoint::kMidPrefetch &&
+                CrashDecision(task.id, /*attempt=*/0,
+                              options.task_failure_rate);
+            Stopwatch fetch_clock;
+            obs::TraceSpan fetch_span(tracer, "task.prefetch", "task");
+            int64_t staged_bytes = 0;
+            bool injected = false;
+            staged.fetch_status =
+                fetch_inputs(task, node, staged.inputs.get(), tracker_ptr,
+                             crash_mid, &injected, &staged_bytes);
+            fetch_span.End();
+            fetch_nanos->Add(
+                static_cast<int64_t>(fetch_clock.ElapsedSeconds() * 1e9));
+            staged.injected = injected;
+            if (!staged.fetch_status.ok()) {
+              // Lineage contract: a crashed or failed prefetch releases its
+              // in-flight blocks and reservations before handover; the
+              // compute stage sees a failed first attempt and retries
+              // synchronously.
+              staged.inputs.reset();
+              staged.tracker.reset();
+              staged.staged_bytes = 0;
+            } else {
+              staged.staged_bytes = staged_bytes;
+              gates[static_cast<size_t>(node)]->Charge(staged_bytes);
+            }
+            const int64_t charged = staged.staged_bytes;
+            if (!stage_queues[static_cast<size_t>(w)]->Push(
+                    std::move(staged))) {
+              // Consumer closed the queue (failure teardown).
+              gates[static_cast<size_t>(node)]->Release(charged);
+              break;
+            }
+          }
+          stage_queues[static_cast<size_t>(w)]->Close();
+        });
+        // Emit stage: applies committed output batches to the aggregation
+        // maps / output matrix while worker w already computes the next
+        // task. Emit errors are run-fatal (see execute_task).
+        emitters.emplace_back([&, w]() {
+          while (std::optional<EmitBatch> batch =
+                     emit_queues[static_cast<size_t>(w)]->Pop()) {
+            if (run_failed()) continue;  // drain without emitting
+            obs::Tracer::ScopedTrack track(batch->node, 2 * pool + w);
+            for (PendingEmit& pe : batch->outputs) {
+              Status st =
+                  emit(pe.idx, std::move(pe.block), pe.k_origin, batch->node);
+              if (!st.ok()) {
+                record_failure(std::move(st));
+                break;
+              }
+            }
+          }
+        });
+        // Compute stage.
+        workers.emplace_back([&, w]() {
+          while (true) {
+            Stopwatch pop_clock;
+            const int64_t wait_begin_us =
+                flight != nullptr ? flight->NowMicros() : 0;
+            bool stalled = false;
+            std::optional<StagedTask> popped =
+                stage_queues[static_cast<size_t>(w)]->Pop(&stalled);
+            if (!popped.has_value()) break;  // closed and fully drained
+            const double stall_seconds =
+                stalled ? pop_clock.ElapsedSeconds() : 0.0;
+            StagedTask staged = std::move(*popped);
+            const mm::LocalTask& task =
+                tasks[static_cast<size_t>(staged.index)];
+            const int node = static_cast<int>(task.id % config_.num_nodes);
+            // The staged bytes leave the prefetch window the moment compute
+            // takes ownership.
+            gates[static_cast<size_t>(node)]->Release(staged.staged_bytes);
+            if (stalled) {
+              prefetch_stalls->Add(1);
+              pipeline_stall_nanos->Add(
+                  static_cast<int64_t>(stall_seconds * 1e9));
+            } else {
+              prefetch_hits->Add(1);
+            }
+            if (run_failed()) break;  // `staged` dtor releases its state
+            obs::Tracer::ScopedTrack track(node, w);
+            Status st =
+                execute_task(task, w, &staged, wait_begin_us, stall_seconds);
+            if (!st.ok()) record_failure(std::move(st));
+          }
+          // Teardown: stop our fetch thread and return the gate charges of
+          // anything it had already staged.
+          stage_queues[static_cast<size_t>(w)]->Close();
+          while (std::optional<StagedTask> rest =
+                     stage_queues[static_cast<size_t>(w)]->Pop()) {
+            const mm::LocalTask& task =
+                tasks[static_cast<size_t>(rest->index)];
+            gates[static_cast<size_t>(task.id % config_.num_nodes)]->Release(
+                rest->staged_bytes);
+          }
+        });
+      }
+    } else {
+      for (int w = 0; w < pool; ++w) {
+        workers.emplace_back([&, w]() {
+          while (true) {
+            const int64_t t =
+                next_task.fetch_add(1, std::memory_order_relaxed);
+            if (t >= static_cast<int64_t>(tasks.size())) break;
+            if (run_failed()) break;
+            const mm::LocalTask& task = tasks[static_cast<size_t>(t)];
+            const int node = static_cast<int>(task.id % config_.num_nodes);
+            // All spans opened under this worker (task body, shuffle
+            // transfers, GPU chunks) land on the (node, slot) track.
+            obs::Tracer::ScopedTrack track(node, w);
+            Status st = execute_task(task, w, /*staged=*/nullptr,
+                                     /*pipeline_start_us=*/0,
+                                     /*pop_stall_seconds=*/0.0);
+            if (!st.ok()) record_failure(std::move(st));
+          }
+        });
+      }
+    }
+    for (auto& th : workers) th.join();
+    for (auto& th : fetchers) th.join();
+    for (auto& q : emit_queues) q->Close();
+    for (auto& th : emitters) th.join();
+
+    int64_t queue_high_water = 0;
+    for (auto& q : stage_queues) {
+      queue_high_water =
+          std::max(queue_high_water, static_cast<int64_t>(q->high_water()));
+    }
 
     RealRunResult result;
     result.report.method_name = method.name();
     result.report.mode = mode;
     result.report.num_tasks = static_cast<int64_t>(tasks.size());
+    if (pipelined_run) {
+      const obs::MetricsSnapshot pipe_cut = metrics->Snapshot();
+      result.report.pipeline.prefetch_depth = options.prefetch_depth;
+      result.report.pipeline.prefetch_hits =
+          pipe_cut.TotalValue("distme.pipeline.prefetch_hits") -
+          base_prefetch_hits;
+      result.report.pipeline.prefetch_stalls =
+          pipe_cut.TotalValue("distme.pipeline.prefetch_stalls") -
+          base_prefetch_stalls;
+      result.report.pipeline.stall_seconds =
+          static_cast<double>(
+              pipe_cut.TotalValue("distme.pipeline.stall_nanos") -
+              base_stall_nanos) *
+          1e-9;
+      result.report.pipeline.backpressure_waits =
+          pipe_cut.TotalValue("distme.pipeline.backpressure_waits") -
+          base_backpressure_waits;
+      result.report.pipeline.queue_high_water = queue_high_water;
+      metrics->GetGauge("distme.pipeline.queue_high_water")
+          ->Set(queue_high_water);
+    }
 
     if (!failure.ok()) {
       result.report.task_retries =
@@ -561,7 +937,9 @@ class RealExecutor::Impl {
       return result;
     }
 
-    // Aggregation finalize: move reduced partials into the output matrix.
+    // Aggregation finalize: merge every output block's partials in
+    // ascending k_origin (deterministic reduction order), then move the
+    // reduced blocks into the output matrix.
     Stopwatch agg_clock;
     if (flight != nullptr && needs_agg) {
       flight->Record(obs::FlightEventType::kStageBegin, /*node=*/-1,
@@ -572,9 +950,15 @@ class RealExecutor::Impl {
       obs::TraceSpan agg_span(tracer, "aggregate.finalize", "shuffle");
       if (needs_agg) {
         for (size_t shard = 0; shard < kShards; ++shard) {
-          for (auto& [idx, block] : agg_partials[shard]) {
-            if (block.nnz() == 0) continue;
-            DISTME_RETURN_NOT_OK(output->Put(idx, std::move(block)));
+          for (auto& [idx, by_k] : agg_partials[shard]) {
+            auto it = by_k.begin();
+            Block total = std::move(it->second);
+            for (++it; it != by_k.end(); ++it) {
+              DISTME_ASSIGN_OR_RETURN(total,
+                                      blas::AddBlocks(total, it->second));
+            }
+            if (total.nnz() == 0) continue;
+            DISTME_RETURN_NOT_OK(output->Put(idx, std::move(total)));
           }
           agg_partials[shard].clear();
         }

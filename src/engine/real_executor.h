@@ -23,6 +23,20 @@
 
 namespace distme::engine {
 
+/// \brief Where fault injection strikes within a task attempt. All three
+/// points are before the attempt's commit, so retries stay exact; they
+/// differ in which pipeline state the crashed attempt abandons.
+enum class FaultPoint {
+  /// After compute, just before the buffered outputs commit (legacy).
+  kBeforeCommit,
+  /// During input fetch, after the first block has landed — a crashed
+  /// attempt must release its in-flight prefetched blocks.
+  kMidPrefetch,
+  /// After fetch completes, before compute starts — the fetched inputs
+  /// (and their memory reservations) die with the attempt.
+  kBeforeCompute,
+};
+
 /// \brief Options for real execution.
 struct RealOptions {
   ComputeMode mode = ComputeMode::kCpu;
@@ -44,6 +58,24 @@ struct RealOptions {
   /// Attempts per task before the job fails (Spark's spark.task.maxFailures
   /// defaults to 4).
   int max_task_attempts = 4;
+  /// Which point of an attempt the injected crash strikes (ignored when
+  /// task_failure_rate == 0). The crash decision itself stays a pure
+  /// function of (task id, attempt), so retry counts are identical across
+  /// fault points and prefetch depths.
+  FaultPoint fault_point = FaultPoint::kBeforeCommit;
+  /// Prefetch pipeline depth k: each worker's fetch stage prefetches the
+  /// inputs of up to k upcoming tasks (first attempts) while the worker
+  /// computes, and a per-worker emit stage drains committed outputs — the
+  /// fetch / compute / emit stages overlap instead of running as one
+  /// serial chain per task. 0 (the default) is the legacy synchronous
+  /// path. Results are bit-identical across depths: aggregation merges
+  /// partials in deterministic k-order regardless of arrival order.
+  int prefetch_depth = 0;
+  /// Per-node byte budget for blocks staged ahead of compute (the
+  /// prefetch backpressure gate); new prefetches are admitted only while
+  /// staged bytes are at or under the budget. 0 = the cluster's node
+  /// memory budget.
+  int64_t prefetch_staging_bytes = 0;
   /// Metrics registry the run reports into (e.g. the owning Session's).
   /// When null, the executor uses a private per-run registry; either way the
   /// MMReport counters are derived from registry instruments.

@@ -89,6 +89,23 @@ std::string RunReportJson(const MMReport& report,
   w.Value(report.pcie_bytes);
   w.Key("gpu_utilization");
   w.Value(report.gpu_utilization);
+  if (report.pipeline.prefetch_depth > 0) {
+    w.Key("pipeline");
+    w.BeginObject();
+    w.Key("prefetch_depth");
+    w.Value(report.pipeline.prefetch_depth);
+    w.Key("prefetch_hits");
+    w.Value(report.pipeline.prefetch_hits);
+    w.Key("prefetch_stalls");
+    w.Value(report.pipeline.prefetch_stalls);
+    w.Key("stall_seconds");
+    w.Value(report.pipeline.stall_seconds);
+    w.Key("backpressure_waits");
+    w.Value(report.pipeline.backpressure_waits);
+    w.Key("queue_high_water");
+    w.Value(report.pipeline.queue_high_water);
+    w.EndObject();
+  }
   if (metrics != nullptr) {
     w.Key("metrics");
     obs::AppendMetricsJson(*metrics, &w);

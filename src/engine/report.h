@@ -32,6 +32,22 @@ struct StepBreakdown {
   }
 };
 
+/// \brief Counters from the prefetch pipeline (real executor, depth > 0).
+struct PipelineStats {
+  /// Configured prefetch depth k (0 = legacy synchronous execution).
+  int64_t prefetch_depth = 0;
+  /// Task pops that found staged inputs already waiting (no stall).
+  int64_t prefetch_hits = 0;
+  /// Task pops that had to wait for the fetch stage.
+  int64_t prefetch_stalls = 0;
+  /// Total time compute spent stalled waiting on the fetch stage.
+  double stall_seconds = 0;
+  /// Prefetches delayed by the per-node staging-memory gate.
+  int64_t backpressure_waits = 0;
+  /// Maximum staging-queue occupancy observed across workers.
+  int64_t queue_high_water = 0;
+};
+
 /// \brief Full execution report.
 struct MMReport {
   /// OK, OutOfMemory (O.O.M.), Timeout (T.O.), or ExceedsDiskCapacity
@@ -56,6 +72,7 @@ struct MMReport {
   double total_flops = 0;
   double pcie_bytes = 0;        ///< host<->device traffic (GPU modes)
   double gpu_utilization = 0;   ///< kernel-busy fraction of the multiply step
+  PipelineStats pipeline;       ///< prefetch pipeline counters (real executor)
 
   /// \brief Short outcome label for bench tables: "123.4s" or "O.O.M." etc.
   std::string OutcomeLabel() const;

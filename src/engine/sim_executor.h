@@ -40,6 +40,13 @@ struct SimOptions {
   /// Multiplier on the per-job fixed overhead (MPI systems like ScaLAPACK
   /// have near-zero job setup compared with Spark's driver/stage setup).
   double job_overhead_factor = 1.0;
+  /// Fraction of the repartition (input fetch) step hidden behind compute,
+  /// in [0, 1]. Models the real executor's prefetch pipeline: at depth > 0
+  /// the fetch stage overlaps the multiply waves, so only the un-hidden
+  /// remainder of the repartition time reaches the modelled timeline (it
+  /// can never hide more than the multiply step itself). Repartition
+  /// *bytes* are unchanged — the pipeline moves the same blocks, earlier.
+  double fetch_overlap = 0.0;
   /// Longest-processing-time task scheduling: dispatch the heaviest tasks
   /// first instead of plan order. Implements the paper's future-work item
   /// on load balancing across cuboids of different sizes/sparsities;

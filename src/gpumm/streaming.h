@@ -5,6 +5,7 @@
 #pragma once
 
 #include <map>
+#include <unordered_map>
 #include <utility>
 
 #include "common/result.h"
@@ -45,6 +46,51 @@ class GridBlockSource : public BlockSource {
  private:
   const BlockGrid* a_;
   const BlockGrid* b_;
+};
+
+/// \brief BlockSource over blocks staged ahead of compute — the handoff
+/// buffer between the real executor's (possibly asynchronous) fetch stage
+/// and the streaming path.
+///
+/// The fetch stage Stage()s each input block as it lands; the compute stage
+/// then hands the whole source to RunCuboidOnGpu (or reads blocks directly
+/// via A()/B() for CPU kernels). Ownership moves fetch → compute through a
+/// pipeline queue, so exactly one thread touches the source at any instant
+/// and no locking is needed here. With a prefetch depth ≥ 1 the executor
+/// keeps one staged source feeding the GPU while the next fills — the
+/// double-buffered staging handoff.
+class StagedBlockSource : public BlockSource {
+ public:
+  [[nodiscard]] Result<Block> GetA(int64_t i, int64_t k) override {
+    auto it = a_.find({i, k});
+    if (it == a_.end()) return Status::KeyError("A block not staged");
+    return it->second;
+  }
+  [[nodiscard]] Result<Block> GetB(int64_t k, int64_t j) override {
+    auto it = b_.find({k, j});
+    if (it == b_.end()) return Status::KeyError("B block not staged");
+    return it->second;
+  }
+
+  void StageA(int64_t i, int64_t k, Block block) {
+    a_[{i, k}] = std::move(block);
+  }
+  void StageB(int64_t k, int64_t j, Block block) {
+    b_[{k, j}] = std::move(block);
+  }
+
+  bool HasA(int64_t i, int64_t k) const { return a_.count({i, k}) > 0; }
+  bool HasB(int64_t k, int64_t j) const { return b_.count({k, j}) > 0; }
+
+  /// \brief Borrow a staged block (must have been staged; compute side).
+  const Block& A(int64_t i, int64_t k) const { return a_.at({i, k}); }
+  const Block& B(int64_t k, int64_t j) const { return b_.at({k, j}); }
+
+  size_t staged_blocks() const { return a_.size() + b_.size(); }
+
+ private:
+  std::unordered_map<BlockIndex, Block, BlockIndexHash> a_;
+  std::unordered_map<BlockIndex, Block, BlockIndexHash> b_;
 };
 
 /// \brief Output of processing one cuboid on the GPU.

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+
 #include "blas/local_mm.h"
 #include "engine/real_executor.h"
 #include "matrix/generator.h"
 #include "mm/methods.h"
+#include "obs/metrics.h"
 
 namespace distme::engine {
 namespace {
@@ -136,6 +140,102 @@ TEST(FaultToleranceTest, GpuTasksRetryToo) {
   EXPECT_LT(DenseMatrix::MaxAbsDiff(run->output->Collect().ToDense(),
                                     expected->ToDense()),
             1e-9);
+}
+
+// Runs one faulty configuration and checks lineage recovery end to end:
+// the run succeeds, retried at least once, matches LocalMultiply, and (when
+// a fault-free reference is supplied) matches it bit-for-bit — a reducer
+// block that were double-counted by a replayed attempt would break both.
+void ExpectExactAfterFaults(const Inputs& in, const mm::Method& method,
+                            FaultPoint point, int prefetch_depth,
+                            const DenseMatrix* fault_free) {
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 2);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 2);
+  RealExecutor executor(cluster);
+
+  obs::MetricsRegistry metrics;
+  RealOptions faulty;
+  faulty.task_failure_rate = 0.4;
+  faulty.max_task_attempts = 16;
+  faulty.fault_point = point;
+  faulty.prefetch_depth = prefetch_depth;
+  faulty.enforce_task_memory = true;
+  faulty.metrics = &metrics;
+  auto run = executor.Run(a, b, method, faulty);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->report.outcome.ok()) << run->report.outcome;
+  EXPECT_GT(run->report.task_retries, 0);
+
+  auto expected = blas::LocalMultiply(in.a, in.b);
+  ASSERT_TRUE(expected.ok());
+  const DenseMatrix dense = run->output->Collect().ToDense();
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(dense, expected->ToDense()), 1e-9);
+  if (fault_free != nullptr) {
+    ASSERT_EQ(dense.rows(), fault_free->rows());
+    ASSERT_EQ(dense.cols(), fault_free->cols());
+    EXPECT_EQ(0, std::memcmp(dense.data(), fault_free->data(),
+                             static_cast<size_t>(dense.num_elements()) *
+                                 sizeof(double)));
+  }
+
+  // Crashed attempts must release every reservation they charged — a leak
+  // here would starve later tasks under enforce_task_memory.
+  EXPECT_EQ(metrics.GetGauge("distme.memory.task_used_bytes")->Value(), 0);
+}
+
+TEST(FaultToleranceTest, CrashMidPrefetchIsRecovered) {
+  // The crash lands inside the fetch stage after the first block arrived:
+  // the staged inputs and their MemoryTracker charge die with the attempt,
+  // and the synchronous retry replays the task exactly.
+  Inputs in = MakeInputs(77);
+  mm::RmmMethod rmm;
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 2);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 2);
+  RealExecutor executor(cluster);
+  auto clean = executor.Run(a, b, rmm, RealOptions{});
+  ASSERT_TRUE(clean.ok());
+  const DenseMatrix fault_free = clean->output->Collect().ToDense();
+
+  for (int depth : {0, 4}) {
+    SCOPED_TRACE("prefetch_depth " + std::to_string(depth));
+    ExpectExactAfterFaults(in, rmm, FaultPoint::kMidPrefetch, depth,
+                           &fault_free);
+  }
+}
+
+TEST(FaultToleranceTest, CrashBetweenFetchAndComputeIsRecovered) {
+  // Fetch completed, compute never started: the fully-staged inputs are
+  // dropped (reservations released) and the retry refetches from scratch.
+  Inputs in = MakeInputs(78);
+  mm::CpmmMethod cpmm;
+  const ClusterConfig cluster = ClusterConfig::Local(2, 2);
+  DistributedMatrix a = DistributedMatrix::FromGridHashed(in.a, 2);
+  DistributedMatrix b = DistributedMatrix::FromGridHashed(in.b, 2);
+  RealExecutor executor(cluster);
+  auto clean = executor.Run(a, b, cpmm, RealOptions{});
+  ASSERT_TRUE(clean.ok());
+  const DenseMatrix fault_free = clean->output->Collect().ToDense();
+
+  for (int depth : {0, 4}) {
+    SCOPED_TRACE("prefetch_depth " + std::to_string(depth));
+    ExpectExactAfterFaults(in, cpmm, FaultPoint::kBeforeCompute, depth,
+                           &fault_free);
+  }
+}
+
+TEST(FaultToleranceTest, PipelinedCrashesAcrossAllFaultPoints) {
+  // Depth-4 pipeline under every fault point, non-aggregating method: the
+  // whole k range commits atomically per output block, so faults can never
+  // publish a partial sum.
+  Inputs in = MakeInputs(79);
+  mm::CuboidMethod cuboid(mm::CuboidSpec{2, 2, 1});
+  for (FaultPoint point : {FaultPoint::kBeforeCommit, FaultPoint::kMidPrefetch,
+                           FaultPoint::kBeforeCompute}) {
+    SCOPED_TRACE("fault point " + std::to_string(static_cast<int>(point)));
+    ExpectExactAfterFaults(in, cuboid, point, 4, nullptr);
+  }
 }
 
 }  // namespace

@@ -17,12 +17,15 @@
 
 #include "common/logging.h"
 #include "core/session.h"
+#include "engine/real_executor.h"
 #include "gpu/device.h"
+#include "matrix/generator.h"
 #include "obs/comm_matrix.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace distme {
 namespace {
@@ -213,10 +216,14 @@ TEST(StressConcurrencyTest, GpuDeviceStatsReaderHammer) {
 
   std::thread reader([&] {
     while (!stop.load(std::memory_order_acquire)) {
+      // Read used before stats: the two getters lock separately, and an
+      // allocation between them can push used past an earlier peak
+      // snapshot. Peak is monotone, so peak-read-later >= used-read-earlier.
+      const int64_t used = device.memory_used();
       const gpu::DeviceStats stats = device.stats();
       EXPECT_GE(stats.h2d_bytes, 0);
       EXPECT_GE(stats.kernel_calls, 0);
-      EXPECT_GE(stats.peak_memory_bytes, device.memory_used());
+      EXPECT_GE(stats.peak_memory_bytes, used);
       EXPECT_GE(device.Synchronize(), 0.0);
     }
   });
@@ -353,6 +360,95 @@ TEST(StressConcurrencyTest, MultiSessionMultiplyHammer) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// --- Prefetch pipeline ------------------------------------------------------
+
+// Pipeline hammer: concurrent pipelined runs on an 8-slot cluster (4 nodes ×
+// 2 slots), prefetch depth 4 — so every run spins up 8 fetch + 8 compute +
+// 8 emit threads crossing its bounded queues and prefetch gates — while a
+// 1 ms sampler snapshots the shared registry and a 1 ms watchdog scans the
+// flight ring the executor records into. Under TSan this is the regression
+// test for the fetch/compute/emit handoff; functionally every pipelined
+// result must match the depth-0 bits.
+TEST(StressConcurrencyTest, PipelinedMultiplyHammer) {
+  constexpr int kRunners = 4;
+  obs::MetricsRegistry registry;
+  obs::CommMatrix comm;
+  obs::FlightRecorder flight(4096);
+  obs::Sampler sampler(&registry, &comm, {.period_ms = 1, .max_samples = 64});
+  obs::Watchdog watchdog(&registry, &flight, {.period_ms = 1});
+  sampler.Start();
+  watchdog.Start();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRunners);
+  for (int r = 0; r < kRunners; ++r) {
+    threads.emplace_back([r, &registry, &comm, &flight, &watchdog,
+                          &failures] {
+      GeneratorOptions ga;
+      ga.rows = 48;
+      ga.cols = 32;
+      ga.block_size = 8;
+      ga.sparsity = 1.0;
+      ga.seed = static_cast<uint64_t>(900 + r);
+      GeneratorOptions gb = ga;
+      gb.rows = 32;
+      gb.cols = 40;
+      gb.seed = ga.seed + 1;
+      const BlockGrid grid_a = GenerateUniform(ga);
+      const BlockGrid grid_b = GenerateUniform(gb);
+
+      const ClusterConfig cluster = ClusterConfig::Local(4, 2);
+      engine::DistributedMatrix a =
+          engine::DistributedMatrix::FromGridHashed(grid_a, 4);
+      engine::DistributedMatrix b =
+          engine::DistributedMatrix::FromGridHashed(grid_b, 4);
+      engine::RealExecutor executor(cluster);
+      mm::RmmMethod method;
+
+      engine::RealOptions legacy;
+      auto run0 = executor.Run(a, b, method, legacy);
+      if (!run0.ok() || !run0->report.outcome.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const DenseMatrix d0 = run0->output->Collect().ToDense();
+
+      for (int round = 0; round < 3; ++round) {
+        engine::RealOptions pipelined;
+        pipelined.prefetch_depth = 4;
+        pipelined.metrics = &registry;
+        pipelined.comm = &comm;
+        pipelined.flight = &flight;
+        pipelined.watchdog = &watchdog;
+        auto run = executor.Run(a, b, method, pipelined);
+        if (!run.ok() || !run->report.outcome.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        const DenseMatrix dk = run->output->Collect().ToDense();
+        if (dk.rows() != d0.rows() || dk.cols() != d0.cols() ||
+            DenseMatrix::MaxAbsDiff(dk, d0) != 0.0) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  watchdog.Stop();
+  sampler.Stop();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The sampler's series must stay strictly monotonic despite the executor
+  // hammering the registry it samples.
+  const std::vector<obs::Sample> samples = sampler.Samples();
+  EXPECT_GT(sampler.total_samples(), 0);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].ts_us, samples[i].ts_us);
+  }
 }
 
 }  // namespace
